@@ -1,0 +1,102 @@
+//! Criterion benchmarks of the simulation substrates: DDR3 request
+//! throughput, L2 access rate, trace generation, and a full small epoch.
+
+use coscale::{run_policy, PolicyKind, SimConfig};
+use cpusim::{CacheConfig, L2Cache};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use memsim::{LineAddr, MemConfig, MemEvent, MemorySystem, Outcome};
+use simkernel::{EventQueue, Ps, SimRng};
+use std::hint::black_box;
+use workloads::{app, TraceGen};
+
+fn bench_memsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memsim");
+    let n = 512u64;
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("reads_512", |b| {
+        b.iter(|| {
+            let mut mem = MemorySystem::new(MemConfig::default());
+            let mut out = Outcome::default();
+            let mut q = EventQueue::new();
+            for i in 0..n {
+                mem.enqueue_read(Ps::from_ns(i * 3), LineAddr(i * 17), i, &mut out);
+            }
+            for (t, e) in out.wakeups.drain(..) {
+                q.push(t, e);
+            }
+            let mut done = 0u64;
+            while let Some((t, e)) = q.pop() {
+                if matches!(e, MemEvent::Refresh { .. }) {
+                    continue;
+                }
+                let mut o = Outcome::default();
+                mem.handle(t, e, &mut o);
+                done += o.completions.len() as u64;
+                for (wt, we) in o.wakeups {
+                    q.push(wt, we);
+                }
+            }
+            black_box(done)
+        });
+    });
+    group.finish();
+}
+
+fn bench_l2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("l2_cache");
+    let accesses = 4096u64;
+    group.throughput(Throughput::Elements(accesses));
+    group.bench_function("hot_accesses", |b| {
+        let mut l2 = L2Cache::new(CacheConfig::default());
+        for i in 0..8192u64 {
+            l2.fill(LineAddr(i), false, false);
+        }
+        let mut rng = SimRng::new(7);
+        b.iter(|| {
+            let mut hits = 0u64;
+            for _ in 0..accesses {
+                if matches!(
+                    l2.access(LineAddr(rng.below(8192)), false),
+                    cpusim::Access::Hit { .. }
+                ) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        });
+    });
+    group.finish();
+}
+
+fn bench_tracegen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads");
+    let ops = 10_000u64;
+    group.throughput(Throughput::Elements(ops));
+    group.bench_function("milc_ops", |b| {
+        let mut g = TraceGen::new(app("milc"), 0, 42);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..ops {
+                acc = acc.wrapping_add(g.next_op().line.0);
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+fn bench_full_epochs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.bench_function("mix2_small_coscale", |b| {
+        b.iter(|| {
+            let mut cfg = SimConfig::small(workloads::mix("MIX2").expect("known"));
+            cfg.target_instrs = 500_000;
+            black_box(run_policy(cfg, PolicyKind::CoScale))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_memsim, bench_l2, bench_tracegen, bench_full_epochs);
+criterion_main!(benches);

@@ -1,0 +1,854 @@
+//! One reproduction function per table/figure of the paper (see the
+//! per-experiment index in DESIGN.md). Each prints the same rows/series the
+//! paper reports, alongside the paper's own numbers where the text states
+//! them, and writes a TSV.
+
+use crate::{class_mixes, degradation_stats, pct, Ctx, Table, ALL_MIXES, MEM_MIXES, MID_MIXES};
+use coscale::{
+    CoScalePolicy, EpochProfile, Model, Plan, Policy, PolicyKind, Runner, SemiCoordinatedPolicy,
+    SimConfig,
+};
+use cpusim::PipelineMode;
+use memsim::MemConfig;
+use powermodel::MemGeometry;
+use simkernel::Ps;
+use std::time::Instant;
+
+/// Paper Table 1 MPKI/WPKI per mix, for side-by-side comparison.
+const TABLE1_PAPER: [(&str, f64, f64); 16] = [
+    ("ILP1", 0.37, 0.06),
+    ("ILP2", 0.16, 0.03),
+    ("ILP3", 0.27, 0.07),
+    ("ILP4", 0.25, 0.04),
+    ("MID1", 1.76, 0.74),
+    ("MID2", 2.61, 0.89),
+    ("MID3", 1.00, 0.60),
+    ("MID4", 2.13, 0.90),
+    ("MEM1", 18.2, 7.92),
+    ("MEM2", 7.75, 2.53),
+    ("MEM3", 7.93, 2.55),
+    ("MEM4", 15.07, 7.31),
+    ("MIX1", 2.93, 2.56),
+    ("MIX2", 2.34, 0.39),
+    ("MIX3", 2.55, 0.80),
+    ("MIX4", 2.35, 1.38),
+];
+
+fn mixes_for(ctx: &Ctx) -> Vec<&'static str> {
+    if ctx.opts.quick {
+        vec!["MEM1", "MID1", "ILP1", "MIX2"]
+    } else {
+        ALL_MIXES.to_vec()
+    }
+}
+
+fn mid_mixes_for(ctx: &Ctx) -> Vec<&'static str> {
+    if ctx.opts.quick {
+        vec!["MID1"]
+    } else {
+        MID_MIXES.to_vec()
+    }
+}
+
+/// Table 1: workload composition and measured MPKI/WPKI of the synthetic
+/// mixes, vs the paper's trace measurements.
+pub fn table1(ctx: &mut Ctx) {
+    let mut t = Table::new(
+        "Table 1 — workload mixes: measured vs paper MPKI/WPKI (baseline, max frequencies)",
+        &["mix", "class", "apps", "MPKI", "WPKI", "paper MPKI", "paper WPKI"],
+    );
+    for &(name, p_mpki, p_wpki) in &TABLE1_PAPER {
+        if ctx.opts.quick && !mixes_for(ctx).contains(&name) {
+            continue;
+        }
+        let r = ctx.run(name, PolicyKind::StaticMax);
+        let m = workloads::mix(name).expect("known mix");
+        t.row(vec![
+            name.into(),
+            m.class.to_string(),
+            m.apps.join(" "),
+            format!("{:.2}", r.mpki),
+            format!("{:.2}", r.wpki),
+            format!("{p_mpki:.2}"),
+            format!("{p_wpki:.2}"),
+        ]);
+    }
+    ctx.emit(&t, "table1.tsv");
+}
+
+/// Figure 5: CoScale energy savings (full system, memory, CPU) per mix.
+pub fn fig5(ctx: &mut Ctx) {
+    let mut t = Table::new(
+        "Figure 5 — CoScale energy savings vs no-DVFS baseline (γ = 10%)",
+        &["mix", "full-system", "memory", "CPU"],
+    );
+    let mut sums = [0.0f64; 3];
+    let mixes = mixes_for(ctx);
+    for name in &mixes {
+        let base = ctx.run(name, PolicyKind::StaticMax);
+        let run = ctx.run(name, PolicyKind::CoScale);
+        let full = run.energy_savings_vs(&base);
+        let mem = 1.0 - run.mem_energy_j / base.mem_energy_j;
+        let cpu = 1.0 - run.cpu_energy_j / base.cpu_energy_j;
+        sums[0] += full;
+        sums[1] += mem;
+        sums[2] += cpu;
+        t.row(vec![name.to_string(), pct(full), pct(mem), pct(cpu)]);
+    }
+    let n = mixes.len() as f64;
+    t.row(vec![
+        "AVG".into(),
+        pct(sums[0] / n),
+        pct(sums[1] / n),
+        pct(sums[2] / n),
+    ]);
+    t.row(vec![
+        "paper AVG".into(),
+        "16.0%".into(),
+        "(−0.5%..57%)".into(),
+        "(16%..40%)".into(),
+    ]);
+    ctx.emit(&t, "fig5.tsv");
+}
+
+/// Figure 6: CoScale per-mix performance degradation (average and worst
+/// application) against the 10% bound.
+pub fn fig6(ctx: &mut Ctx) {
+    let mut t = Table::new(
+        "Figure 6 — CoScale performance degradation (bound = 10%)",
+        &["mix", "avg", "worst", "bound met"],
+    );
+    let mut avg_acc = 0.0;
+    let mixes = mixes_for(ctx);
+    for name in &mixes {
+        let base = ctx.run(name, PolicyKind::StaticMax);
+        let run = ctx.run(name, PolicyKind::CoScale);
+        let (avg, worst) = degradation_stats(&run, &base);
+        avg_acc += avg;
+        t.row(vec![
+            name.to_string(),
+            pct(avg),
+            pct(worst),
+            if worst <= 0.115 { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    t.row(vec![
+        "AVG".into(),
+        pct(avg_acc / mixes.len() as f64),
+        String::new(),
+        String::new(),
+    ]);
+    t.row(vec![
+        "paper AVG".into(),
+        "9.6%".into(),
+        "< 10%".into(),
+        "yes".into(),
+    ]);
+    ctx.emit(&t, "fig6.tsv");
+}
+
+/// Figure 7: per-epoch timeline of memory frequency and milc's core
+/// frequency in MIX2, under CoScale / Uncoordinated / Semi-coordinated.
+pub fn fig7(ctx: &mut Ctx) {
+    let m = workloads::mix("MIX2").expect("known mix");
+    let milc_cores = m.cores_of("milc");
+    let mut t = Table::new(
+        "Figure 7 — MIX2 timeline: memory and milc core frequency (GHz) per epoch",
+        &[
+            "epoch",
+            "CoScale mem",
+            "CoScale core",
+            "Uncoord mem",
+            "Uncoord core",
+            "Semi mem",
+            "Semi core",
+        ],
+    );
+    let policies = [
+        PolicyKind::CoScale,
+        PolicyKind::Uncoordinated,
+        PolicyKind::SemiCoordinated,
+    ];
+    let cfg = ctx.standard_config("MIX2");
+    let runs: Vec<_> = policies
+        .iter()
+        .map(|&p| ctx.run("MIX2", p))
+        .collect();
+    let epochs = runs.iter().map(|r| r.records.len()).max().unwrap_or(0);
+    for e in 0..epochs {
+        let mut row = vec![format!("{e}")];
+        for r in &runs {
+            match r.records.get(e) {
+                Some(rec) => {
+                    let mem_ghz = cfg.mem.freq_grid[rec.plan.mem].as_ghz();
+                    let core_ghz: f64 = milc_cores
+                        .iter()
+                        .filter(|&&c| c < rec.plan.cores.len())
+                        .map(|&c| cfg.core_freqs[rec.plan.cores[c]].as_ghz())
+                        .sum::<f64>()
+                        / milc_cores.len() as f64;
+                    row.push(format!("{mem_ghz:.2}"));
+                    row.push(format!("{core_ghz:.2}"));
+                }
+                None => {
+                    row.push("-".into());
+                    row.push("-".into());
+                }
+            }
+        }
+        t.row(row);
+    }
+    ctx.emit(&t, "fig7.tsv");
+}
+
+/// Figures 8 and 9: average energy savings and performance degradation
+/// across all seven policies.
+pub fn fig8_9(ctx: &mut Ctx) {
+    let policies = [
+        PolicyKind::MemScale,
+        PolicyKind::CpuOnly,
+        PolicyKind::Uncoordinated,
+        PolicyKind::SemiCoordinated,
+        PolicyKind::CoScale,
+        PolicyKind::Offline,
+    ];
+    let mut t8 = Table::new(
+        "Figure 8 — average energy savings by policy",
+        &["policy", "full-system", "memory", "CPU"],
+    );
+    let mut t9 = Table::new(
+        "Figure 9 — performance degradation by policy (bound = 10%)",
+        &["policy", "avg", "worst", "bound met"],
+    );
+    let mixes = mixes_for(ctx);
+    for &p in &policies {
+        let mut s = [0.0f64; 3];
+        let mut avg_deg = 0.0;
+        let mut worst_deg = f64::NEG_INFINITY;
+        for name in &mixes {
+            let base = ctx.run(name, PolicyKind::StaticMax);
+            let run = ctx.run(name, p);
+            s[0] += run.energy_savings_vs(&base);
+            s[1] += 1.0 - run.mem_energy_j / base.mem_energy_j;
+            s[2] += 1.0 - run.cpu_energy_j / base.cpu_energy_j;
+            let (avg, worst) = degradation_stats(&run, &base);
+            avg_deg += avg;
+            worst_deg = worst_deg.max(worst);
+        }
+        let n = mixes.len() as f64;
+        t8.row(vec![
+            p.to_string(),
+            pct(s[0] / n),
+            pct(s[1] / n),
+            pct(s[2] / n),
+        ]);
+        t9.row(vec![
+            p.to_string(),
+            pct(avg_deg / n),
+            pct(worst_deg),
+            if worst_deg <= 0.115 { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    t8.row(vec![
+        "paper notes".into(),
+        "CoScale 16%; MemScale/CPUOnly ≤ 10%; Semi 2.6% below CoScale; Offline ≈ CoScale".into(),
+        "MemScale 30%".into(),
+        "CPUOnly 26%".into(),
+    ]);
+    t9.row(vec![
+        "paper notes".into(),
+        "CoScale 9.6%".into(),
+        "Uncoordinated up to 19%".into(),
+        "all but Uncoordinated".into(),
+    ]);
+    ctx.emit(&t8, "fig8.tsv");
+    ctx.emit(&t9, "fig9.tsv");
+}
+
+/// Figure 10: energy savings under performance bounds of 1/5/10/15/20%.
+pub fn fig10(ctx: &mut Ctx) {
+    let gammas = [0.01, 0.05, 0.10, 0.15, 0.20];
+    let mut t = Table::new(
+        "Figure 10 — impact of the performance bound (MID mixes)",
+        &["bound", "energy savings", "worst degradation", "paper savings"],
+    );
+    let paper = ["4%", "9%", "16% (all-mix avg)", ">16%", ">16%"];
+    for (gi, &g) in gammas.iter().enumerate() {
+        let mut savings = 0.0;
+        let mut worst = f64::NEG_INFINITY;
+        let mids = mid_mixes_for(ctx);
+        for name in &mids {
+            let base = ctx.run(name, PolicyKind::StaticMax);
+            let mut cfg = ctx.standard_config(name);
+            cfg.gamma = g;
+            let run = ctx.run_config(cfg, PolicyKind::CoScale);
+            savings += run.energy_savings_vs(&base);
+            let (_, w) = degradation_stats(&run, &base);
+            worst = worst.max(w);
+        }
+        savings /= mid_mixes_for(ctx).len() as f64;
+        t.row(vec![
+            pct(g),
+            pct(savings),
+            pct(worst),
+            paper[gi].into(),
+        ]);
+    }
+    ctx.emit(&t, "fig10.tsv");
+}
+
+/// Figure 11: sensitivity to rest-of-system power (5–20% of baseline).
+pub fn fig11(ctx: &mut Ctx) {
+    let fracs = [0.05, 0.10, 0.15, 0.20];
+    let mut t = Table::new(
+        "Figure 11 — impact of rest-of-system power share (MID mixes)",
+        &["rest share", "energy savings", "paper"],
+    );
+    let paper = ["~17%", "16% (default)", "~15%", "~14%"];
+    for (fi, &frac) in fracs.iter().enumerate() {
+        let mut savings = 0.0;
+        let mids = mid_mixes_for(ctx);
+        for name in &mids {
+            let mut cfg = ctx.standard_config(name);
+            cfg.power = cfg.power.with_rest_fraction(frac);
+            let base = ctx.run_config(cfg.clone(), PolicyKind::StaticMax);
+            let run = ctx.run_config(cfg, PolicyKind::CoScale);
+            savings += run.energy_savings_vs(&base);
+        }
+        savings /= mid_mixes_for(ctx).len() as f64;
+        t.row(vec![pct(frac), pct(savings), paper[fi].into()]);
+    }
+    ctx.emit(&t, "fig11.tsv");
+}
+
+fn ratio_config(ctx: &Ctx, name: &str, mem_scale: f64) -> SimConfig {
+    let mut cfg = ctx.standard_config(name);
+    cfg.power = cfg.power.with_memory_power_scale(mem_scale);
+    cfg
+}
+
+/// Figures 12–13: sensitivity to the CPU:memory power ratio, on MID and
+/// MEM mixes. 2:1 is the default calibration; 1:1 and 1:2 scale memory
+/// power by 2x and 4x.
+pub fn fig12_13(ctx: &mut Ctx) {
+    for (fig, mixes, file) in [
+        (12, MID_MIXES.as_slice(), "fig12.tsv"),
+        (13, MEM_MIXES.as_slice(), "fig13.tsv"),
+    ] {
+        let subset: Vec<&str> = if ctx.opts.quick {
+            vec![mixes[0]]
+        } else {
+            mixes.to_vec()
+        };
+        let mut t = Table::new(
+            &format!(
+                "Figure {fig} — impact of CPU:memory power ratio ({} mixes)",
+                &subset[0][..3]
+            ),
+            &["ratio", "energy savings", "paper trend"],
+        );
+        let trend = if fig == 12 {
+            ["baseline", "higher", "highest"]
+        } else {
+            ["baseline", "lower", "lowest"]
+        };
+        for (ri, (label, scale)) in [("2:1", 1.0), ("1:1", 2.0), ("1:2", 4.0)]
+            .into_iter()
+            .enumerate()
+        {
+            let mut savings = 0.0;
+            for name in &subset {
+                let cfg = ratio_config(ctx, name, scale);
+                let base = ctx.run_config(cfg.clone(), PolicyKind::StaticMax);
+                let run = ctx.run_config(cfg, PolicyKind::CoScale);
+                savings += run.energy_savings_vs(&base);
+            }
+            savings /= subset.len() as f64;
+            t.row(vec![label.into(), pct(savings), trend[ri].into()]);
+        }
+        ctx.emit(&t, file);
+    }
+}
+
+/// Figure 14: half vs full CPU voltage range.
+pub fn fig14(ctx: &mut Ctx) {
+    let mut t = Table::new(
+        "Figure 14 — impact of the CPU voltage range (MID mixes)",
+        &["range", "energy savings", "paper"],
+    );
+    for (label, vmin, paper) in [
+        ("full 0.65–1.2V", 0.65, "16% (all-mix avg)"),
+        ("half 0.95–1.2V", 0.95, "11%"),
+    ] {
+        let mut savings = 0.0;
+        let mids = mid_mixes_for(ctx);
+        for name in &mids {
+            let mut cfg = ctx.standard_config(name);
+            cfg.power = cfg.power.with_core_vmin(vmin);
+            let base = ctx.run_config(cfg.clone(), PolicyKind::StaticMax);
+            let run = ctx.run_config(cfg, PolicyKind::CoScale);
+            savings += run.energy_savings_vs(&base);
+        }
+        savings /= mid_mixes_for(ctx).len() as f64;
+        t.row(vec![label.into(), pct(savings), paper.into()]);
+    }
+    ctx.emit(&t, "fig14.tsv");
+}
+
+/// Figure 15: 4/7/10 available frequency steps (CPU and memory grids).
+pub fn fig15(ctx: &mut Ctx) {
+    let mut t = Table::new(
+        "Figure 15 — impact of the number of frequency steps (MID mixes)",
+        &["steps", "energy savings", "worst degradation", "paper"],
+    );
+    for (steps, paper) in [(4usize, "slightly less"), (7, "slightly less"), (10, "default")] {
+        let mut savings = 0.0;
+        let mut worst = f64::NEG_INFINITY;
+        let mids = mid_mixes_for(ctx);
+        for name in &mids {
+            let mut cfg = ctx.standard_config(name);
+            cfg.core_freqs = SimConfig::core_grid_with_steps(steps);
+            cfg.mem.freq_grid = MemConfig::freq_grid_with_steps(steps);
+            let base = ctx.run_config(cfg.clone(), PolicyKind::StaticMax);
+            let run = ctx.run_config(cfg, PolicyKind::CoScale);
+            savings += run.energy_savings_vs(&base);
+            let (_, w) = degradation_stats(&run, &base);
+            worst = worst.max(w);
+        }
+        savings /= mid_mixes_for(ctx).len() as f64;
+        t.row(vec![
+            format!("{steps}"),
+            pct(savings),
+            pct(worst),
+            paper.into(),
+        ]);
+    }
+    ctx.emit(&t, "fig15.tsv");
+}
+
+/// Figure 16: prefetching — normalized energy per instruction of Base,
+/// Base+Pref, Base+CoScale and Base+Pref+CoScale per class, plus the
+/// prefetcher statistics the paper quotes.
+pub fn fig16(ctx: &mut Ctx) {
+    let mut t = Table::new(
+        "Figure 16 — prefetching: energy per instruction normalized to Base",
+        &[
+            "class",
+            "Base",
+            "Base+Pref",
+            "Base+CoScale",
+            "Base+Pref+CoScale",
+            "pref accuracy",
+            "pref speedup",
+        ],
+    );
+    for class in ["MEM", "MID", "ILP", "MIX"] {
+        let mixes: Vec<&str> = if ctx.opts.quick {
+            vec![class_mixes(class)[0]]
+        } else {
+            class_mixes(class)
+        };
+        let mut epi = [0.0f64; 4];
+        let mut acc = 0.0;
+        let mut speedup = 0.0;
+        for name in &mixes {
+            let base = ctx.run(name, PolicyKind::StaticMax);
+            let co = ctx.run(name, PolicyKind::CoScale);
+            let mut pcfg = ctx.standard_config(name);
+            pcfg.core.prefetch = true;
+            let pref = ctx.run_config(pcfg.clone(), PolicyKind::StaticMax);
+            let pref_co = ctx.run_config(pcfg, PolicyKind::CoScale);
+            let e0 = base.total_energy_j();
+            epi[0] += 1.0;
+            epi[1] += pref.total_energy_j() / e0;
+            epi[2] += co.total_energy_j() / e0;
+            epi[3] += pref_co.total_energy_j() / e0;
+            acc += pref.prefetch_accuracy;
+            speedup += base.makespan.as_secs_f64() / pref.makespan.as_secs_f64() - 1.0;
+        }
+        let n = mixes.len() as f64;
+        t.row(vec![
+            class.into(),
+            format!("{:.3}", epi[0] / n),
+            format!("{:.3}", epi[1] / n),
+            format!("{:.3}", epi[2] / n),
+            format!("{:.3}", epi[3] / n),
+            pct(acc / n),
+            pct(speedup / n),
+        ]);
+    }
+    t.row(vec![
+        "paper".into(),
+        "1.0".into(),
+        "≈1.0 (MEM 0.93)".into(),
+        "MEM 0.88".into(),
+        "MEM 0.83".into(),
+        "52–98%".into(),
+        "MEM ~20%, ILP ~1%".into(),
+    ]);
+    ctx.emit(&t, "fig16.tsv");
+}
+
+/// Figures 17–18: in-order vs out-of-order (MLP window) — normalized CPI
+/// and energy per instruction, with and without CoScale.
+pub fn fig17_18(ctx: &mut Ctx) {
+    let mut t17 = Table::new(
+        "Figure 17 — average CPI normalized to in-order baseline",
+        &["class", "In-order", "OoO", "In-order+CoScale", "OoO+CoScale"],
+    );
+    let mut t18 = Table::new(
+        "Figure 18 — energy per instruction normalized to in-order baseline",
+        &["class", "In-order", "OoO", "In-order+CoScale", "OoO+CoScale"],
+    );
+    for class in ["MEM", "MID", "ILP", "MIX"] {
+        let mixes: Vec<&str> = if ctx.opts.quick {
+            vec![class_mixes(class)[0]]
+        } else {
+            class_mixes(class)
+        };
+        let mut cpi = [0.0f64; 4];
+        let mut epi = [0.0f64; 4];
+        for name in &mixes {
+            let base = ctx.run(name, PolicyKind::StaticMax);
+            let co = ctx.run(name, PolicyKind::CoScale);
+            let mut ocfg = ctx.standard_config(name);
+            ocfg.core.pipeline = PipelineMode::MlpWindow(128);
+            let ooo = ctx.run_config(ocfg.clone(), PolicyKind::StaticMax);
+            let ooo_co = ctx.run_config(ocfg, PolicyKind::CoScale);
+            let t0 = base.makespan.as_secs_f64();
+            let e0 = base.total_energy_j();
+            cpi[0] += 1.0;
+            cpi[1] += ooo.makespan.as_secs_f64() / t0;
+            cpi[2] += co.makespan.as_secs_f64() / t0;
+            cpi[3] += ooo_co.makespan.as_secs_f64() / t0;
+            epi[0] += 1.0;
+            epi[1] += ooo.total_energy_j() / e0;
+            epi[2] += co.total_energy_j() / e0;
+            epi[3] += ooo_co.total_energy_j() / e0;
+        }
+        let n = mixes.len() as f64;
+        t17.row(vec![
+            class.into(),
+            format!("{:.3}", cpi[0] / n),
+            format!("{:.3}", cpi[1] / n),
+            format!("{:.3}", cpi[2] / n),
+            format!("{:.3}", cpi[3] / n),
+        ]);
+        t18.row(vec![
+            class.into(),
+            format!("{:.3}", epi[0] / n),
+            format!("{:.3}", epi[1] / n),
+            format!("{:.3}", epi[2] / n),
+            format!("{:.3}", epi[3] / n),
+        ]);
+    }
+    t17.row(vec![
+        "paper".into(),
+        "1.0".into(),
+        "MEM much lower, ILP ≈1.0".into(),
+        "≤1.1".into(),
+        "within 10% of OoO".into(),
+    ]);
+    t18.row(vec![
+        "paper".into(),
+        "1.0".into(),
+        "≤1.0".into(),
+        "CoScale saves similar %".into(),
+        "CoScale saves similar %".into(),
+    ]);
+    ctx.emit(&t17, "fig17.tsv");
+    ctx.emit(&t18, "fig18.tsv");
+}
+
+/// Builds a deterministic synthetic profile with `n` cores for search-cost
+/// measurement (§3.1 claims < 5 µs at 16 cores, projections of 83/360 µs at
+/// 64/128 cores).
+pub fn synthetic_profile(n: usize) -> EpochProfile {
+    let mut profile = EpochProfile {
+        window: Ps::from_us(300),
+        mem_freq_idx: 9,
+        ..EpochProfile::default()
+    };
+    for i in 0..n {
+        let f = i as f64 / n.max(1) as f64;
+        profile.cores.push(coscale::CoreProfile {
+            cpu_cycles_pi: 1.0 + 0.5 * f,
+            l2_s_pi: 40e-12 + 60e-12 * f,
+            mem_s_pi: 100e-12 + 1200e-12 * f,
+            instrs: 300_000 + (i as u64 * 7919) % 100_000,
+            cac_pi: [0.4, 0.1, 0.15, 0.35],
+        });
+        profile.core_freq_idx.push(9);
+    }
+    profile.mem = coscale::MemProfile {
+        bank_wait_s: 15e-9,
+        bus_wait_s: 4e-9,
+        reads: 30_000 * n as u64,
+        page_opens: 35_000 * n as u64,
+        refreshes: 38,
+        rank_active_s: 1e-4,
+        l2_accesses: 100_000 * n as u64,
+    };
+    profile
+}
+
+/// §3.1 search-cost measurement: wall-clock time of one CoScale decision at
+/// 16, 64 and 128 cores.
+pub fn search_cost(ctx: &mut Ctx) {
+    let mut t = Table::new(
+        "Search cost — one CoScale decision (paper: <5 µs @16 cores on a 2.4 GHz Xeon; projected 83/360 µs @64/128)",
+        &["cores", "mean decision time", "iterations"],
+    );
+    let core_grid = SimConfig::core_grid_with_steps(10);
+    let mem_cfg = MemConfig::default();
+    let power = powermodel::PowerConfig::default();
+    let geom = MemGeometry::of(&mem_cfg);
+    for &n in &[16usize, 64, 128] {
+        let profile = synthetic_profile(n);
+        let slack = vec![0.0; n];
+        let model = Model::new(
+            &profile,
+            &core_grid,
+            &mem_cfg.freq_grid,
+            &power,
+            geom,
+            &mem_cfg.timings,
+            &slack,
+            Ps::from_ms(5),
+            0.10,
+        );
+        let mut policy = CoScalePolicy::default();
+        let current = Plan::max(n, 10, 10);
+        // Warm up, then measure.
+        let _ = policy.decide(&model, &current);
+        let iters = if n <= 16 { 200 } else { 50 };
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(policy.decide(&model, &current));
+        }
+        let mean = t0.elapsed() / iters;
+        t.row(vec![
+            format!("{n}"),
+            format!("{mean:?}"),
+            format!("{iters}"),
+        ]);
+    }
+    ctx.emit(&t, "search_cost.tsv");
+}
+
+/// Ablation: CoScale with core grouping disabled (DESIGN.md; the paper
+/// argues grouping is needed to avoid always preferring memory and getting
+/// stuck in local minima).
+pub fn ablation_grouping(ctx: &mut Ctx) {
+    let mut t = Table::new(
+        "Ablation — CoScale core grouping on vs off",
+        &["mix", "savings (grouping)", "savings (no grouping)", "worst deg (no grouping)"],
+    );
+    let mixes = if ctx.opts.quick {
+        vec!["MID1"]
+    } else {
+        vec!["MID1", "MID3", "ILP1", "MIX2"]
+    };
+    for name in mixes {
+        let base = ctx.run(name, PolicyKind::StaticMax);
+        let on = ctx.run(name, PolicyKind::CoScale);
+        eprintln!("  running {name} / CoScale-no-grouping ...");
+        let off = Runner::new(ctx.standard_config(name), PolicyKind::CoScale)
+            .with_policy(Box::new(CoScalePolicy { group_cores: false }))
+            .run();
+        let (_, w) = degradation_stats(&off, &base);
+        t.row(vec![
+            name.into(),
+            pct(on.energy_savings_vs(&base)),
+            pct(off.energy_savings_vs(&base)),
+            pct(w),
+        ]);
+    }
+    ctx.emit(&t, "ablation_grouping.tsv");
+}
+
+/// Ablation: Semi-coordinated with managers acting out of phase (§4.2.2:
+/// "0.3% lower savings with the same performance").
+pub fn ablation_phase(ctx: &mut Ctx) {
+    let mut t = Table::new(
+        "Ablation — Semi-coordinated in-phase vs out-of-phase managers",
+        &["mix", "savings (in phase)", "savings (out of phase)", "worst deg (out of phase)"],
+    );
+    let mixes = if ctx.opts.quick {
+        vec!["MID1"]
+    } else {
+        vec!["MID1", "MID2", "MID3", "MID4"]
+    };
+    for name in mixes {
+        let base = ctx.run(name, PolicyKind::StaticMax);
+        let inphase = ctx.run(name, PolicyKind::SemiCoordinated);
+        eprintln!("  running {name} / Semi-out-of-phase ...");
+        let out = Runner::new(ctx.standard_config(name), PolicyKind::SemiCoordinated)
+            .with_policy(Box::new(SemiCoordinatedPolicy::out_of_phase()))
+            .run();
+        let (_, w) = degradation_stats(&out, &base);
+        t.row(vec![
+            name.into(),
+            pct(inphase.energy_savings_vs(&base)),
+            pct(out.energy_savings_vs(&base)),
+            pct(w),
+        ]);
+    }
+    ctx.emit(&t, "ablation_phase.tsv");
+}
+
+/// Ablation: row-buffer management and scheduling (§4.1: "closed-page row
+/// buffer management ... outperforms open-page policies for multi-core
+/// CPUs"). Runs the baseline system under four memory configurations.
+pub fn ablation_page_policy(ctx: &mut Ctx) {
+    use memsim::{AddrMap, PagePolicy, SchedPolicy};
+    let mut t = Table::new(
+        "Ablation — page policy / scheduling / address map (baseline, no DVFS)",
+        &["mix", "config", "makespan (ms)", "energy (J)", "row hit rate", "avg read lat (ns)"],
+    );
+    let mixes = if ctx.opts.quick {
+        vec!["MEM1"]
+    } else {
+        vec!["MEM1", "MEM4", "MID1"]
+    };
+    let variants: [(&str, PagePolicy, SchedPolicy, AddrMap); 4] = [
+        ("closed+interleave (paper)", PagePolicy::Closed, SchedPolicy::Fcfs, AddrMap::ChannelInterleaved),
+        ("open+interleave", PagePolicy::Open, SchedPolicy::Fcfs, AddrMap::ChannelInterleaved),
+        ("open+rowmap", PagePolicy::Open, SchedPolicy::Fcfs, AddrMap::RowInterleaved),
+        ("open+rowmap+frfcfs", PagePolicy::Open, SchedPolicy::FrFcfs, AddrMap::RowInterleaved),
+    ];
+    for name in mixes {
+        for (label, page, sched, map) in variants {
+            let mut cfg = ctx.standard_config(name);
+            cfg.mem.page_policy = page;
+            cfg.mem.sched = sched;
+            cfg.mem.addr_map = map;
+            eprintln!("  running {name} / baseline [{label}] ...");
+            let r = coscale::Runner::new(cfg.clone(), PolicyKind::StaticMax).run();
+            let hits = r.row_hit_rate;
+            t.row(vec![
+                name.into(),
+                label.into(),
+                format!("{:.2}", r.makespan.as_secs_f64() * 1e3),
+                format!("{:.2}", r.total_energy_j()),
+                pct(hits),
+                format!("{:.1}", r.avg_read_latency_ns),
+            ]);
+        }
+    }
+    ctx.emit(&t, "ablation_page_policy.tsv");
+}
+
+/// Ablation: idle low-power memory states vs memory DVFS (§2.2: "active
+/// low-power modes are more successful at garnering energy savings for
+/// server workloads" than idle states). Compares an aggressive self-refresh
+/// idle manager against MemScale DVFS and CoScale.
+pub fn ablation_idle_states(ctx: &mut Ctx) {
+    use memsim::{IdleMemPolicy, IdleMode};
+    let mut t = Table::new(
+        "Ablation — idle low-power states vs active low-power modes (DVFS)",
+        &["mix", "scheme", "energy savings", "worst degradation", "sleep frac"],
+    );
+    let mixes = if ctx.opts.quick {
+        vec!["ILP1"]
+    } else {
+        vec!["ILP1", "MID1", "MEM1"]
+    };
+    for name in mixes {
+        let base = ctx.run(name, PolicyKind::StaticMax);
+        // Idle-state managers (no DVFS): a fast-exit powerdown with a short
+        // break-even threshold, and a deep self-refresh entered only after
+        // long idleness (its DLL-relock exit is ~640 ns).
+        let mut pd_cfg = ctx.standard_config(name);
+        pd_cfg.mem.idle_policy = Some(IdleMemPolicy {
+            threshold: Ps::from_us(2),
+            mode: IdleMode::Powerdown,
+        });
+        eprintln!("  running {name} / idle-powerdown ...");
+        let pd = coscale::Runner::new(pd_cfg, PolicyKind::StaticMax).run();
+        let mut sr_cfg = ctx.standard_config(name);
+        sr_cfg.mem.idle_policy = Some(IdleMemPolicy {
+            threshold: Ps::from_us(50),
+            mode: IdleMode::SelfRefresh,
+        });
+        eprintln!("  running {name} / idle-self-refresh ...");
+        let sr = coscale::Runner::new(sr_cfg, PolicyKind::StaticMax).run();
+        let ms = ctx.run(name, PolicyKind::MemScale);
+        let co = ctx.run(name, PolicyKind::CoScale);
+        for (label, run) in [
+            ("idle powerdown (2µs)", &pd),
+            ("idle self-refresh (50µs)", &sr),
+            ("MemScale DVFS", &*ms),
+            ("CoScale", &*co),
+        ] {
+            let (_, worst) = degradation_stats(run, &base);
+            let sleep = if label.starts_with("idle") {
+                pct(run.mem_sleep_fraction)
+            } else {
+                "-".into()
+            };
+            t.row(vec![
+                name.into(),
+                label.into(),
+                pct(run.energy_savings_vs(&base)),
+                pct(worst),
+                sleep,
+            ]);
+        }
+    }
+    ctx.emit(&t, "ablation_idle_states.tsv");
+}
+
+/// Ablation: voltage-domain granularity (§3.4: "each voltage domain may
+/// currently contain several cores ... research has shown this is likely to
+/// change"). Quantifies what per-core domains buy CoScale.
+pub fn ablation_voltage_domains(ctx: &mut Ctx) {
+    let mut t = Table::new(
+        "Ablation — cores per voltage domain (CoScale, MID mixes)",
+        &["domain size", "energy savings", "worst degradation"],
+    );
+    let mixes = if ctx.opts.quick {
+        vec!["MID1"]
+    } else {
+        vec!["MID1", "MID2"]
+    };
+    for ds in [1usize, 4, 16] {
+        let mut savings = 0.0;
+        let mut worst = f64::NEG_INFINITY;
+        for name in &mixes {
+            let base = ctx.run(name, PolicyKind::StaticMax);
+            let mut cfg = ctx.standard_config(name);
+            cfg.voltage_domain_cores = ds;
+            eprintln!("  running {name} / CoScale [domains of {ds}] ...");
+            let run = ctx.run_config(cfg, PolicyKind::CoScale);
+            savings += run.energy_savings_vs(&base);
+            let (_, w) = degradation_stats(&run, &base);
+            worst = worst.max(w);
+        }
+        savings /= mixes.len() as f64;
+        t.row(vec![format!("{ds}"), pct(savings), pct(worst)]);
+    }
+    ctx.emit(&t, "ablation_voltage_domains.tsv");
+}
+
+/// Runs every experiment in paper order.
+pub fn all(ctx: &mut Ctx) {
+    table1(ctx);
+    fig5(ctx);
+    fig6(ctx);
+    fig7(ctx);
+    fig8_9(ctx);
+    fig10(ctx);
+    fig11(ctx);
+    fig12_13(ctx);
+    fig14(ctx);
+    fig15(ctx);
+    fig16(ctx);
+    fig17_18(ctx);
+    search_cost(ctx);
+    ablation_grouping(ctx);
+    ablation_phase(ctx);
+    ablation_page_policy(ctx);
+    ablation_idle_states(ctx);
+    ablation_voltage_domains(ctx);
+}

@@ -1,0 +1,146 @@
+//! Assembles every TSV in a results directory into one Markdown report —
+//! a machine-generated appendix to the curated EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// The fixed presentation order of known artifacts; anything else is
+/// appended alphabetically at the end.
+const ORDER: [&str; 21] = [
+    "table1",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "search_cost",
+    "ablation_grouping",
+    "ablation_phase",
+    "ablation_page_policy",
+    "ablation_idle_states",
+    "ablation_voltage_domains",
+];
+
+/// Renders one TSV body (with its `# title` comment line) as a Markdown
+/// section. Returns `None` if the content is not in the expected format.
+pub fn tsv_to_markdown(body: &str) -> Option<String> {
+    let mut lines = body.lines();
+    let title = lines.next()?.strip_prefix("# ")?.trim();
+    let header: Vec<&str> = lines.next()?.split('\t').collect();
+    if header.is_empty() {
+        return None;
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "## {title}\n");
+    let _ = writeln!(out, "| {} |", header.join(" | "));
+    let _ = writeln!(out, "|{}", "---|".repeat(header.len()));
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut cells: Vec<&str> = line.split('\t').collect();
+        cells.resize(header.len(), "");
+        let _ = writeln!(out, "| {} |", cells.join(" | "));
+    }
+    Some(out)
+}
+
+/// Reads every `.tsv` under `dir` and produces the full report body.
+///
+/// # Errors
+///
+/// Returns an I/O error if the directory cannot be read; unreadable or
+/// malformed individual files are skipped with a note.
+pub fn render_report(dir: &Path) -> std::io::Result<String> {
+    let mut found: Vec<(String, String)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("tsv") {
+            continue;
+        }
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default()
+            .to_string();
+        match std::fs::read_to_string(&path) {
+            Ok(body) => found.push((stem, body)),
+            Err(e) => eprintln!("skipping {}: {e}", path.display()),
+        }
+    }
+    found.sort_by_key(|(stem, _)| {
+        ORDER
+            .iter()
+            .position(|o| o == stem)
+            .map_or((1, stem.clone()), |i| (0, format!("{i:03}")))
+    });
+
+    let mut out = String::from(
+        "# CoScale reproduction — generated results report\n\n\
+         Auto-generated from the TSV artifacts; see EXPERIMENTS.md for the\n\
+         curated paper-vs-measured analysis.\n\n",
+    );
+    for (stem, body) in &found {
+        match tsv_to_markdown(body) {
+            Some(md) => {
+                out.push_str(&md);
+                out.push('\n');
+            }
+            None => {
+                let _ = writeln!(out, "## {stem}\n\n(unreadable artifact)\n");
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_simple_tsv() {
+        let md = tsv_to_markdown("# My title\na\tb\n1\t2\n3\t4\n").unwrap();
+        assert!(md.contains("## My title"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("|---|---|"));
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let md = tsv_to_markdown("# t\na\tb\tc\n1\t2\n").unwrap();
+        assert!(md.contains("| 1 | 2 |  |"));
+    }
+
+    #[test]
+    fn rejects_headerless_input() {
+        assert!(tsv_to_markdown("no comment line\n1\t2\n").is_none());
+        assert!(tsv_to_markdown("").is_none());
+    }
+
+    #[test]
+    fn report_orders_known_artifacts_first() {
+        let dir = std::env::temp_dir().join("coscale_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("zzz_custom.tsv"), "# Custom\nx\n1\n").unwrap();
+        std::fs::write(dir.join("fig5.tsv"), "# Figure 5\nm\tv\nA\t1\n").unwrap();
+        std::fs::write(dir.join("table1.tsv"), "# Table 1\nm\tv\nB\t2\n").unwrap();
+        let report = render_report(&dir).unwrap();
+        let t1 = report.find("## Table 1").unwrap();
+        let f5 = report.find("## Figure 5").unwrap();
+        let cu = report.find("## Custom").unwrap();
+        assert!(t1 < f5 && f5 < cu, "ordering wrong: {t1} {f5} {cu}");
+    }
+}

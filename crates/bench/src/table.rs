@@ -1,0 +1,126 @@
+//! Aligned-text and TSV table rendering.
+
+use std::io::Write;
+use std::path::Path;
+
+/// A simple result table: a title, column headers, and string rows.
+///
+/// # Example
+///
+/// ```
+/// use bench::Table;
+/// let mut t = Table::new("Demo", &["mix", "savings"]);
+/// t.row(vec!["MEM1".into(), "12.0%".into()]);
+/// assert_eq!(t.rows(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    data: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header width.
+    pub fn row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width mismatch in table '{}'",
+            self.title
+        );
+        self.data.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn rows(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Prints the table with aligned columns.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.data {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        println!("\n== {} ==", self.title);
+        let line = |cells: &[String]| {
+            let cols: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            println!("  {}", cols.join("  "));
+        };
+        line(&self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        println!("  {}", "-".repeat(total));
+        for row in &self.data {
+            line(row);
+        }
+    }
+
+    /// Writes the table as tab-separated values (title as a comment line).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the file.
+    pub fn write_tsv(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "# {}", self.title)?;
+        writeln!(f, "{}", self.headers.join("\t"))?;
+        for row in &self.data {
+            writeln!(f, "{}", row.join("\t"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_counts_rows() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["3".into(), "4".into()]);
+        assert_eq!(t.rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn tsv_roundtrip() {
+        let mut t = Table::new("title", &["x", "y"]);
+        t.row(vec!["p".into(), "q".into()]);
+        let dir = std::env::temp_dir().join("coscale_table_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.tsv");
+        t.write_tsv(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("# title"));
+        assert!(body.contains("x\ty"));
+        assert!(body.contains("p\tq"));
+    }
+}

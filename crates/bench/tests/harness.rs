@@ -1,0 +1,70 @@
+//! Tests of the experiment-harness utilities.
+
+use bench::{class_mixes, degradation_stats, experiments::synthetic_profile, pct, ALL_MIXES};
+use coscale::{PolicyKind, RunResult};
+use simkernel::Ps;
+
+#[test]
+fn all_mixes_covers_table1() {
+    assert_eq!(ALL_MIXES.len(), 16);
+    for class in ["MEM", "MID", "ILP", "MIX"] {
+        assert_eq!(class_mixes(class).len(), 4, "{class}");
+    }
+    // Every listed mix resolves in the workloads registry.
+    for m in ALL_MIXES {
+        assert!(workloads::mix(m).is_some(), "{m}");
+    }
+}
+
+#[test]
+fn pct_formats_fractions() {
+    assert_eq!(pct(0.1234), "12.3%");
+    assert_eq!(pct(-0.005), "-0.5%");
+    assert_eq!(pct(0.0), "0.0%");
+}
+
+#[test]
+fn synthetic_profiles_scale_with_core_count() {
+    for n in [1usize, 16, 64, 128] {
+        let p = synthetic_profile(n);
+        assert_eq!(p.cores.len(), n);
+        assert_eq!(p.core_freq_idx.len(), n);
+        assert!(p.cores.iter().all(|c| c.cpu_cycles_pi >= 1.0));
+        assert!(p.mem.reads > 0);
+    }
+}
+
+fn fake_result(completion_us: &[u64], energy: f64) -> RunResult {
+    RunResult {
+        policy: PolicyKind::StaticMax,
+        mix: "TEST".into(),
+        epochs: 1,
+        completion: completion_us.iter().map(|&u| Ps::from_us(u)).collect(),
+        makespan: Ps::from_us(*completion_us.iter().max().unwrap()),
+        cpu_energy_j: energy,
+        l2_energy_j: 0.0,
+        mem_energy_j: 0.0,
+        rest_energy_j: 0.0,
+        records: vec![],
+        mpki: 0.0,
+        wpki: 0.0,
+        prefetch_accuracy: 0.0,
+        bus_utilization: 0.0,
+        row_hit_rate: 0.0,
+        avg_read_latency_ns: 0.0,
+        mem_sleep_fraction: 0.0,
+        read_lat_p50_ns: 0.0,
+        read_lat_p95_ns: 0.0,
+        read_lat_p99_ns: 0.0,
+    }
+}
+
+#[test]
+fn degradation_stats_computes_avg_and_worst() {
+    let base = fake_result(&[100, 100], 1.0);
+    let run = fake_result(&[110, 105], 0.9);
+    let (avg, worst) = degradation_stats(&run, &base);
+    assert!((avg - 0.075).abs() < 1e-9);
+    assert!((worst - 0.10).abs() < 1e-9);
+    assert!((run.energy_savings_vs(&base) - 0.1).abs() < 1e-9);
+}

@@ -1,0 +1,724 @@
+//! The full-system simulation engine: 16 cores + shared L2 + DDR3 memory
+//! under one event queue, driven in profiling/decision/execution epochs.
+
+use crate::{
+    extract_profile, make_policy, normalize_profile, EpochProfile, Model, Plan, Policy,
+    PolicyKind, SimConfig,
+};
+use cpusim::{CoreCounters, CoreOutput, CoreSim, L2Cache, Wake};
+use memsim::{LineAddr, MemCounters, MemEvent, MemorySystem, Outcome};
+use powermodel::{system_power, MemGeometry, SystemPower};
+use simkernel::{EventQueue, Freq, Ps};
+use std::collections::HashMap;
+
+/// Events flowing through the engine's queue.
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    /// Wake core `id`; ignored unless `gen` matches the core's current
+    /// generation (stale-event invalidation).
+    Core { id: usize, gen: u64 },
+    /// Deliver a memory-system event.
+    Mem(MemEvent),
+    /// A demand/prefetch read finished; look up the tag.
+    MemDone { tag: u64 },
+}
+
+/// What a read tag refers to.
+#[derive(Clone, Copy, Debug)]
+struct ReadInfo {
+    core: usize,
+    line: LineAddr,
+    prefetch: bool,
+}
+
+/// The complete simulated system. `Clone` on purpose: the Offline oracle
+/// checkpoints the whole system, looks one epoch ahead, and rewinds.
+#[derive(Clone)]
+pub struct System {
+    config: SimConfig,
+    cores: Vec<CoreSim>,
+    core_gen: Vec<u64>,
+    l2: L2Cache,
+    mem: MemorySystem,
+    queue: EventQueue<Ev>,
+    now: Ps,
+    tags: HashMap<u64, ReadInfo>,
+    next_tag: u64,
+    plan: Plan,
+    completion: Vec<Option<Ps>>,
+    // Reused buffers.
+    core_out: CoreOutput,
+    mem_out: Outcome,
+}
+
+/// A snapshot of every counter at one instant, for window deltas.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Time the snapshot was taken.
+    pub at: Ps,
+    /// Per-core counters.
+    pub cores: Vec<CoreCounters>,
+    /// Memory counters.
+    pub mem: MemCounters,
+    /// L2 demand accesses (hits + misses).
+    pub l2_accesses: u64,
+    /// L2 writebacks so far.
+    pub l2_writebacks: u64,
+}
+
+impl System {
+    /// Builds the system for `config`, warms the L2, and schedules initial
+    /// events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: SimConfig) -> System {
+        if let Err(e) = config.validate() {
+            panic!("invalid simulation config: {e}");
+        }
+        let n = config.cores;
+        let max_core = config.max_core_idx();
+        let fmax = config.core_freqs[max_core];
+        let cores: Vec<CoreSim> = (0..n)
+            .map(|i| {
+                CoreSim::new(
+                    i,
+                    config.mix.app_for_core(i),
+                    config.seed,
+                    fmax,
+                    config.core,
+                )
+            })
+            .collect();
+        let mut l2 = L2Cache::new(config.cache);
+        for c in &cores {
+            c.warm_l2(&mut l2);
+        }
+        let mem = MemorySystem::new(config.mem.clone());
+        let mut queue = EventQueue::new();
+        for (t, e) in mem.initial_events() {
+            queue.push(t, Ev::Mem(e));
+        }
+        for i in 0..n {
+            queue.push(Ps::ZERO, Ev::Core { id: i, gen: 0 });
+        }
+        let plan = Plan::max(n, config.core_freqs.len(), config.mem.freq_grid.len());
+        System {
+            config,
+            core_gen: vec![0; n],
+            completion: vec![None; n],
+            cores,
+            l2,
+            mem,
+            queue,
+            now: Ps::ZERO,
+            tags: HashMap::new(),
+            next_tag: 0,
+            plan,
+            core_out: CoreOutput::default(),
+            mem_out: Outcome::default(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Ps {
+        self.now
+    }
+
+    /// The frequency plan currently applied.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Per-core completion times (first instant each core reached the
+    /// instruction target).
+    pub fn completion(&self) -> &[Option<Ps>] {
+        &self.completion
+    }
+
+    /// Whether every application has reached the instruction target.
+    pub fn all_done(&self) -> bool {
+        self.completion.iter().all(Option::is_some)
+    }
+
+    /// Snapshots all counters.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            at: self.now,
+            cores: self.cores.iter().map(|c| *c.counters()).collect(),
+            mem: *self.mem.counters(),
+            l2_accesses: self.l2.stats().hits + self.l2.stats().misses,
+            l2_writebacks: self.l2.stats().writebacks,
+        }
+    }
+
+    /// Runs the event loop until simulated time `t_end`.
+    pub fn run_until(&mut self, t_end: Ps) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > t_end {
+                break;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked");
+            self.now = t;
+            match ev {
+                Ev::Core { id, gen } => {
+                    if gen == self.core_gen[id] {
+                        self.step_core(id);
+                    }
+                }
+                Ev::Mem(me) => {
+                    self.mem_out.clear();
+                    let mut out = std::mem::take(&mut self.mem_out);
+                    self.mem.handle(t, me, &mut out);
+                    self.absorb_mem_out(&mut out);
+                    self.mem_out = out;
+                }
+                Ev::MemDone { tag } => self.finish_read(tag),
+            }
+        }
+        self.now = t_end;
+    }
+
+    fn absorb_mem_out(&mut self, out: &mut Outcome) {
+        for c in out.completions.drain(..) {
+            self.queue.push(c.finish, Ev::MemDone { tag: c.tag });
+        }
+        for (t, e) in out.wakeups.drain(..) {
+            self.queue.push(t, Ev::Mem(e));
+        }
+    }
+
+    fn issue_read(&mut self, core: usize, line: LineAddr, prefetch: bool) {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.tags.insert(
+            tag,
+            ReadInfo {
+                core,
+                line,
+                prefetch,
+            },
+        );
+        let mut out = std::mem::take(&mut self.mem_out);
+        out.clear();
+        self.mem.enqueue_read(self.now, line, tag, &mut out);
+        self.absorb_mem_out(&mut out);
+        self.mem_out = out;
+    }
+
+    fn issue_writeback(&mut self, line: LineAddr) {
+        let mut out = std::mem::take(&mut self.mem_out);
+        out.clear();
+        self.mem.enqueue_writeback(self.now, line, &mut out);
+        self.absorb_mem_out(&mut out);
+        self.mem_out = out;
+    }
+
+    /// Drains `self.core_out` into the memory system.
+    fn dispatch_core_output(&mut self, core: usize) {
+        let reads: Vec<LineAddr> = self.core_out.reads.drain(..).collect();
+        let prefetches: Vec<LineAddr> = self.core_out.prefetches.drain(..).collect();
+        let writebacks: Vec<LineAddr> = self.core_out.writebacks.drain(..).collect();
+        for line in reads {
+            self.issue_read(core, line, false);
+        }
+        for line in prefetches {
+            self.issue_read(core, line, true);
+        }
+        for line in writebacks {
+            self.issue_writeback(line);
+        }
+    }
+
+    fn step_core(&mut self, id: usize) {
+        self.core_out.clear();
+        let mut out = std::mem::take(&mut self.core_out);
+        let wake = self.cores[id].advance(self.now, &mut self.l2, &mut out);
+        self.core_out = out;
+        self.dispatch_core_output(id);
+        if let Wake::At(t) = wake {
+            self.core_gen[id] += 1;
+            self.queue.push(
+                t,
+                Ev::Core {
+                    id,
+                    gen: self.core_gen[id],
+                },
+            );
+        }
+        if self.completion[id].is_none() && self.cores[id].instrs() >= self.config.target_instrs
+        {
+            self.completion[id] = Some(self.now);
+        }
+    }
+
+    fn finish_read(&mut self, tag: u64) {
+        let info = self
+            .tags
+            .remove(&tag)
+            .expect("completion for unknown tag");
+        self.core_out.clear();
+        let mut out = std::mem::take(&mut self.core_out);
+        let runnable = if info.prefetch {
+            self.cores[info.core].complete_prefetch(self.now, info.line, &mut self.l2, &mut out)
+        } else {
+            self.cores[info.core].complete_read(self.now, info.line, &mut self.l2, &mut out)
+        };
+        self.core_out = out;
+        self.dispatch_core_output(info.core);
+        if runnable {
+            self.step_core(info.core);
+        }
+    }
+
+    /// Applies a frequency plan at the current time, halting changed cores
+    /// for the transition and recalibrating memory if its frequency moved.
+    pub fn apply_plan(&mut self, plan: &Plan) {
+        assert_eq!(plan.cores.len(), self.cores.len(), "plan size mismatch");
+        for i in 0..self.cores.len() {
+            if plan.cores[i] != self.plan.cores[i] {
+                let freq = self.config.core_freqs[plan.cores[i]];
+                if let Some(Wake::At(t)) =
+                    self.cores[i].apply_dvfs(self.now, freq, self.config.core_transition)
+                {
+                    self.core_gen[i] += 1;
+                    self.queue.push(
+                        t,
+                        Ev::Core {
+                            id: i,
+                            gen: self.core_gen[i],
+                        },
+                    );
+                }
+            }
+        }
+        if plan.mem != self.plan.mem {
+            let mut out = std::mem::take(&mut self.mem_out);
+            out.clear();
+            self.mem.set_frequency(self.now, plan.mem, &mut out);
+            self.absorb_mem_out(&mut out);
+            self.mem_out = out;
+        }
+        self.plan = plan.clone();
+    }
+
+    /// Per-core frequencies of the current plan.
+    pub fn core_freqs(&self) -> Vec<Freq> {
+        self.plan
+            .cores
+            .iter()
+            .map(|&i| self.config.core_freqs[i])
+            .collect()
+    }
+
+    /// The L2 cache (for statistics).
+    pub fn l2(&self) -> &L2Cache {
+        &self.l2
+    }
+
+    /// The memory system (for statistics).
+    pub fn mem(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Per-core instruction counts.
+    pub fn instrs(&self) -> Vec<u64> {
+        self.cores.iter().map(|c| c.instrs()).collect()
+    }
+}
+
+/// Energy integrated over one plan segment.
+#[derive(Clone, Debug)]
+struct Segment {
+    start: Ps,
+    end: Ps,
+    power: SystemPower,
+}
+
+/// One epoch's decision record, for timeline figures.
+#[derive(Clone, Debug)]
+pub struct EpochRecord {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Epoch start time.
+    pub start: Ps,
+    /// Plan selected for the epoch (post-profiling).
+    pub plan: Plan,
+    /// Per-core slack after the epoch's settlement, seconds.
+    pub slack: Vec<f64>,
+    /// The model's predicted SER for the chosen plan.
+    pub predicted_ser: f64,
+}
+
+/// Everything a single run produces.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The policy that ran.
+    pub policy: PolicyKind,
+    /// Workload mix name.
+    pub mix: String,
+    /// Number of epochs executed.
+    pub epochs: usize,
+    /// Per-core completion time of the instruction target.
+    pub completion: Vec<Ps>,
+    /// Time the whole workload completed (slowest application).
+    pub makespan: Ps,
+    /// Energy to workload completion, joules: CPU cores.
+    pub cpu_energy_j: f64,
+    /// Energy: shared L2.
+    pub l2_energy_j: f64,
+    /// Energy: memory subsystem (DRAM + MC + PLL/register).
+    pub mem_energy_j: f64,
+    /// Energy: rest of system.
+    pub rest_energy_j: f64,
+    /// Per-epoch decisions.
+    pub records: Vec<EpochRecord>,
+    /// Workload-level misses per kilo-instruction observed.
+    pub mpki: f64,
+    /// Workload-level writebacks per kilo-instruction observed.
+    pub wpki: f64,
+    /// Prefetch accuracy (0 when prefetching is off).
+    pub prefetch_accuracy: f64,
+    /// Average memory bus utilization over the run.
+    pub bus_utilization: f64,
+    /// Fraction of memory accesses served from an open row (0 under the
+    /// closed-page policy).
+    pub row_hit_rate: f64,
+    /// Average demand-read latency over the run, nanoseconds.
+    pub avg_read_latency_ns: f64,
+    /// Fraction of rank-time spent in a managed idle low-power state.
+    pub mem_sleep_fraction: f64,
+    /// Median demand-read latency, nanoseconds.
+    pub read_lat_p50_ns: f64,
+    /// 95th-percentile demand-read latency, nanoseconds.
+    pub read_lat_p95_ns: f64,
+    /// 99th-percentile demand-read latency, nanoseconds.
+    pub read_lat_p99_ns: f64,
+}
+
+impl RunResult {
+    /// Total energy, joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.cpu_energy_j + self.l2_energy_j + self.mem_energy_j + self.rest_energy_j
+    }
+
+    /// Per-application completion-time degradation versus a baseline run:
+    /// `t/t_base - 1` per core.
+    pub fn degradation_vs(&self, base: &RunResult) -> Vec<f64> {
+        self.completion
+            .iter()
+            .zip(&base.completion)
+            .map(|(t, b)| t.as_secs_f64() / b.as_secs_f64() - 1.0)
+            .collect()
+    }
+
+    /// Full-system energy savings versus a baseline run, as a fraction.
+    pub fn energy_savings_vs(&self, base: &RunResult) -> f64 {
+        1.0 - self.total_energy_j() / base.total_energy_j()
+    }
+
+    /// Writes the per-epoch decision timeline as TSV: epoch, start time,
+    /// memory frequency index, each core's frequency index, predicted SER,
+    /// and the minimum per-core slack.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the writer.
+    pub fn write_timeline<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        write!(w, "epoch	start_us	mem_idx	pred_ser	min_slack_us")?;
+        let n = self.records.first().map_or(0, |r| r.plan.cores.len());
+        for i in 0..n {
+            write!(w, "	core{i}")?;
+        }
+        writeln!(w)?;
+        for rec in &self.records {
+            let min_slack = rec.slack.iter().cloned().fold(f64::INFINITY, f64::min);
+            write!(
+                w,
+                "{}	{:.1}	{}	{:.4}	{:.2}",
+                rec.epoch,
+                rec.start.as_secs_f64() * 1e6,
+                rec.plan.mem,
+                rec.predicted_ser,
+                min_slack * 1e6,
+            )?;
+            for &c in &rec.plan.cores {
+                write!(w, "	{c}")?;
+            }
+            writeln!(w)?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs one complete workload under `policy`.
+pub struct Runner {
+    sys: System,
+    policy: Box<dyn Policy>,
+    slack: Vec<f64>,
+    segments: Vec<Segment>,
+    records: Vec<EpochRecord>,
+    geom: MemGeometry,
+}
+
+impl Runner {
+    /// Creates a runner for `config` under the given policy kind.
+    pub fn new(config: SimConfig, kind: PolicyKind) -> Runner {
+        let geom = MemGeometry::of(&config.mem);
+        Runner {
+            sys: System::new(config),
+            policy: make_policy(kind),
+            slack: Vec::new(),
+            segments: Vec::new(),
+            records: Vec::new(),
+            geom,
+        }
+    }
+
+    /// Replaces the policy object (for ablation variants such as
+    /// no-grouping CoScale or out-of-phase Semi-coordinated).
+    pub fn with_policy(mut self, policy: Box<dyn Policy>) -> Runner {
+        self.policy = policy;
+        self
+    }
+
+    /// Builds an [`EpochProfile`] over `[a, b]`, attributing core busy
+    /// cycles across the frequency segments recorded in `freqs_during`.
+    fn profile_between(&self, a: &Snapshot, b: &Snapshot, plan: &Plan) -> EpochProfile {
+        let deltas: Vec<(usize, CoreCounters)> = (0..a.cores.len())
+            .map(|i| (plan.cores[i], b.cores[i].delta(&a.cores[i])))
+            .collect();
+        let mem_delta = b.mem.delta(&a.mem);
+        let mut p = extract_profile(
+            &deltas,
+            &mem_delta,
+            b.l2_accesses - a.l2_accesses,
+            plan.mem,
+            b.at - a.at,
+        );
+        normalize_profile(&mut p, &deltas, &self.sys.config.core_freqs);
+        p
+    }
+
+    /// Integrates energy for the window `[a, b]` under `plan`.
+    fn add_segment(&mut self, a: &Snapshot, b: &Snapshot, plan: &Plan) {
+        let window = b.at - a.at;
+        if window == Ps::ZERO {
+            return;
+        }
+        let cfg = &self.sys.config;
+        let cores: Vec<(Freq, CoreCounters)> = (0..a.cores.len())
+            .map(|i| {
+                (
+                    cfg.core_freqs[plan.cores[i]],
+                    b.cores[i].delta(&a.cores[i]),
+                )
+            })
+            .collect();
+        let mut power = system_power(
+            &cfg.power,
+            &self.geom,
+            &cores,
+            b.l2_accesses - a.l2_accesses,
+            cfg.mem.freq_grid[plan.mem],
+            &b.mem.delta(&a.mem),
+            window,
+        );
+        if cfg.voltage_domain_cores > 1 {
+            // Under shared voltage domains a slow core pays the fastest
+            // domain member's voltage.
+            let ds = cfg.voltage_domain_cores;
+            for (i, (f, ctr)) in cores.iter().enumerate() {
+                let lo = (i / ds) * ds;
+                let hi = (lo + ds).min(plan.cores.len());
+                let vmax_idx = plan.cores[lo..hi].iter().copied().max().unwrap_or(0);
+                power.cores_w[i] = powermodel::core_power_shared_domain(
+                    &cfg.power,
+                    *f,
+                    cfg.core_freqs[vmax_idx],
+                    ctr,
+                    window,
+                );
+            }
+        }
+        self.segments.push(Segment {
+            start: a.at,
+            end: b.at,
+            power,
+        });
+    }
+
+    /// Runs to completion and produces the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload fails to complete within `max_epochs` (a
+    /// configuration error).
+    pub fn run(mut self) -> RunResult {
+        let cfg = self.sys.config.clone();
+        let n = cfg.cores;
+        self.slack = vec![0.0; n];
+        let mut epoch = 0usize;
+
+        while !self.sys.all_done() {
+            assert!(
+                epoch < cfg.max_epochs,
+                "workload did not complete in {} epochs",
+                cfg.max_epochs
+            );
+            let start_snap = self.sys.snapshot();
+            let epoch_start = start_snap.at;
+            let old_plan = self.sys.plan().clone();
+
+            // --- profiling phase ---
+            self.sys.run_until(epoch_start + cfg.profile_window);
+            let prof_snap = self.sys.snapshot();
+            self.add_segment(&start_snap, &prof_snap, &old_plan);
+
+            // --- decision ---
+            let profile = if self.policy.needs_oracle() {
+                // Perfect lookahead: run a checkpoint to the epoch end at
+                // the current frequencies, profile the whole epoch, rewind.
+                let mut oracle = self.sys.clone();
+                oracle.run_until(epoch_start + cfg.epoch);
+                let end = oracle.snapshot();
+                self.oracle_profile(&start_snap, &end, &old_plan)
+            } else {
+                self.profile_between(&start_snap, &prof_snap, &old_plan)
+            };
+            let model = Model::new(
+                &profile,
+                &cfg.core_freqs,
+                &cfg.mem.freq_grid,
+                &cfg.power,
+                self.geom,
+                &cfg.mem.timings,
+                &self.slack,
+                cfg.epoch,
+                cfg.gamma,
+            )
+            .with_voltage_domains(cfg.voltage_domain_cores);
+            let plan = self.policy.decide(&model, &old_plan);
+            let predicted_ser = model.ser(&plan);
+            drop(model);
+            self.sys.apply_plan(&plan);
+
+            // --- execution phase ---
+            self.sys.run_until(epoch_start + cfg.epoch);
+            let end_snap = self.sys.snapshot();
+            self.add_segment(&prof_snap, &end_snap, &plan);
+
+            // --- slack settlement (paper §3: estimate what performance
+            // would have been at maximum frequencies and bank the
+            // difference) ---
+            let epoch_profile = self.profile_between(&start_snap, &end_snap, &plan);
+            let settle = Model::new(
+                &epoch_profile,
+                &cfg.core_freqs,
+                &cfg.mem.freq_grid,
+                &cfg.power,
+                self.geom,
+                &cfg.mem.timings,
+                &self.slack,
+                cfg.epoch,
+                cfg.gamma,
+            );
+            let epoch_s = cfg.epoch.as_secs_f64();
+            for i in 0..n {
+                let instrs = (end_snap.cores[i].tic - start_snap.cores[i].tic) as f64;
+                let tpi_max = settle.tpi(i, cfg.max_core_idx(), cfg.mem.max_freq_idx());
+                let target = instrs * tpi_max * (1.0 + cfg.gamma);
+                self.slack[i] += target - epoch_s;
+                // Bound the bank so numeric drift cannot hide real debt and
+                // surpluses cannot grow without bound.
+                self.slack[i] = self.slack[i].clamp(-4.0 * epoch_s, 4.0 * epoch_s);
+            }
+
+            self.records.push(EpochRecord {
+                epoch,
+                start: epoch_start,
+                plan: plan.clone(),
+                slack: self.slack.clone(),
+                predicted_ser,
+            });
+            epoch += 1;
+        }
+
+        self.finish(epoch)
+    }
+
+    /// Oracle profile over the full epoch (start snapshot to the lookahead
+    /// end snapshot, all at the pre-decision plan).
+    fn oracle_profile(&self, a: &Snapshot, b: &Snapshot, plan: &Plan) -> EpochProfile {
+        self.profile_between(a, b, plan)
+    }
+
+    fn finish(self, epochs: usize) -> RunResult {
+        let sys = &self.sys;
+        let cfg = sys.config();
+        let completion: Vec<Ps> = sys
+            .completion()
+            .iter()
+            .map(|c| c.expect("all_done checked"))
+            .collect();
+        let makespan = completion.iter().copied().fold(Ps::ZERO, Ps::max);
+
+        // Energy until the makespan: whole segments before it plus a
+        // prorated share of the segment containing it.
+        let mut cpu = 0.0;
+        let mut l2 = 0.0;
+        let mut mem = 0.0;
+        let mut rest = 0.0;
+        for seg in &self.segments {
+            if seg.start >= makespan {
+                break;
+            }
+            let span = seg.end.min(makespan) - seg.start;
+            let secs = span.as_secs_f64();
+            cpu += seg.power.cpu_total() * secs;
+            l2 += seg.power.l2_w * secs;
+            mem += seg.power.mem.total() * secs;
+            rest += seg.power.rest_w * secs;
+        }
+
+        let total_instrs: u64 = sys.instrs().iter().sum();
+        let stats = sys.l2().stats();
+        let kinst = (total_instrs as f64 / 1000.0).max(1.0);
+        let mem_ctr = sys.mem().counters();
+        let mem_accesses = (mem_ctr.row_hits + mem_ctr.page_opens).max(1);
+        RunResult {
+            policy: self.policy.kind(),
+            mix: cfg.mix.name.to_string(),
+            epochs,
+            completion,
+            makespan,
+            cpu_energy_j: cpu,
+            l2_energy_j: l2,
+            mem_energy_j: mem,
+            rest_energy_j: rest,
+            records: self.records,
+            mpki: stats.misses as f64 / kinst,
+            wpki: stats.writebacks as f64 / kinst,
+            prefetch_accuracy: stats.prefetch_accuracy(),
+            bus_utilization: mem_ctr.bus_utilization(makespan, cfg.mem.channels),
+            row_hit_rate: mem_ctr.row_hits as f64 / mem_accesses as f64,
+            avg_read_latency_ns: mem_ctr.avg_read_latency().as_ps() as f64 / 1e3,
+            mem_sleep_fraction: mem_ctr
+                .rank_sleep_fraction(makespan, cfg.mem.total_ranks()),
+            read_lat_p50_ns: sys.mem().read_latency_histogram().percentile(0.50) as f64 / 1e3,
+            read_lat_p95_ns: sys.mem().read_latency_histogram().percentile(0.95) as f64 / 1e3,
+            read_lat_p99_ns: sys.mem().read_latency_histogram().percentile(0.99) as f64 / 1e3,
+        }
+    }
+}
+
+/// Convenience: run `mix` under `policy` with `config`.
+pub fn run_policy(config: SimConfig, kind: PolicyKind) -> RunResult {
+    Runner::new(config, kind).run()
+}

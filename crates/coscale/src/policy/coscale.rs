@@ -1,0 +1,166 @@
+//! CoScale's greedy gradient-descent frequency selection — Figures 2 and 3
+//! of the paper.
+//!
+//! Starting from all-maximum frequencies, the search repeatedly applies the
+//! single down-step with the greatest marginal utility
+//! (Δpower/Δperformance): either one memory-bus step, or one step on a
+//! *group* of cores. Groups are formed greedily over the cores sorted by
+//! ascending performance loss (Figure 3) — considering groups is what stops
+//! the search from always preferring memory first and getting stuck in
+//! local minima. Every visited configuration's System Energy Ratio is
+//! recorded, and the minimum-SER configuration wins.
+
+use crate::{Model, Plan, Policy, PolicyKind, StepUtility};
+
+/// The CoScale controller.
+///
+/// `group_cores` can be disabled for the ablation study (DESIGN.md): without
+/// grouping, the heuristic only ever weighs single-core steps against a
+/// memory step, reproducing the local-minimum pathology §3.1 describes.
+#[derive(Clone, Copy, Debug)]
+pub struct CoScalePolicy {
+    /// Form core groups per Figure 3 (`true` is the paper's algorithm).
+    pub group_cores: bool,
+}
+
+impl Default for CoScalePolicy {
+    fn default() -> Self {
+        CoScalePolicy { group_cores: true }
+    }
+}
+
+/// An entry in the Figure 3 candidate list: a core and the utility of its
+/// next one-step reduction.
+#[derive(Clone, Copy, Debug)]
+struct CoreStep {
+    core: usize,
+    utility: StepUtility,
+}
+
+impl CoScalePolicy {
+    /// Rebuilds the candidate entries for `cores_to_update` under `plan`,
+    /// leaving other entries untouched, then restores ascending Δperf order
+    /// (Figure 3, lines 1–2).
+    fn refresh_list(
+        model: &Model<'_>,
+        plan: &Plan,
+        list: &mut Vec<CoreStep>,
+        cores_to_update: impl Iterator<Item = usize>,
+    ) {
+        for core in cores_to_update {
+            list.retain(|e| e.core != core);
+            if let Some(utility) = model.core_step_utility(core, plan) {
+                list.push(CoreStep { core, utility });
+            }
+        }
+        // Drop entries whose step became infeasible since they were scored
+        // (e.g. a memory move consumed the remaining slack).
+        list.retain(|e| {
+            plan.cores[e.core] > 0 && model.core_ok(e.core, plan.cores[e.core] - 1, plan.mem)
+        });
+        list.sort_by(|a, b| {
+            a.utility
+                .d_perf
+                .partial_cmp(&b.utility.d_perf)
+                .expect("Δperf is never NaN")
+                .then(a.core.cmp(&b.core))
+        });
+    }
+
+    /// Figure 3, lines 3–7: greedy group formation over the sorted list.
+    /// Returns the best group (as list prefix length) and its utility.
+    fn best_group(&self, list: &[CoreStep]) -> Option<(usize, f64)> {
+        if list.is_empty() {
+            return None;
+        }
+        let limit = if self.group_cores { list.len() } else { 1 };
+        let mut d_power_sum = 0.0;
+        let mut best: Option<(usize, f64)> = None;
+        for (k, entry) in list.iter().take(limit).enumerate() {
+            d_power_sum += entry.utility.d_power;
+            // The group's Δperf is the worst (= largest = last, by sort
+            // order) per-core Δperf in the group.
+            let group_utility = StepUtility {
+                d_power: d_power_sum,
+                d_perf: entry.utility.d_perf,
+            }
+            .value();
+            if best.is_none_or(|(_, u)| group_utility > u) {
+                best = Some((k + 1, group_utility));
+            }
+        }
+        best
+    }
+}
+
+impl Policy for CoScalePolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::CoScale
+    }
+
+    fn decide(&mut self, model: &Model<'_>, _current: &Plan) -> Plan {
+        let n = model.n_cores();
+        // Line 1: start with everything at the highest frequency.
+        let mut plan = Plan::max(n, model.core_grid_len(), model.mem_grid_len());
+        let mut best_plan = plan.clone();
+        let mut best_ser = model.ser(&plan);
+
+        let mut list: Vec<CoreStep> = Vec::with_capacity(n);
+        Self::refresh_list(model, &plan, &mut list, 0..n);
+        let mut marginal_mem = model.mem_step_utility(&plan);
+
+        // Line 2: while any component can still scale down within slack.
+        loop {
+            // Re-validate the cached memory step against the current plan
+            // (its utility is only recomputed when memory last moved, per
+            // Figure 2 line 4, but feasibility must hold now).
+            let mem_ok = marginal_mem.is_some()
+                && plan.mem > 0
+                && (0..n).all(|i| model.core_ok(i, plan.cores[i], plan.mem - 1));
+            let group = self.best_group(&list);
+
+            let take_mem = match (mem_ok, group) {
+                (false, None) => break,
+                (true, None) => true,
+                (false, Some(_)) => false,
+                // Lines 9–12: pick the higher marginal utility.
+                (true, Some((_, group_utility))) => {
+                    marginal_mem.expect("checked above").value() > group_utility
+                }
+            };
+
+            if take_mem {
+                plan.mem -= 1;
+                // Figure 2 lines 4–5: memory changed, so recompute its
+                // marginal utility for the next iteration.
+                marginal_mem = model.mem_step_utility(&plan);
+                // Core utilities are *not* recomputed (their frequencies
+                // did not change), but infeasible entries get dropped on
+                // the next refresh; prune them here cheaply.
+                list.retain(|e| {
+                    plan.cores[e.core] > 0
+                        && model.core_ok(e.core, plan.cores[e.core] - 1, plan.mem)
+                });
+            } else {
+                let (k, _) = group.expect("checked above");
+                let members: Vec<usize> = list[..k].iter().map(|e| e.core).collect();
+                for &c in &members {
+                    plan.cores[c] -= 1;
+                }
+                // Figure 2 lines 6–8 / Figure 3 lines 1–2: only the moved
+                // cores are rescored and re-inserted.
+                Self::refresh_list(model, &plan, &mut list, members.into_iter());
+            }
+
+            // Line 20: record the SER of the configuration just reached.
+            let ser = model.ser(&plan);
+            if ser < best_ser {
+                best_ser = ser;
+                best_plan = plan.clone();
+            }
+        }
+
+        // Line 21: the minimum-SER configuration seen wins.
+        best_plan
+    }
+}

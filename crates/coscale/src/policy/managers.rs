@@ -1,0 +1,93 @@
+//! Shared building blocks for the Uncoordinated and Semi-coordinated
+//! policies: a CPU-side manager and a memory-side manager, each of which
+//! optimizes its own component while *assuming the other stays put*.
+
+use crate::{Model, Plan};
+
+/// The CPU power manager: chooses per-core frequencies minimizing SER with
+/// memory fixed at `mem_fixed`, subject to `allowed(i)` (the manager's own
+/// notion of each core's permissible time-per-instruction).
+///
+/// Uses the same epoch-time-cap enumeration as CPUOnly (see `cpuonly.rs`);
+/// the difference is the feasibility bound and the frozen memory index.
+pub(crate) fn cpu_manager_plan(
+    model: &Model<'_>,
+    mem_fixed: usize,
+    allowed: impl Fn(usize) -> f64,
+) -> Vec<usize> {
+    let n = model.n_cores();
+    let cmax = model.core_grid_len() - 1;
+    let ok = |i: usize, fc: usize| model.tpi(i, fc, mem_fixed) <= allowed(i);
+
+    let mut taus: Vec<f64> = vec![1.0];
+    for i in 0..n {
+        for fc in 0..=cmax {
+            if ok(i, fc) {
+                taus.push(model.slowdown(i, fc, mem_fixed));
+            }
+        }
+    }
+    taus.sort_by(|a, b| a.partial_cmp(b).expect("slowdowns are never NaN"));
+    taus.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    for &tau in &taus {
+        let mut cores = Vec::with_capacity(n);
+        let mut feasible = true;
+        for i in 0..n {
+            match (0..=cmax)
+                .find(|&fc| ok(i, fc) && model.slowdown(i, fc, mem_fixed) <= tau + 1e-12)
+            {
+                Some(fc) => cores.push(fc),
+                None => {
+                    feasible = false;
+                    break;
+                }
+            }
+        }
+        if !feasible {
+            continue;
+        }
+        let ser = model.ser(&Plan {
+            cores: cores.clone(),
+            mem: mem_fixed,
+        });
+        if best.as_ref().is_none_or(|(_, s)| ser < *s) {
+            best = Some((cores, ser));
+        }
+    }
+    best.map(|(c, _)| c).unwrap_or_else(|| vec![cmax; n])
+}
+
+/// The memory power manager: walks the bus frequency down with cores frozen
+/// at `cores_fixed`, subject to `allowed(i)`, picking the minimum-SER stop.
+pub(crate) fn mem_manager_plan(
+    model: &Model<'_>,
+    cores_fixed: &[usize],
+    allowed: impl Fn(usize) -> f64,
+) -> usize {
+    let n = model.n_cores();
+    let mmax = model.mem_grid_len() - 1;
+    let mut best_mem = mmax;
+    let mut best_ser = model.ser(&Plan {
+        cores: cores_fixed.to_vec(),
+        mem: mmax,
+    });
+    let mut mem = mmax;
+    while mem > 0 {
+        let next = mem - 1;
+        if !(0..n).all(|i| model.tpi(i, cores_fixed[i], next) <= allowed(i)) {
+            break;
+        }
+        mem = next;
+        let ser = model.ser(&Plan {
+            cores: cores_fixed.to_vec(),
+            mem,
+        });
+        if ser < best_ser {
+            best_ser = ser;
+            best_mem = mem;
+        }
+    }
+    best_mem
+}

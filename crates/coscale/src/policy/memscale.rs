@@ -1,0 +1,39 @@
+//! The MemScale comparison policy: memory-subsystem DVFS only (§3.2).
+
+use crate::{Model, Plan, Policy, PolicyKind};
+
+/// Memory-only DVFS. Cores stay pinned at maximum; the bus frequency walks
+/// down one step at a time while every application stays within its slack,
+/// and the minimum-SER setting visited is chosen.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemScalePolicy;
+
+impl Policy for MemScalePolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::MemScale
+    }
+
+    fn decide(&mut self, model: &Model<'_>, _current: &Plan) -> Plan {
+        let n = model.n_cores();
+        let mut plan = Plan::max(n, model.core_grid_len(), model.mem_grid_len());
+        let mut best = plan.clone();
+        let mut best_ser = model.ser(&plan);
+
+        while plan.mem > 0 {
+            let next = Plan {
+                cores: plan.cores.clone(),
+                mem: plan.mem - 1,
+            };
+            if !model.plan_ok(&next) {
+                break;
+            }
+            plan = next;
+            let ser = model.ser(&plan);
+            if ser < best_ser {
+                best_ser = ser;
+                best = plan.clone();
+            }
+        }
+        best
+    }
+}

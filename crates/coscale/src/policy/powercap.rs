@@ -1,0 +1,85 @@
+//! Power capping — the extension the paper sketches in §2.3: "CoScale can
+//! be readily extended to cap power with appropriate changes to its
+//! decision algorithm and epoch length."
+//!
+//! Instead of minimizing energy under a performance bound, the capping
+//! controller maximizes performance under a full-system power bound: it
+//! starts from all-maximum frequencies and, while the model predicts power
+//! above the cap, applies the down-step losing the *least* performance per
+//! watt shed (the same marginal-utility machinery as CoScale, with the
+//! selection criterion inverted). The slack/γ bound is ignored — under a
+//! cap, staying below the budget is the hard constraint.
+
+use crate::{Model, Plan, Policy, PolicyKind};
+
+/// Performance-maximizing full-system power capping.
+#[derive(Clone, Copy, Debug)]
+pub struct PowerCapPolicy {
+    /// The full-system power budget, watts.
+    pub cap_w: f64,
+}
+
+impl PowerCapPolicy {
+    /// Creates a capping policy with the given budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cap is not positive.
+    pub fn new(cap_w: f64) -> Self {
+        assert!(cap_w > 0.0, "power cap must be positive");
+        PowerCapPolicy { cap_w }
+    }
+}
+
+impl Policy for PowerCapPolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::PowerCap
+    }
+
+    fn decide(&mut self, model: &Model<'_>, _current: &Plan) -> Plan {
+        let n = model.n_cores();
+        let mut plan = Plan::max(n, model.core_grid_len(), model.mem_grid_len());
+
+        while model.power(&plan).total() > self.cap_w {
+            // Candidate single steps: each core one step down, or memory one
+            // step down. Pick the one shedding the most watts per unit of
+            // performance lost. Feasibility here is only grid bounds — the
+            // cap overrides the performance slack.
+            let mut best: Option<(Option<usize>, f64)> = None;
+
+            for i in 0..n {
+                if plan.cores[i] == 0 {
+                    continue;
+                }
+                let mut next = plan.clone();
+                next.cores[i] -= 1;
+                let d_power = model.power(&plan).total() - model.power(&next).total();
+                let d_perf = (model.worst_slowdown(&next) - model.worst_slowdown(&plan))
+                    .max(1e-12);
+                let utility = d_power / d_perf;
+                if d_power > 0.0 && best.as_ref().is_none_or(|&(_, u)| utility > u) {
+                    best = Some((Some(i), utility));
+                }
+            }
+            if plan.mem > 0 {
+                let mut next = plan.clone();
+                next.mem -= 1;
+                let d_power = model.power(&plan).total() - model.power(&next).total();
+                let d_perf = (model.worst_slowdown(&next) - model.worst_slowdown(&plan))
+                    .max(1e-12);
+                let utility = d_power / d_perf;
+                if d_power > 0.0 && best.as_ref().is_none_or(|&(_, u)| utility > u) {
+                    best = Some((None, utility));
+                }
+            }
+
+            match best {
+                Some((Some(i), _)) => plan.cores[i] -= 1,
+                Some((None, _)) => plan.mem -= 1,
+                // Nothing sheds power anymore: everything is at minimum.
+                None => break,
+            }
+        }
+        plan
+    }
+}

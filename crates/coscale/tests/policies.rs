@@ -1,0 +1,271 @@
+//! Integration tests over the full engine: every policy runs a small
+//! workload end to end, and the paper's qualitative claims hold.
+
+use coscale::{run_policy, PolicyKind, Runner, SimConfig};
+use simkernel::Ps;
+use workloads::mix;
+
+fn small(mix_name: &str) -> SimConfig {
+    SimConfig::small(mix(mix_name).unwrap())
+}
+
+fn degradations(policy: PolicyKind, mix_name: &str) -> (f64, f64, f64) {
+    let base = run_policy(small(mix_name), PolicyKind::StaticMax);
+    let run = run_policy(small(mix_name), policy);
+    let degr = run.degradation_vs(&base);
+    let avg = degr.iter().sum::<f64>() / degr.len() as f64;
+    let worst = degr.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    (avg, worst, run.energy_savings_vs(&base))
+}
+
+#[test]
+fn every_policy_completes_every_class() {
+    for m in ["ILP1", "MID1", "MEM1", "MIX2"] {
+        for p in [
+            PolicyKind::StaticMax,
+            PolicyKind::CoScale,
+            PolicyKind::MemScale,
+            PolicyKind::CpuOnly,
+            PolicyKind::Uncoordinated,
+            PolicyKind::SemiCoordinated,
+        ] {
+            let r = run_policy(small(m), p);
+            assert!(r.epochs > 0, "{m}/{p}: no epochs");
+            assert!(
+                r.completion.iter().all(|t| *t > Ps::ZERO),
+                "{m}/{p}: missing completions"
+            );
+            assert!(r.total_energy_j() > 0.0, "{m}/{p}: no energy");
+        }
+    }
+}
+
+#[test]
+fn baseline_stays_at_max_frequencies() {
+    let r = run_policy(small("MID1"), PolicyKind::StaticMax);
+    for rec in &r.records {
+        assert!(rec.plan.cores.iter().all(|&c| c == 9));
+        assert_eq!(rec.plan.mem, 9);
+    }
+}
+
+#[test]
+fn coscale_saves_energy_within_bound() {
+    for m in ["MID1", "MIX2"] {
+        let (avg, worst, savings) = degradations(PolicyKind::CoScale, m);
+        assert!(
+            worst <= 0.115,
+            "{m}: CoScale must respect the 10% bound (+tolerance), got {worst}"
+        );
+        assert!(savings > 0.02, "{m}: CoScale should save energy, got {savings}");
+        assert!(avg <= worst + 1e-12);
+    }
+}
+
+#[test]
+fn semi_coordinated_respects_bound() {
+    let (_, worst, savings) = degradations(PolicyKind::SemiCoordinated, "MID1");
+    assert!(worst <= 0.115, "Semi-coordinated bound violated: {worst}");
+    assert!(savings > 0.0, "Semi-coordinated should still save energy");
+}
+
+#[test]
+fn uncoordinated_violates_bound_on_balanced_mix() {
+    // The paper: Uncoordinated consumes the slack twice and exceeds the
+    // bound (up to 19% on a 10% target). The effect needs the full 16-core
+    // contention to show, so this test runs the paper-scale configuration
+    // with a reduced instruction budget.
+    let mut cfg = SimConfig::for_mix(mix("MID1").unwrap());
+    cfg.target_instrs = 4_000_000;
+    let base = run_policy(cfg.clone(), PolicyKind::StaticMax);
+    let r = run_policy(cfg, PolicyKind::Uncoordinated);
+    let worst = r
+        .degradation_vs(&base)
+        .into_iter()
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        worst > 0.105,
+        "Uncoordinated should overshoot the 10% bound, got {worst}"
+    );
+}
+
+#[test]
+fn component_policies_save_less_than_coscale() {
+    let base = run_policy(small("MID1"), PolicyKind::StaticMax);
+    let co = run_policy(small("MID1"), PolicyKind::CoScale);
+    let ms = run_policy(small("MID1"), PolicyKind::MemScale);
+    let cp = run_policy(small("MID1"), PolicyKind::CpuOnly);
+    let co_s = co.energy_savings_vs(&base);
+    let ms_s = ms.energy_savings_vs(&base);
+    let cp_s = cp.energy_savings_vs(&base);
+    assert!(
+        co_s > ms_s - 1e-9,
+        "CoScale ({co_s}) should beat MemScale ({ms_s})"
+    );
+    assert!(
+        co_s > cp_s - 1e-9,
+        "CoScale ({co_s}) should beat CPUOnly ({cp_s})"
+    );
+}
+
+#[test]
+fn offline_bounds_coscale_from_above_approximately() {
+    let base = run_policy(small("MID2"), PolicyKind::StaticMax);
+    let co = run_policy(small("MID2"), PolicyKind::CoScale);
+    let off = run_policy(small("MID2"), PolicyKind::Offline);
+    let co_s = co.energy_savings_vs(&base);
+    let off_s = off.energy_savings_vs(&base);
+    // Offline is an oracle upper bound for the greedy search; allow a small
+    // tolerance since its oracle profile is still one epoch's measurement.
+    assert!(
+        off_s >= co_s - 0.03,
+        "Offline ({off_s}) should not trail CoScale ({co_s}) by much"
+    );
+    let worst = off
+        .degradation_vs(&base)
+        .into_iter()
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(worst <= 0.115, "Offline must respect the bound too: {worst}");
+}
+
+#[test]
+fn memscale_only_touches_memory_and_cpuonly_only_cores() {
+    let ms = run_policy(small("MID1"), PolicyKind::MemScale);
+    for rec in &ms.records {
+        assert!(rec.plan.cores.iter().all(|&c| c == 9));
+    }
+    let cp = run_policy(small("MID1"), PolicyKind::CpuOnly);
+    for rec in &cp.records {
+        assert_eq!(rec.plan.mem, 9);
+    }
+}
+
+#[test]
+fn memory_bound_mix_prefers_cpu_scaling() {
+    // MEM workloads keep the memory bus busy with 16 cores' traffic, so
+    // CoScale should scale the CPU much more aggressively than memory
+    // (§4.2.1: "greater memory channel traffic reduces the opportunities
+    // for memory subsystem DVFS").
+    let mut cfg = SimConfig::for_mix(mix("MEM1").unwrap());
+    cfg.target_instrs = 4_000_000;
+    let r = run_policy(cfg, PolicyKind::CoScale);
+    let (mut core_steps, mut mem_steps) = (0usize, 0usize);
+    for rec in &r.records {
+        core_steps += rec.plan.cores.iter().map(|&c| 9 - c).sum::<usize>();
+        mem_steps += 9 - rec.plan.mem;
+    }
+    let per_core = core_steps as f64 / 16.0;
+    assert!(
+        per_core > mem_steps as f64,
+        "MEM mix should lean on core scaling: {per_core} per-core steps vs {mem_steps} mem steps"
+    );
+}
+
+#[test]
+fn compute_bound_mix_scales_memory_deep() {
+    let r = run_policy(small("ILP2"), PolicyKind::CoScale);
+    let deepest_mem = r.records.iter().map(|rec| rec.plan.mem).min().unwrap();
+    assert!(
+        deepest_mem <= 3,
+        "ILP mix should scale memory deeply, reached only index {deepest_mem}"
+    );
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = run_policy(small("MIX3"), PolicyKind::CoScale);
+    let b = run_policy(small("MIX3"), PolicyKind::CoScale);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.completion, b.completion);
+    assert!((a.total_energy_j() - b.total_energy_j()).abs() < 1e-12);
+    assert_eq!(a.epochs, b.epochs);
+}
+
+#[test]
+fn tighter_bound_means_less_savings_and_less_degradation() {
+    let mut tight = small("MID1");
+    tight.gamma = 0.01;
+    let mut loose = small("MID1");
+    loose.gamma = 0.20;
+    let base = run_policy(small("MID1"), PolicyKind::StaticMax);
+    let rt = run_policy(tight, PolicyKind::CoScale);
+    let rl = run_policy(loose, PolicyKind::CoScale);
+    let st = rt.energy_savings_vs(&base);
+    let sl = rl.energy_savings_vs(&base);
+    assert!(sl > st, "looser bound should save more: {st} vs {sl}");
+    let wt = rt
+        .degradation_vs(&base)
+        .into_iter()
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(wt <= 0.03, "1% bound must hold tightly, got {wt}");
+}
+
+#[test]
+fn oscillation_of_semi_exceeds_coscale() {
+    // Count frequency-plan changes epoch to epoch as an oscillation proxy.
+    let flips = |r: &coscale::RunResult| {
+        r.records
+            .windows(2)
+            .map(|w| {
+                let a = &w[0].plan;
+                let b = &w[1].plan;
+                let core_moves: usize = a
+                    .cores
+                    .iter()
+                    .zip(&b.cores)
+                    .map(|(x, y)| x.abs_diff(*y))
+                    .sum();
+                core_moves + a.mem.abs_diff(b.mem)
+            })
+            .sum::<usize>() as f64
+            / r.records.len().max(1) as f64
+    };
+    let semi = run_policy(small("MID1"), PolicyKind::SemiCoordinated);
+    let co = run_policy(small("MID1"), PolicyKind::CoScale);
+    assert!(
+        flips(&semi) >= flips(&co),
+        "semi should move at least as much: semi {} vs co {}",
+        flips(&semi),
+        flips(&co)
+    );
+}
+
+#[test]
+fn runner_with_custom_policy_variant() {
+    // The no-grouping CoScale ablation plugs in through with_policy.
+    let r = Runner::new(small("MID3"), PolicyKind::CoScale)
+        .with_policy(Box::new(coscale::CoScalePolicy { group_cores: false }))
+        .run();
+    assert!(r.epochs > 0);
+}
+
+#[test]
+fn power_cap_holds_average_power_near_budget() {
+    let base = run_policy(small("MID2"), PolicyKind::StaticMax);
+    let base_power = base.total_energy_j() / base.makespan.as_secs_f64();
+    let cap = base_power * 0.85;
+    let capped = Runner::new(small("MID2"), PolicyKind::PowerCap)
+        .with_policy(Box::new(coscale::PowerCapPolicy::new(cap)))
+        .run();
+    let avg_power = capped.total_energy_j() / capped.makespan.as_secs_f64();
+    assert!(
+        avg_power <= cap * 1.08,
+        "average power {avg_power:.1} W should track the {cap:.1} W cap"
+    );
+    // Capping costs performance; it must not be faster than the baseline.
+    assert!(capped.makespan >= base.makespan);
+}
+
+#[test]
+fn generous_power_cap_changes_nothing() {
+    let base = run_policy(small("ILP3"), PolicyKind::StaticMax);
+    let capped = Runner::new(small("ILP3"), PolicyKind::PowerCap)
+        .with_policy(Box::new(coscale::PowerCapPolicy::new(10_000.0)))
+        .run();
+    // With an unreachable cap the system stays at max frequencies.
+    for rec in &capped.records {
+        assert!(rec.plan.cores.iter().all(|&c| c == 9));
+        assert_eq!(rec.plan.mem, 9);
+    }
+    assert_eq!(capped.makespan, base.makespan);
+}

@@ -1,0 +1,354 @@
+//! Memory-system geometry, DDR3 timing parameters and the DVFS grid.
+
+use simkernel::{Freq, Ps};
+
+/// DDR3 device timing constraints.
+///
+/// DRAM-core timings (`t_rcd`, `t_rp`, `t_cl`, `t_ras`, `t_rrd`, `t_rtp`,
+/// `t_faw`, `t_wr`, `t_rfc`) are **fixed in absolute time**: when the bus is
+/// frequency-scaled, a real controller reprograms the corresponding cycle
+/// counts so that the analog constraints stay constant, exactly as MemScale
+/// assumes. Only data-burst time (`burst_cycles` bus cycles) scales with bus
+/// frequency. Values follow Table 2 of the paper (converted from cycles at
+/// 800 MHz where the paper lists cycles).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DdrTimings {
+    /// Row-activate to column command (15 ns in the paper).
+    pub t_rcd: Ps,
+    /// Precharge latency (15 ns).
+    pub t_rp: Ps,
+    /// Column-access (CAS) latency (15 ns).
+    pub t_cl: Ps,
+    /// Minimum row-active time; 28 bus cycles at 800 MHz = 35 ns.
+    pub t_ras: Ps,
+    /// Activate-to-activate, same rank; 4 cycles at 800 MHz = 5 ns.
+    pub t_rrd: Ps,
+    /// Read-to-precharge; 5 cycles at 800 MHz = 6.25 ns.
+    pub t_rtp: Ps,
+    /// Four-activate window, per rank; 20 cycles at 800 MHz = 25 ns.
+    pub t_faw: Ps,
+    /// Write recovery before precharge (15 ns, DDR3 typical).
+    pub t_wr: Ps,
+    /// Data burst length in bus clock cycles (BL8 on a DDR bus = 4 cycles).
+    pub burst_cycles: u64,
+    /// Average refresh-command interval per rank (7.8 µs for 64 ms/8192).
+    pub t_refi: Ps,
+    /// Refresh cycle time, rank blocked (110 ns for 1 Gb devices).
+    pub t_rfc: Ps,
+    /// Fixed memory-controller pipeline overhead added to every read's
+    /// completion (command decode, response queueing).
+    pub mc_overhead: Ps,
+}
+
+impl Default for DdrTimings {
+    fn default() -> Self {
+        DdrTimings {
+            t_rcd: Ps::from_ns(15),
+            t_rp: Ps::from_ns(15),
+            t_cl: Ps::from_ns(15),
+            t_ras: Ps::from_ns(35),
+            t_rrd: Ps::from_ns(5),
+            t_rtp: Ps::new(6_250),
+            t_faw: Ps::from_ns(25),
+            t_wr: Ps::from_ns(15),
+            burst_cycles: 4,
+            t_refi: Ps::from_ns(7_800),
+            t_rfc: Ps::from_ns(110),
+            mc_overhead: Ps::from_ns(5),
+        }
+    }
+}
+
+impl DdrTimings {
+    /// Duration of one data burst at bus frequency `bus`.
+    pub fn burst_time(&self, bus: Freq) -> Ps {
+        bus.cycles_to_ps(self.burst_cycles)
+    }
+
+    /// The frequency-independent part of a closed-page read's service time:
+    /// ACT→CAS→data-start plus controller overhead (tRCD + tCL + overhead).
+    pub fn fixed_read_service(&self) -> Ps {
+        self.t_rcd + self.t_cl + self.mc_overhead
+    }
+}
+
+/// Row-buffer management policy.
+///
+/// The paper's controller runs on a closed-page system ("closed-page row
+/// buffer management ... outperforms open-page policies for multi-core
+/// CPUs", §4.1); the open-page mode exists to reproduce exactly that
+/// comparison (see the `ablation-page-policy` experiment).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PagePolicy {
+    /// Precharge immediately after every access.
+    #[default]
+    Closed,
+    /// Leave rows open; precharge on conflict or refresh.
+    Open,
+}
+
+/// Request scheduling policy within a channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// First-come first-served (the paper's configuration).
+    #[default]
+    Fcfs,
+    /// First-ready FCFS: row-buffer hits bypass older conflicting reads.
+    /// Only meaningful with [`PagePolicy::Open`].
+    FrFcfs,
+}
+
+/// Physical address mapping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AddrMap {
+    /// Consecutive lines rotate across channels, then banks (maximum
+    /// parallelism; the mapping closed-page systems prefer).
+    #[default]
+    ChannelInterleaved,
+    /// Consecutive lines fill a row before moving to the next channel
+    /// (maximum row locality; the mapping open-page systems prefer).
+    RowInterleaved,
+}
+
+/// Idle low-power state management — the *alternative* to memory DVFS that
+/// prior work explored ([Fan'03], [Li'07]; §2.2 of the paper argues active
+/// low-power modes beat these for server workloads). When configured, a
+/// rank that stays idle longer than `threshold` drops into the given state
+/// and pays `exit_penalty` on its next access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IdleMemPolicy {
+    /// Idle time before the rank transitions into the low-power state.
+    pub threshold: Ps,
+    /// Which state to enter.
+    pub mode: IdleMode,
+}
+
+/// The idle state a rank drops into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IdleMode {
+    /// Fast-exit precharge powerdown: cheap to leave, moderate savings.
+    Powerdown,
+    /// Self-refresh: deepest savings, but exit requires DLL re-lock.
+    SelfRefresh,
+}
+
+impl IdleMode {
+    /// Exit latency paid by the first access after sleep.
+    pub fn exit_penalty(self) -> Ps {
+        match self {
+            // tXP-class exit for fast-exit powerdown.
+            IdleMode::Powerdown => Ps::from_ns(20),
+            // tXSDLL-class exit (DLL re-lock) for self-refresh.
+            IdleMode::SelfRefresh => Ps::from_ns(640),
+        }
+    }
+}
+
+/// Geometry and policy parameters of the simulated memory subsystem.
+///
+/// Defaults mirror the paper: 4 DDR3 channels, two dual-rank DIMMs per
+/// channel, 8 banks per rank, 64-byte lines, bus frequencies 800 MHz down to
+/// 200 MHz in ~66 MHz steps.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemConfig {
+    /// Number of independent memory channels.
+    pub channels: usize,
+    /// DIMMs on each channel.
+    pub dimms_per_channel: usize,
+    /// Ranks on each DIMM.
+    pub ranks_per_dimm: usize,
+    /// Banks in each rank.
+    pub banks_per_rank: usize,
+    /// Cache-line (memory burst) size in bytes.
+    pub line_bytes: u64,
+    /// Available bus frequencies, ascending. The memory controller runs at
+    /// twice the bus frequency; DIMM clocks lock to the bus frequency.
+    pub freq_grid: Vec<Freq>,
+    /// Device timing constraints.
+    pub timings: DdrTimings,
+    /// Writebacks are serviced ahead of reads once this many are queued on a
+    /// channel (the paper: "until the writeback queue is half-full", cap 64).
+    pub wb_priority_threshold: usize,
+    /// Extra penalty added on top of the 512-cycle DLL resync when changing
+    /// bus frequency (28 ns in the paper: fast-exit precharge powerdown).
+    pub recal_extra: Ps,
+    /// DLL re-lock time in bus cycles (tDLLK ≈ 512).
+    pub recal_cycles: u64,
+    /// Row-buffer management.
+    pub page_policy: PagePolicy,
+    /// Request scheduling.
+    pub sched: SchedPolicy,
+    /// Physical address mapping.
+    pub addr_map: AddrMap,
+    /// Cache lines per DRAM row (8 KiB row / 64 B line = 128).
+    pub lines_per_row: u64,
+    /// Optional idle low-power state management (off in the paper's
+    /// CoScale configuration; used by the idle-states ablation).
+    pub idle_policy: Option<IdleMemPolicy>,
+}
+
+impl MemConfig {
+    /// The paper's default 10-point frequency grid: 800 MHz down to 200 MHz.
+    pub fn default_freq_grid() -> Vec<Freq> {
+        // 200 + k*66 for k = 0..9 gives 200..794; the paper's endpoints are
+        // 200 and 800, so we pin the top step to exactly 800 MHz.
+        let mut grid: Vec<Freq> = (0..9).map(|k| Freq::from_mhz(200 + 66 * k)).collect();
+        grid.push(Freq::from_mhz(800));
+        grid
+    }
+
+    /// A reduced frequency grid with `n` equally spaced points between
+    /// 200 and 800 MHz (used by the Figure 15 sensitivity study).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn freq_grid_with_steps(n: usize) -> Vec<Freq> {
+        assert!(n >= 2, "need at least two frequency steps");
+        (0..n)
+            .map(|k| {
+                let mhz = 200.0 + 600.0 * k as f64 / (n - 1) as f64;
+                Freq::from_mhz(mhz.round() as u64)
+            })
+            .collect()
+    }
+
+    /// Total ranks per channel.
+    pub fn ranks_per_channel(&self) -> usize {
+        self.dimms_per_channel * self.ranks_per_dimm
+    }
+
+    /// Total ranks in the system.
+    pub fn total_ranks(&self) -> usize {
+        self.channels * self.ranks_per_channel()
+    }
+
+    /// Total DIMMs in the system.
+    pub fn total_dimms(&self) -> usize {
+        self.channels * self.dimms_per_channel
+    }
+
+    /// Index of the highest (nominal) frequency in the grid.
+    pub fn max_freq_idx(&self) -> usize {
+        self.freq_grid.len() - 1
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found: empty/unsorted
+    /// frequency grid or zero-sized geometry.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channels == 0 || self.dimms_per_channel == 0 || self.ranks_per_dimm == 0 {
+            return Err("geometry dimensions must be non-zero".into());
+        }
+        if self.banks_per_rank == 0 {
+            return Err("banks_per_rank must be non-zero".into());
+        }
+        if self.freq_grid.is_empty() {
+            return Err("frequency grid is empty".into());
+        }
+        if self.freq_grid.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("frequency grid must be strictly ascending".into());
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err("line_bytes must be a power of two".into());
+        }
+        if self.lines_per_row == 0 {
+            return Err("lines_per_row must be non-zero".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            channels: 4,
+            dimms_per_channel: 2,
+            ranks_per_dimm: 2,
+            banks_per_rank: 8,
+            line_bytes: 64,
+            freq_grid: Self::default_freq_grid(),
+            timings: DdrTimings::default(),
+            wb_priority_threshold: 32,
+            recal_extra: Ps::from_ns(28),
+            recal_cycles: 512,
+            page_policy: PagePolicy::default(),
+            sched: SchedPolicy::default(),
+            addr_map: AddrMap::default(),
+            lines_per_row: 128,
+            idle_policy: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_matches_paper() {
+        let g = MemConfig::default_freq_grid();
+        assert_eq!(g.len(), 10);
+        assert_eq!(g[0], Freq::from_mhz(200));
+        assert_eq!(*g.last().unwrap(), Freq::from_mhz(800));
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn reduced_grids_span_range() {
+        for n in [4, 7, 10] {
+            let g = MemConfig::freq_grid_with_steps(n);
+            assert_eq!(g.len(), n);
+            assert_eq!(g[0], Freq::from_mhz(200));
+            assert_eq!(*g.last().unwrap(), Freq::from_mhz(800));
+        }
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        let c = MemConfig::default();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.total_ranks(), 16);
+        assert_eq!(c.total_dimms(), 8);
+        assert_eq!(c.max_freq_idx(), 9);
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let mut c = MemConfig::default();
+        c.freq_grid = vec![];
+        assert!(c.validate().is_err());
+
+        let mut c = MemConfig::default();
+        c.freq_grid = vec![Freq::from_mhz(800), Freq::from_mhz(200)];
+        assert!(c.validate().is_err());
+
+        let mut c = MemConfig::default();
+        c.line_bytes = 48;
+        assert!(c.validate().is_err());
+
+        let mut c = MemConfig::default();
+        c.channels = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = MemConfig::default();
+        c.banks_per_rank = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn burst_time_scales_with_frequency() {
+        let t = DdrTimings::default();
+        assert_eq!(t.burst_time(Freq::from_mhz(800)), Ps::new(5_000));
+        assert_eq!(t.burst_time(Freq::from_mhz(200)), Ps::new(20_000));
+    }
+
+    #[test]
+    fn fixed_service_excludes_burst() {
+        let t = DdrTimings::default();
+        assert_eq!(t.fixed_read_service(), Ps::from_ns(35));
+    }
+}

@@ -1,0 +1,48 @@
+//! Event-driven DDR3 memory-subsystem simulator for the CoScale
+//! reproduction.
+//!
+//! The paper evaluates CoScale on a detailed in-house LLC/memory simulator;
+//! no equivalent exists as reusable Rust open source, so this crate rebuilds
+//! the pieces its results depend on:
+//!
+//! * **Geometry** — 4 channels × 2 dual-rank DIMMs × 8 banks (Table 2),
+//!   cache-line channel interleaving then bank interleaving ([`map_line`]).
+//! * **Timing** — closed-page accesses obeying tRCD/tCL/tRP/tRAS/tRRD/tRTP/
+//!   tFAW/tWR, shared-data-bus serialization, periodic refresh
+//!   ([`DdrTimings`]).
+//! * **Scheduling** — FCFS per channel with reads prioritized over
+//!   writebacks until the writeback queue is half full (§4.1).
+//! * **DVFS** — bus/DIMM frequency scaling over the paper's 200–800 MHz
+//!   grid with the 512-cycle + 28 ns recalibration stall
+//!   ([`MemorySystem::set_frequency`]).
+//! * **Counters** — the MemScale queueing/service/page-event counters the
+//!   CoScale models consume ([`MemCounters`]).
+//!
+//! The simulator is deterministic and `Clone`; the `Offline` oracle policy
+//! in the `coscale` crate relies on checkpoint/rewind of the whole system.
+//!
+//! # Example
+//!
+//! ```
+//! use memsim::{MemConfig, MemorySystem, Outcome, LineAddr};
+//! use simkernel::Ps;
+//!
+//! let mut mem = MemorySystem::new(MemConfig::default());
+//! let mut out = Outcome::default();
+//! mem.enqueue_read(Ps::ZERO, LineAddr(0), 1, &mut out);
+//! assert_eq!(mem.outstanding_reads(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod channel;
+mod config;
+mod counters;
+mod system;
+
+pub use addr::{map_line, LineAddr, Location};
+pub use config::{AddrMap, DdrTimings, IdleMemPolicy, IdleMode, MemConfig, PagePolicy, SchedPolicy};
+pub use counters::MemCounters;
+pub use system::{Completion, MemEvent, MemorySystem, Outcome};

@@ -1,0 +1,225 @@
+//! Property-based tests for the DDR3 memory simulator: timing legality,
+//! conservation of requests, and frequency-scaling monotonicity.
+
+use proptest::prelude::*;
+use memsim::{
+    AddrMap, Completion, IdleMemPolicy, IdleMode, LineAddr, MemConfig, MemEvent, MemorySystem,
+    Outcome, PagePolicy, SchedPolicy,
+};
+use simkernel::{EventQueue, Ps};
+
+/// All interesting memory-configuration variants, by index.
+fn config_variant(v: u8) -> MemConfig {
+    let mut c = MemConfig::default();
+    match v % 5 {
+        0 => {}
+        1 => {
+            c.page_policy = PagePolicy::Open;
+        }
+        2 => {
+            c.page_policy = PagePolicy::Open;
+            c.addr_map = AddrMap::RowInterleaved;
+        }
+        3 => {
+            c.page_policy = PagePolicy::Open;
+            c.addr_map = AddrMap::RowInterleaved;
+            c.sched = SchedPolicy::FrFcfs;
+        }
+        _ => {
+            c.idle_policy = Some(IdleMemPolicy {
+                threshold: Ps::from_us(1),
+                mode: IdleMode::SelfRefresh,
+            });
+        }
+    }
+    c
+}
+
+/// Drives the memory system until every queued request has been serviced.
+fn drain(mem: &mut MemorySystem, seed_out: Outcome) -> Vec<Completion> {
+    let mut q = EventQueue::new();
+    let mut done = Vec::new();
+    done.extend(seed_out.completions.iter().copied());
+    for (t, e) in seed_out.wakeups {
+        q.push(t, e);
+    }
+    let mut out = Outcome::default();
+    let mut steps = 0usize;
+    while let Some((t, e)) = q.pop() {
+        if matches!(e, MemEvent::Refresh { .. })
+            && mem.queued_requests() == 0
+            && mem.outstanding_reads() == 0
+        {
+            continue;
+        }
+        out.clear();
+        mem.handle(t, e, &mut out);
+        done.extend(out.completions.iter().copied());
+        for &(wt, we) in &out.wakeups {
+            q.push(wt, we);
+        }
+        steps += 1;
+        assert!(steps < 2_000_000, "runaway event loop");
+    }
+    done
+}
+
+/// A randomized request pattern: (line, gap_ns, is_write).
+fn pattern() -> impl Strategy<Value = Vec<(u64, u64, bool)>> {
+    prop::collection::vec((0u64..4096, 0u64..200, any::<bool>()), 1..150)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every read completes exactly once, no matter the pattern, under
+    /// every page-policy/scheduler/address-map/idle-state variant.
+    #[test]
+    fn reads_complete_exactly_once(pat in pattern(), variant in 0u8..5) {
+        let mut mem = MemorySystem::new(config_variant(variant));
+        let mut out = Outcome::default();
+        let mut now = Ps::ZERO;
+        let mut expected = Vec::new();
+        for (i, &(line, gap, is_write)) in pat.iter().enumerate() {
+            now += Ps::from_ns(gap);
+            if is_write {
+                mem.enqueue_writeback(now, LineAddr(line), &mut out);
+            } else {
+                mem.enqueue_read(now, LineAddr(line), i as u64, &mut out);
+                expected.push(i as u64);
+            }
+        }
+        let done = drain(&mut mem, out);
+        let mut tags: Vec<u64> = done.iter().map(|c| c.tag).collect();
+        tags.sort_unstable();
+        prop_assert_eq!(tags, expected);
+        prop_assert_eq!(mem.outstanding_reads(), 0);
+    }
+
+    /// Completion time is never before the unloaded service latency after
+    /// arrival, and counters decompose latency exactly. Under open page the
+    /// unloaded floor is the row-hit service (tCL + burst + overhead).
+    #[test]
+    fn latency_lower_bound_and_decomposition(pat in pattern(), variant in 0u8..4) {
+        let cfg = config_variant(variant);
+        let open = cfg.page_policy == PagePolicy::Open;
+        let mut mem = MemorySystem::new(cfg);
+        let mut out = Outcome::default();
+        let mut now = Ps::ZERO;
+        let mut arrivals = std::collections::HashMap::new();
+        for (i, &(line, gap, _)) in pat.iter().enumerate() {
+            now += Ps::from_ns(gap);
+            mem.enqueue_read(now, LineAddr(line), i as u64, &mut out);
+            arrivals.insert(i as u64, now);
+        }
+        let t = &mem.config().timings;
+        let unloaded = if open {
+            t.t_cl + t.burst_time(mem.bus_freq()) + t.mc_overhead
+        } else {
+            t.fixed_read_service() + t.burst_time(mem.bus_freq())
+        };
+        let done = drain(&mut mem, out);
+        for c in &done {
+            prop_assert!(c.finish >= arrivals[&c.tag] + unloaded,
+                "finish {:?} too early for arrival {:?}", c.finish, arrivals[&c.tag]);
+        }
+        // Counter identity: latency = bank wait + bus wait + service.
+        let ctr = mem.counters();
+        let lhs = ctr.read_latency_sum.as_ps();
+        let rhs = (ctr.bank_wait_sum + ctr.bus_wait_sum + ctr.bank_service_sum).as_ps();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Open page: row hits + conflicts never exceed reads + writes, and
+    /// every access is page-accounted (opens = closes + still-open rows).
+    #[test]
+    fn open_page_accounting(pat in pattern()) {
+        let mut mem = MemorySystem::new(config_variant(2));
+        let mut out = Outcome::default();
+        let mut now = Ps::ZERO;
+        for (i, &(line, gap, is_write)) in pat.iter().enumerate() {
+            now += Ps::from_ns(gap);
+            if is_write {
+                mem.enqueue_writeback(now, LineAddr(line), &mut out);
+            } else {
+                mem.enqueue_read(now, LineAddr(line), i as u64, &mut out);
+            }
+        }
+        let _ = drain(&mut mem, out);
+        let ctr = mem.counters();
+        let accesses = ctr.reads + ctr.writes;
+        prop_assert!(ctr.row_hits + ctr.row_conflicts <= accesses);
+        prop_assert!(ctr.page_closes <= ctr.page_opens);
+        prop_assert!(ctr.page_opens <= accesses);
+    }
+
+    /// Data bursts never overlap on a channel's bus: total bus busy time of
+    /// a channel can never exceed the span of the run.
+    #[test]
+    fn bus_occupancy_fits_in_wallclock(pat in pattern(), fidx in 0usize..10) {
+        let mut mem = MemorySystem::new(MemConfig::default());
+        let mut out = Outcome::default();
+        mem.set_frequency(Ps::ZERO, fidx, &mut out);
+        let mut now = Ps::from_us(1);
+        for (i, &(line, gap, _)) in pat.iter().enumerate() {
+            now += Ps::from_ns(gap);
+            mem.enqueue_read(now, LineAddr(line), i as u64, &mut out);
+        }
+        let done = drain(&mut mem, out);
+        let end = done.iter().map(|c| c.finish).max().unwrap();
+        let channels = mem.config().channels as u64;
+        prop_assert!(mem.counters().bus_busy <= end * channels);
+    }
+
+    /// Lowering the bus frequency never reduces any individual completion
+    /// time for an identical request pattern (monotonicity the DVFS policy
+    /// depends on).
+    #[test]
+    fn slower_bus_is_never_faster(pat in pattern()) {
+        let run = |fidx: usize| {
+            let mut mem = MemorySystem::new(MemConfig::default());
+            let mut out = Outcome::default();
+            mem.set_frequency(Ps::ZERO, fidx, &mut out);
+            out.clear(); // discard the recalibration wakeups of the initial set
+            let mut now = Ps::from_us(1);
+            for (i, &(line, gap, _)) in pat.iter().enumerate() {
+                now += Ps::from_ns(gap);
+                mem.enqueue_read(now, LineAddr(line), i as u64, &mut out);
+            }
+            let mut done = drain(&mut mem, out);
+            done.sort_by_key(|c| c.tag);
+            done
+        };
+        let slow = run(0);
+        let fast = run(9);
+        for (s, f) in slow.iter().zip(fast.iter()) {
+            prop_assert!(s.finish >= f.finish,
+                "tag {} finished earlier at 200MHz ({:?}) than 800MHz ({:?})",
+                s.tag, s.finish, f.finish);
+        }
+    }
+
+    /// Counters are monotone non-decreasing over time, under every variant.
+    #[test]
+    fn counters_are_monotone(pat in pattern(), variant in 0u8..5) {
+        let mut mem = MemorySystem::new(config_variant(variant));
+        let mut out = Outcome::default();
+        let mut prev = *mem.counters();
+        let mut now = Ps::ZERO;
+        for (i, &(line, gap, is_write)) in pat.iter().enumerate() {
+            now += Ps::from_ns(gap);
+            if is_write {
+                mem.enqueue_writeback(now, LineAddr(line), &mut out);
+            } else {
+                mem.enqueue_read(now, LineAddr(line), i as u64, &mut out);
+            }
+            let c = *mem.counters();
+            // delta() debug-asserts on underflow; reaching here means monotone.
+            let d = c.delta(&prev);
+            prop_assert!(d.reads <= c.reads);
+            prev = c;
+        }
+        let _ = drain(&mut mem, out);
+        let _ = mem.counters().delta(&prev);
+    }
+}

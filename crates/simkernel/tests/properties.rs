@@ -1,0 +1,116 @@
+//! Property-based tests for the simulation kernel.
+
+use proptest::prelude::*;
+use simkernel::{stats::TimeWeighted, EventQueue, Freq, Ps, SimRng};
+
+proptest! {
+    /// Events always pop in non-decreasing time order, with FIFO ties.
+    #[test]
+    fn event_queue_is_sorted_and_stable(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Ps::new(t), i);
+        }
+        let mut last: Option<(Ps, usize)> = None;
+        while let Some((t, id)) = q.pop() {
+            if let Some((lt, lid)) = last {
+                prop_assert!(t > lt || (t == lt && id > lid),
+                    "order violated: {lt:?}/{lid} then {t:?}/{id}");
+            }
+            last = Some((t, id));
+        }
+    }
+
+    /// Popping returns exactly the set of pushed payloads.
+    #[test]
+    fn event_queue_conserves_events(times in prop::collection::vec(0u64..10_000, 0..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Ps::new(t), i);
+        }
+        let mut seen = vec![false; times.len()];
+        while let Some((_, id)) = q.pop() {
+            prop_assert!(!seen[id]);
+            seen[id] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// The rounded period is within half a picosecond of the exact period
+    /// for every frequency in the simulated range (100 MHz .. 5 GHz).
+    #[test]
+    fn freq_period_rounding_is_tight(hz in 100_000_000u64..5_000_000_000) {
+        let f = Freq::from_hz(hz);
+        let exact = 1e12 / hz as f64;
+        let got = f.period().as_ps() as f64;
+        prop_assert!((got - exact).abs() <= 0.5 + 1e-9, "got {got}, exact {exact}");
+    }
+
+    /// cycles() is the floor inverse of cycles_to_ps().
+    #[test]
+    fn freq_cycle_roundtrip(mhz in 100u64..4_000, n in 0u64..100_000) {
+        let f = Freq::from_mhz(mhz);
+        let span = f.cycles_to_ps(n);
+        prop_assert_eq!(f.cycles(span), n);
+        if n > 0 {
+            prop_assert_eq!(f.cycles(span - Ps::new(1)), n - 1);
+        }
+    }
+
+    /// The PRNG's uniform sampler stays in range for arbitrary bounds.
+    #[test]
+    fn rng_below_in_range(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut r = SimRng::new(seed);
+        for _ in 0..32 {
+            prop_assert!(r.below(bound) < bound);
+        }
+    }
+
+    /// Cloned generators replay the identical stream (checkpointability).
+    #[test]
+    fn rng_clone_replays(seed in any::<u64>(), skip in 0usize..64) {
+        let mut r = SimRng::new(seed);
+        for _ in 0..skip { r.next_u64(); }
+        let mut c = r.clone();
+        for _ in 0..32 {
+            prop_assert_eq!(r.next_u64(), c.next_u64());
+        }
+    }
+
+    /// Time-weighted average of a constant signal is that constant.
+    #[test]
+    fn time_weighted_constant(level in 0.0f64..1e6, end_ns in 1u64..1_000_000) {
+        let mut t = TimeWeighted::new();
+        t.set(Ps::ZERO, level);
+        let avg = t.average(Ps::from_ns(end_ns));
+        prop_assert!((avg - level).abs() <= level * 1e-12 + 1e-12);
+    }
+
+    /// The time-weighted average always lies between the signal's min and max.
+    #[test]
+    fn time_weighted_bounded(levels in prop::collection::vec(0.0f64..100.0, 1..50)) {
+        let mut t = TimeWeighted::new();
+        for (i, &l) in levels.iter().enumerate() {
+            t.set(Ps::from_ns(i as u64 * 10), l);
+        }
+        let end = Ps::from_ns(levels.len() as u64 * 10);
+        let avg = t.average(end);
+        let lo = levels.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = levels.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9, "avg {avg} not in [{lo},{hi}]");
+    }
+
+    /// Ps::scale_f64 by a ratio a/b then b/a returns close to the original.
+    #[test]
+    fn ps_scale_roundtrip(ps in 1_000u64..1_000_000_000, num in 1u64..100, den in 1u64..100) {
+        let t = Ps::new(ps);
+        let f = num as f64 / den as f64;
+        let back = t.scale_f64(f).scale_f64(1.0 / f);
+        let err = back.as_ps().abs_diff(t.as_ps());
+        // The first rounding is off by at most 0.5 ps, which the inverse
+        // scale amplifies by up to den/num; allow one extra for the second
+        // rounding.
+        let bound = 1 + (0.5 * den as f64 / num as f64).ceil() as u64;
+        prop_assert!(err <= bound, "err {err} > bound {bound}");
+    }
+}

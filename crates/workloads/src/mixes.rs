@@ -1,0 +1,153 @@
+//! The 16 multiprogrammed workload mixes of Table 1.
+
+use crate::{app, AppProfile};
+
+/// Workload class, used to group results exactly as the paper's figures do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MixClass {
+    /// Memory-intensive.
+    Mem,
+    /// Compute/memory balanced.
+    Mid,
+    /// Compute-intensive.
+    Ilp,
+    /// One or two applications from each other class.
+    Mix,
+}
+
+impl std::fmt::Display for MixClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MixClass::Mem => write!(f, "MEM"),
+            MixClass::Mid => write!(f, "MID"),
+            MixClass::Ilp => write!(f, "ILP"),
+            MixClass::Mix => write!(f, "MIX"),
+        }
+    }
+}
+
+/// A named 4-application mix; four copies of each application run, one per
+/// core on the 16-core CMP (Table 1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mix {
+    /// Mix name as in Table 1, e.g. `"MIX2"`.
+    pub name: &'static str,
+    /// Class the mix belongs to.
+    pub class: MixClass,
+    /// The four distinct applications.
+    pub apps: [&'static str; 4],
+}
+
+impl Mix {
+    /// The application run by core `core` (0-based). Applications are
+    /// striped across cores (core i runs `apps[i % 4]`), so a 16-core
+    /// system runs four copies of each — the paper's "x4 each" — while
+    /// reduced test configurations still sample the whole mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core >= 16`.
+    pub fn app_for_core(&self, core: usize) -> AppProfile {
+        assert!(core < 16, "mixes are defined for up to 16 cores");
+        app(self.apps[core % 4])
+    }
+
+    /// Name of the application on `core`.
+    pub fn app_name_for_core(&self, core: usize) -> &'static str {
+        assert!(core < 16, "mixes are defined for up to 16 cores");
+        self.apps[core % 4]
+    }
+
+    /// Cores running the named application (empty if not in this mix).
+    pub fn cores_of(&self, name: &str) -> Vec<usize> {
+        (0..16)
+            .filter(|&c| self.app_name_for_core(c) == name)
+            .collect()
+    }
+}
+
+/// All 16 workload mixes from Table 1 of the paper, in table order.
+pub fn all_mixes() -> Vec<Mix> {
+    use MixClass::{Ilp, Mem, Mid, Mix as MixC};
+    vec![
+        Mix { name: "ILP1", class: Ilp, apps: ["vortex", "gcc", "sixtrack", "mesa"] },
+        Mix { name: "ILP2", class: Ilp, apps: ["perlbmk", "crafty", "gzip", "eon"] },
+        Mix { name: "ILP3", class: Ilp, apps: ["sixtrack", "mesa", "perlbmk", "crafty"] },
+        Mix { name: "ILP4", class: Ilp, apps: ["vortex", "mesa", "perlbmk", "crafty"] },
+        Mix { name: "MID1", class: Mid, apps: ["ammp", "gap", "wupwise", "vpr"] },
+        Mix { name: "MID2", class: Mid, apps: ["astar", "parser", "twolf", "facerec"] },
+        Mix { name: "MID3", class: Mid, apps: ["apsi", "bzip2", "ammp", "gap"] },
+        Mix { name: "MID4", class: Mid, apps: ["wupwise", "vpr", "astar", "parser"] },
+        Mix { name: "MEM1", class: Mem, apps: ["swim", "applu", "galgel", "equake"] },
+        Mix { name: "MEM2", class: Mem, apps: ["art", "milc", "mgrid", "fma3d"] },
+        Mix { name: "MEM3", class: Mem, apps: ["fma3d", "mgrid", "galgel", "equake"] },
+        Mix { name: "MEM4", class: Mem, apps: ["swim", "applu", "sphinx3", "lucas"] },
+        Mix { name: "MIX1", class: MixC, apps: ["applu", "hmmer", "gap", "gzip"] },
+        Mix { name: "MIX2", class: MixC, apps: ["milc", "gobmk", "facerec", "perlbmk"] },
+        Mix { name: "MIX3", class: MixC, apps: ["equake", "ammp", "sjeng", "crafty"] },
+        Mix { name: "MIX4", class: MixC, apps: ["swim", "ammp", "twolf", "sixtrack"] },
+    ]
+}
+
+/// Looks up a mix by name (case-insensitive).
+pub fn mix(name: &str) -> Option<Mix> {
+    all_mixes()
+        .into_iter()
+        .find(|m| m.name.eq_ignore_ascii_case(name))
+}
+
+/// All mixes belonging to `class`, in table order.
+pub fn mixes_in_class(class: MixClass) -> Vec<Mix> {
+    all_mixes().into_iter().filter(|m| m.class == class).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_mixes_four_per_class() {
+        let ms = all_mixes();
+        assert_eq!(ms.len(), 16);
+        for class in [MixClass::Ilp, MixClass::Mid, MixClass::Mem, MixClass::Mix] {
+            assert_eq!(mixes_in_class(class).len(), 4, "{class}");
+        }
+    }
+
+    #[test]
+    fn every_mix_app_resolves() {
+        for m in all_mixes() {
+            for core in 0..16 {
+                let a = m.app_for_core(core);
+                assert!(a.validate().is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn four_copies_per_app() {
+        let m = mix("MIX2").unwrap();
+        assert_eq!(m.cores_of("milc"), vec![0, 4, 8, 12]);
+        assert_eq!(m.cores_of("perlbmk"), vec![3, 7, 11, 15]);
+        assert!(m.cores_of("swim").is_empty());
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert_eq!(mix("mem3").unwrap().name, "MEM3");
+        assert!(mix("MEM9").is_none());
+    }
+
+    #[test]
+    fn table1_composition_spot_checks() {
+        assert_eq!(mix("MEM1").unwrap().apps, ["swim", "applu", "galgel", "equake"]);
+        assert_eq!(mix("MIX4").unwrap().apps, ["swim", "ammp", "twolf", "sixtrack"]);
+        assert_eq!(mix("ILP2").unwrap().apps, ["perlbmk", "crafty", "gzip", "eon"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "16 cores")]
+    fn out_of_range_core_panics() {
+        let _ = mix("MEM1").unwrap().app_for_core(16);
+    }
+}

@@ -1,0 +1,244 @@
+//! Application behavior profiles.
+//!
+//! The paper drives its simulator with SPEC CPU2000/2006 SimPoint traces. We
+//! do not have those traces, so each application is described by a compact
+//! behavioral profile — enough to generate an instruction/memory-reference
+//! stream that exercises the same control problem: compute intensity, L2
+//! pressure, memory-bandwidth demand, writeback traffic, prefetchability,
+//! and *phase changes* over time.
+
+/// Fractions of committed instructions by functional class; inputs to the
+/// Core Activity Counters (CACs) that drive the core power model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InstrMix {
+    /// Integer ALU operations.
+    pub alu: f64,
+    /// Floating-point operations.
+    pub fpu: f64,
+    /// Branches.
+    pub branch: f64,
+    /// Loads and stores.
+    pub loadstore: f64,
+}
+
+impl InstrMix {
+    /// Typical integer-code mix.
+    pub const INT: InstrMix = InstrMix {
+        alu: 0.45,
+        fpu: 0.02,
+        branch: 0.18,
+        loadstore: 0.35,
+    };
+
+    /// Typical floating-point-code mix.
+    pub const FP: InstrMix = InstrMix {
+        alu: 0.28,
+        fpu: 0.32,
+        branch: 0.08,
+        loadstore: 0.32,
+    };
+
+    /// Checks the mix sums to 1 within tolerance.
+    pub fn is_normalized(&self) -> bool {
+        ((self.alu + self.fpu + self.branch + self.loadstore) - 1.0).abs() < 1e-6
+    }
+}
+
+/// Behavior of an application during one execution phase.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhaseProfile {
+    /// Fraction of the application's phase cycle spent in this phase.
+    pub weight: f64,
+    /// L2 accesses (= L1 misses) per kilo-instruction.
+    pub l2_apki: f64,
+    /// Fraction of L2 accesses that go to the cold (L2-missing) footprint.
+    /// `l2_apki * miss_frac` is the phase's target LLC MPKI.
+    pub miss_frac: f64,
+    /// Fraction of cold accesses that walk sequential lines (prefetchable
+    /// streaming) rather than random lines.
+    pub streaming_frac: f64,
+    /// Fraction of accesses that are stores (drives dirty lines and
+    /// ultimately WPKI).
+    pub store_frac: f64,
+}
+
+impl PhaseProfile {
+    /// A uniform single phase with the given traffic parameters.
+    pub fn uniform(l2_apki: f64, miss_frac: f64, streaming_frac: f64, store_frac: f64) -> Self {
+        PhaseProfile {
+            weight: 1.0,
+            l2_apki,
+            miss_frac,
+            streaming_frac,
+            store_frac,
+        }
+    }
+
+    /// The phase's target LLC misses per kilo-instruction.
+    pub fn target_mpki(&self) -> f64 {
+        self.l2_apki * self.miss_frac
+    }
+
+    /// Checks all fractions are within `[0, 1]` and rates are sane.
+    pub fn validate(&self) -> Result<(), String> {
+        let frac_ok = |v: f64| (0.0..=1.0).contains(&v);
+        if !(self.weight > 0.0 && self.weight <= 1.0) {
+            return Err(format!("phase weight {} out of (0,1]", self.weight));
+        }
+        if !(self.l2_apki > 0.0 && self.l2_apki <= 1000.0) {
+            return Err(format!("l2_apki {} out of (0,1000]", self.l2_apki));
+        }
+        if !frac_ok(self.miss_frac) || !frac_ok(self.streaming_frac) || !frac_ok(self.store_frac) {
+            return Err("phase fractions must be in [0,1]".into());
+        }
+        Ok(())
+    }
+}
+
+/// A complete application profile.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AppProfile {
+    /// SPEC benchmark name this profile imitates.
+    pub name: &'static str,
+    /// Core cycles per instruction excluding all L1-miss stalls (single-issue
+    /// in-order, so at least 1.0).
+    pub cpi_base: f64,
+    /// Instruction mix for power accounting.
+    pub mix: InstrMix,
+    /// Execution phases, visited cyclically weighted by `weight`.
+    pub phases: Vec<PhaseProfile>,
+    /// Instructions in one full cycle through all phases.
+    pub phase_cycle_instrs: u64,
+}
+
+impl AppProfile {
+    /// A single-phase profile.
+    pub fn simple(
+        name: &'static str,
+        cpi_base: f64,
+        mix: InstrMix,
+        phase: PhaseProfile,
+    ) -> Self {
+        AppProfile {
+            name,
+            cpi_base,
+            mix,
+            phases: vec![phase],
+            phase_cycle_instrs: 20_000_000,
+        }
+    }
+
+    /// Weighted-average target MPKI across phases.
+    pub fn target_mpki(&self) -> f64 {
+        let wsum: f64 = self.phases.iter().map(|p| p.weight).sum();
+        self.phases
+            .iter()
+            .map(|p| p.weight * p.target_mpki())
+            .sum::<f64>()
+            / wsum
+    }
+
+    /// Validates the profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency: bad CPI, unbalanced
+    /// mix, no phases, or an invalid phase.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cpi_base < 1.0 || self.cpi_base > 10.0 {
+            return Err(format!("{}: cpi_base {} out of [1,10]", self.name, self.cpi_base));
+        }
+        if !self.mix.is_normalized() {
+            return Err(format!("{}: instruction mix does not sum to 1", self.name));
+        }
+        if self.phases.is_empty() {
+            return Err(format!("{}: no phases", self.name));
+        }
+        let wsum: f64 = self.phases.iter().map(|p| p.weight).sum();
+        if (wsum - 1.0).abs() > 1e-6 {
+            return Err(format!("{}: phase weights sum to {wsum}, not 1", self.name));
+        }
+        if self.phase_cycle_instrs == 0 {
+            return Err(format!("{}: phase_cycle_instrs is zero", self.name));
+        }
+        for p in &self.phases {
+            p.validate().map_err(|e| format!("{}: {e}", self.name))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_mixes_are_normalized() {
+        assert!(InstrMix::INT.is_normalized());
+        assert!(InstrMix::FP.is_normalized());
+    }
+
+    #[test]
+    fn phase_mpki() {
+        let p = PhaseProfile::uniform(20.0, 0.5, 0.3, 0.3);
+        assert!((p.target_mpki() - 10.0).abs() < 1e-12);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn phase_validation_rejects_bad_fractions() {
+        let mut p = PhaseProfile::uniform(20.0, 0.5, 0.3, 0.3);
+        p.miss_frac = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = PhaseProfile::uniform(20.0, 0.5, 0.3, 0.3);
+        p.l2_apki = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = PhaseProfile::uniform(20.0, 0.5, 0.3, 0.3);
+        p.weight = 0.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn app_mpki_weights_phases() {
+        let app = AppProfile {
+            name: "test",
+            cpi_base: 1.0,
+            mix: InstrMix::INT,
+            phases: vec![
+                PhaseProfile {
+                    weight: 0.5,
+                    l2_apki: 10.0,
+                    miss_frac: 0.2,
+                    streaming_frac: 0.0,
+                    store_frac: 0.3,
+                },
+                PhaseProfile {
+                    weight: 0.5,
+                    l2_apki: 30.0,
+                    miss_frac: 0.4,
+                    streaming_frac: 0.0,
+                    store_frac: 0.3,
+                },
+            ],
+            phase_cycle_instrs: 1_000_000,
+        };
+        assert!(app.validate().is_ok());
+        // 0.5*2 + 0.5*12 = 7.
+        assert!((app.target_mpki() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn app_validation_catches_weight_sum() {
+        let mut app = AppProfile::simple(
+            "t",
+            1.0,
+            InstrMix::INT,
+            PhaseProfile::uniform(10.0, 0.1, 0.5, 0.3),
+        );
+        app.phases[0].weight = 0.5;
+        assert!(app.validate().is_err());
+        app.phases[0].weight = 1.0;
+        app.cpi_base = 0.5;
+        assert!(app.validate().is_err());
+    }
+}

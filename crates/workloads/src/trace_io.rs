@@ -1,0 +1,213 @@
+//! Trace capture and replay.
+//!
+//! The paper's methodology is two-step: collect memory-reference traces,
+//! then replay them through the detailed LLC/memory simulator. This module
+//! provides the same workflow for downstream users: any [`TraceOp`] stream
+//! (synthetic or converted from a real collector) can be serialized to a
+//! simple line-oriented text format and replayed later through
+//! [`crate::TraceGen::replay`].
+//!
+//! # Format
+//!
+//! ```text
+//! #coscale-trace v1
+//! <gap> <line-hex> <R|W>
+//! ...
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use workloads::{read_trace, write_trace, TraceOp};
+//! use memsim::LineAddr;
+//!
+//! let ops = vec![
+//!     TraceOp { gap: 12, line: LineAddr(0xabc), is_store: false },
+//!     TraceOp { gap: 0, line: LineAddr(0xdef), is_store: true },
+//! ];
+//! let mut buf = Vec::new();
+//! write_trace(&mut buf, ops.iter().copied()).unwrap();
+//! let back: Vec<TraceOp> = read_trace(&buf[..]).unwrap();
+//! assert_eq!(back, ops);
+//! ```
+
+use crate::TraceOp;
+use memsim::LineAddr;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Magic header identifying the trace format version.
+pub const TRACE_HEADER: &str = "#coscale-trace v1";
+
+/// Errors produced while reading a trace.
+#[derive(Debug)]
+pub enum ReadTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The header line is missing or names an unknown version.
+    BadHeader(String),
+    /// A record line failed to parse (line number, content).
+    BadRecord(usize, String),
+}
+
+impl fmt::Display for ReadTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadTraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            ReadTraceError::BadHeader(h) => write!(f, "bad trace header: {h:?}"),
+            ReadTraceError::BadRecord(n, l) => write!(f, "bad trace record on line {n}: {l:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadTraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadTraceError {
+    fn from(e: io::Error) -> Self {
+        ReadTraceError::Io(e)
+    }
+}
+
+/// Writes a trace in the v1 text format.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_trace<W: Write>(mut w: W, ops: impl Iterator<Item = TraceOp>) -> io::Result<()> {
+    writeln!(w, "{TRACE_HEADER}")?;
+    for op in ops {
+        writeln!(
+            w,
+            "{} {:x} {}",
+            op.gap,
+            op.line.0,
+            if op.is_store { 'W' } else { 'R' }
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a whole trace from `r`.
+///
+/// # Errors
+///
+/// Returns [`ReadTraceError`] on I/O failure, a bad header, or a malformed
+/// record.
+pub fn read_trace<R: Read>(r: R) -> Result<Vec<TraceOp>, ReadTraceError> {
+    let mut lines = BufReader::new(r).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| ReadTraceError::BadHeader("<empty input>".into()))??;
+    if header.trim() != TRACE_HEADER {
+        return Err(ReadTraceError::BadHeader(header));
+    }
+    let mut ops = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parsed = (|| {
+            let gap: u64 = parts.next()?.parse().ok()?;
+            let addr = u64::from_str_radix(parts.next()?, 16).ok()?;
+            let is_store = match parts.next()? {
+                "R" => false,
+                "W" => true,
+                _ => return None,
+            };
+            if parts.next().is_some() {
+                return None;
+            }
+            Some(TraceOp {
+                gap,
+                line: LineAddr(addr),
+                is_store,
+            })
+        })();
+        match parsed {
+            Some(op) => ops.push(op),
+            None => return Err(ReadTraceError::BadRecord(i + 2, line)),
+        }
+    }
+    Ok(ops)
+}
+
+/// Captures the first `n` operations of a generator as an owned trace.
+pub fn capture(gen: &mut crate::TraceGen, n: usize) -> Vec<TraceOp> {
+    (0..n).map(|_| gen.next_op()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app;
+
+    #[test]
+    fn roundtrip_empty() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, std::iter::empty()).unwrap();
+        assert_eq!(read_trace(&buf[..]).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn roundtrip_captured_trace() {
+        let mut gen = crate::TraceGen::new(app("milc"), 2, 7);
+        let ops = capture(&mut gen, 500);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, ops.iter().copied()).unwrap();
+        assert_eq!(read_trace(&buf[..]).unwrap(), ops);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let err = read_trace(&b"1 ff R\n"[..]).unwrap_err();
+        assert!(matches!(err, ReadTraceError::BadHeader(_)));
+        let err = read_trace(&b""[..]).unwrap_err();
+        assert!(matches!(err, ReadTraceError::BadHeader(_)));
+    }
+
+    #[test]
+    fn rejects_malformed_records() {
+        for bad in [
+            "#coscale-trace v1\nnot a record\n",
+            "#coscale-trace v1\n1 zz R\n",
+            "#coscale-trace v1\n1 ff X\n",
+            "#coscale-trace v1\n1 ff R extra\n",
+        ] {
+            let err = read_trace(bad.as_bytes()).unwrap_err();
+            assert!(
+                matches!(err, ReadTraceError::BadRecord(2, _)),
+                "{bad:?} gave {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let body = "#coscale-trace v1\n\n# comment\n3 a W\n";
+        let ops = read_trace(body.as_bytes()).unwrap();
+        assert_eq!(
+            ops,
+            vec![TraceOp {
+                gap: 3,
+                line: LineAddr(0xa),
+                is_store: true
+            }]
+        );
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = read_trace(&b"wrong\n"[..]).unwrap_err();
+        assert!(err.to_string().contains("bad trace header"));
+    }
+}

@@ -1,0 +1,51 @@
+//! The paper's §2.3 extension: running CoScale's machinery as a *power
+//! capper* — maximize performance subject to a full-system power budget.
+//!
+//! Sweeps a range of caps on one mix and prints the resulting
+//! power/performance frontier.
+//!
+//! ```text
+//! cargo run --release --example power_capping [MIX_NAME]
+//! ```
+
+use coscale::PowerCapPolicy;
+use coscale_repro::prelude::*;
+
+fn main() {
+    let mix_name = std::env::args().nth(1).unwrap_or_else(|| "MID2".into());
+    let m = mix(&mix_name).unwrap_or_else(|| {
+        eprintln!("unknown mix '{mix_name}'");
+        std::process::exit(2);
+    });
+    let mut cfg = SimConfig::for_mix(m);
+    cfg.target_instrs = 6_000_000;
+
+    eprintln!("running uncapped baseline...");
+    let base = run_policy(cfg.clone(), PolicyKind::StaticMax);
+    let base_power = base.total_energy_j() / base.makespan.as_secs_f64();
+    println!(
+        "uncapped: {:.1} W average, makespan {}",
+        base_power, base.makespan
+    );
+    println!(
+        "\n{:>10} {:>12} {:>12} {:>12}",
+        "cap (W)", "avg power", "within cap", "slowdown"
+    );
+    for frac in [0.95, 0.9, 0.85, 0.8, 0.75, 0.7] {
+        let cap = base_power * frac;
+        eprintln!("running cap = {cap:.1} W...");
+        let r = Runner::new(cfg.clone(), PolicyKind::PowerCap)
+            .with_policy(Box::new(PowerCapPolicy::new(cap)))
+            .run();
+        let avg = r.total_energy_j() / r.makespan.as_secs_f64();
+        let slow = r.makespan.as_secs_f64() / base.makespan.as_secs_f64() - 1.0;
+        println!(
+            "{:>10.1} {:>11.1}W {:>12} {:>11.1}%",
+            cap,
+            avg,
+            if avg <= cap * 1.05 { "yes" } else { "NO" },
+            100.0 * slow
+        );
+    }
+    println!("\nLower caps trade performance for a hard power ceiling — the dual\nof CoScale's energy-minimization-under-performance-bound objective.");
+}

@@ -1,0 +1,60 @@
+//! Quickstart: run one workload mix under CoScale and report energy savings
+//! against the no-DVFS baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart [MIX_NAME]
+//! ```
+
+use coscale_repro::prelude::*;
+
+fn main() {
+    let mix_name = std::env::args().nth(1).unwrap_or_else(|| "MIX2".into());
+    let m = mix(&mix_name).unwrap_or_else(|| {
+        eprintln!("unknown mix '{mix_name}'; known mixes:");
+        for m in all_mixes() {
+            eprintln!("  {} ({}): {}", m.name, m.class, m.apps.join(" "));
+        }
+        std::process::exit(2);
+    });
+
+    // A reduced configuration keeps this example fast: 16 cores, 8 M
+    // instructions per application. `SimConfig::for_mix` alone gives the
+    // paper-scale setup.
+    let mut cfg = SimConfig::for_mix(m);
+    cfg.target_instrs = 8_000_000;
+
+    println!("Simulating {mix_name} at maximum frequencies (baseline)...");
+    let base = run_policy(cfg.clone(), PolicyKind::StaticMax);
+    println!(
+        "  baseline: {} epochs, makespan {}, energy {:.2} J",
+        base.epochs,
+        base.makespan,
+        base.total_energy_j()
+    );
+
+    println!("Simulating {mix_name} under CoScale (γ = 10%)...");
+    let run = run_policy(cfg, PolicyKind::CoScale);
+    println!(
+        "  CoScale:  {} epochs, makespan {}, energy {:.2} J",
+        run.epochs,
+        run.makespan,
+        run.total_energy_j()
+    );
+
+    let degr = run.degradation_vs(&base);
+    let worst = degr.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!();
+    println!(
+        "full-system energy savings: {:.1}%",
+        100.0 * run.energy_savings_vs(&base)
+    );
+    println!(
+        "CPU energy savings:         {:.1}%",
+        100.0 * (1.0 - run.cpu_energy_j / base.cpu_energy_j)
+    );
+    println!(
+        "memory energy savings:      {:.1}%",
+        100.0 * (1.0 - run.mem_energy_j / base.mem_energy_j)
+    );
+    println!("worst application slowdown: {:.1}% (bound 10%)", 100.0 * worst);
+}

@@ -1,0 +1,46 @@
+//! Sweep the performance-degradation bound γ (the paper's Figure 10) on one
+//! mix and print the savings/degradation trade-off curve.
+//!
+//! ```text
+//! cargo run --release --example sensitivity_sweep [MIX_NAME]
+//! ```
+
+use coscale_repro::prelude::*;
+
+fn main() {
+    let mix_name = std::env::args().nth(1).unwrap_or_else(|| "MID3".into());
+    let m = mix(&mix_name).unwrap_or_else(|| {
+        eprintln!("unknown mix '{mix_name}'");
+        std::process::exit(2);
+    });
+    let mut cfg = SimConfig::for_mix(m);
+    cfg.target_instrs = 6_000_000;
+
+    eprintln!("running baseline...");
+    let base = run_policy(cfg.clone(), PolicyKind::StaticMax);
+
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "γ", "savings", "avg slow", "worst slow"
+    );
+    for gamma in [0.01, 0.05, 0.10, 0.15, 0.20] {
+        let mut c = cfg.clone();
+        c.gamma = gamma;
+        eprintln!("running γ = {gamma}...");
+        let r = run_policy(c, PolicyKind::CoScale);
+        let d = r.degradation_vs(&base);
+        let avg = d.iter().sum::<f64>() / d.len() as f64;
+        let worst = d.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{:>5.0}% {:>11.1}% {:>11.1}% {:>11.1}%",
+            100.0 * gamma,
+            100.0 * r.energy_savings_vs(&base),
+            100.0 * avg,
+            100.0 * worst
+        );
+    }
+    println!(
+        "\nExpected shape (paper Fig. 10): savings grow with the bound while\n\
+         the worst slowdown always stays under γ."
+    );
+}

@@ -1,0 +1,201 @@
+//! `coscale-sim` — the command-line front end of the simulator.
+//!
+//! ```text
+//! coscale-sim [OPTIONS]
+//!
+//!   --mix NAME          workload mix (Table 1 name; default MIX2)
+//!   --policy NAME       baseline|coscale|memscale|cpuonly|uncoordinated|
+//!                       semi|offline|powercap (default coscale)
+//!   --gamma PCT         performance bound in percent (default 10)
+//!   --instrs N          instructions per application (default 10000000)
+//!   --cores N           number of cores, 1..=16 (default 16)
+//!   --prefetch          enable the next-line prefetcher
+//!   --ooo               MLP-window (out-of-order emulation) pipeline
+//!   --open-page         open-page row-buffer policy (+ row-interleaved map)
+//!   --cap WATTS         power budget for --policy powercap (default 150)
+//!   --seed N            workload seed
+//!   --timeline FILE     write the per-epoch decision timeline as TSV
+//!   --compare           also run the no-DVFS baseline and report savings
+//! ```
+
+use coscale::PowerCapPolicy;
+use coscale_repro::prelude::*;
+
+struct Args {
+    mix: String,
+    policy: String,
+    gamma: f64,
+    instrs: u64,
+    cores: usize,
+    prefetch: bool,
+    ooo: bool,
+    open_page: bool,
+    cap: f64,
+    seed: Option<u64>,
+    timeline: Option<String>,
+    compare: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: coscale-sim [--mix NAME] [--policy NAME] [--gamma PCT] \
+         [--instrs N] [--cores N] [--prefetch] [--ooo] [--open-page] \
+         [--cap WATTS] [--seed N] [--timeline FILE] [--compare]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        mix: "MIX2".into(),
+        policy: "coscale".into(),
+        gamma: 10.0,
+        instrs: 10_000_000,
+        cores: 16,
+        prefetch: false,
+        ooo: false,
+        open_page: false,
+        cap: 150.0,
+        seed: None,
+        timeline: None,
+        compare: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--mix" => a.mix = val("--mix"),
+            "--policy" => a.policy = val("--policy"),
+            "--gamma" => a.gamma = val("--gamma").parse().unwrap_or_else(|_| usage()),
+            "--instrs" => a.instrs = val("--instrs").parse().unwrap_or_else(|_| usage()),
+            "--cores" => a.cores = val("--cores").parse().unwrap_or_else(|_| usage()),
+            "--prefetch" => a.prefetch = true,
+            "--ooo" => a.ooo = true,
+            "--open-page" => a.open_page = true,
+            "--cap" => a.cap = val("--cap").parse().unwrap_or_else(|_| usage()),
+            "--seed" => a.seed = Some(val("--seed").parse().unwrap_or_else(|_| usage())),
+            "--timeline" => a.timeline = Some(val("--timeline")),
+            "--compare" => a.compare = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    a
+}
+
+fn main() {
+    let args = parse_args();
+    let Some(m) = mix(&args.mix) else {
+        eprintln!("unknown mix '{}'; known: {:?}", args.mix,
+            all_mixes().iter().map(|m| m.name).collect::<Vec<_>>());
+        std::process::exit(2);
+    };
+
+    let mut cfg = SimConfig::for_mix(m);
+    cfg.gamma = args.gamma / 100.0;
+    cfg.target_instrs = args.instrs;
+    cfg.cores = args.cores;
+    cfg.core.prefetch = args.prefetch;
+    if args.ooo {
+        cfg.core.pipeline = PipelineMode::MlpWindow(128);
+    }
+    if args.open_page {
+        cfg.mem.page_policy = memsim::PagePolicy::Open;
+        cfg.mem.addr_map = memsim::AddrMap::RowInterleaved;
+    }
+    if let Some(seed) = args.seed {
+        cfg.seed = seed;
+    }
+    if let Err(e) = cfg.validate() {
+        eprintln!("invalid configuration: {e}");
+        std::process::exit(2);
+    }
+
+    let (kind, custom): (PolicyKind, Option<Box<dyn coscale::Policy>>) =
+        match args.policy.as_str() {
+            "baseline" | "static" => (PolicyKind::StaticMax, None),
+            "coscale" => (PolicyKind::CoScale, None),
+            "memscale" => (PolicyKind::MemScale, None),
+            "cpuonly" => (PolicyKind::CpuOnly, None),
+            "uncoordinated" => (PolicyKind::Uncoordinated, None),
+            "semi" => (PolicyKind::SemiCoordinated, None),
+            "offline" => (PolicyKind::Offline, None),
+            "powercap" => (
+                PolicyKind::PowerCap,
+                Some(Box::new(PowerCapPolicy::new(args.cap))),
+            ),
+            other => {
+                eprintln!("unknown policy '{other}'");
+                usage();
+            }
+        };
+
+    eprintln!("running {} / {kind} ...", args.mix);
+    let mut runner = Runner::new(cfg.clone(), kind);
+    if let Some(p) = custom {
+        runner = runner.with_policy(p);
+    }
+    let r = runner.run();
+
+    println!("mix            : {}", r.mix);
+    println!("policy         : {}", r.policy);
+    println!("epochs         : {}", r.epochs);
+    println!("makespan       : {}", r.makespan);
+    println!(
+        "energy         : {:.3} J (cpu {:.3}, l2 {:.3}, mem {:.3}, rest {:.3})",
+        r.total_energy_j(),
+        r.cpu_energy_j,
+        r.l2_energy_j,
+        r.mem_energy_j,
+        r.rest_energy_j
+    );
+    println!(
+        "avg power      : {:.1} W",
+        r.total_energy_j() / r.makespan.as_secs_f64()
+    );
+    println!("workload MPKI  : {:.2}   WPKI: {:.2}", r.mpki, r.wpki);
+    if args.prefetch {
+        println!("pref. accuracy : {:.1}%", 100.0 * r.prefetch_accuracy);
+    }
+    if args.open_page {
+        println!("row hit rate   : {:.1}%", 100.0 * r.row_hit_rate);
+    }
+    println!("bus utilization: {:.1}%", 100.0 * r.bus_utilization);
+    println!(
+        "read latency   : avg {:.1} ns, p50 {:.0}, p95 {:.0}, p99 {:.0}",
+        r.avg_read_latency_ns, r.read_lat_p50_ns, r.read_lat_p95_ns, r.read_lat_p99_ns
+    );
+
+    if args.compare {
+        eprintln!("running {} / baseline ...", args.mix);
+        let base = coscale::run_policy(cfg, PolicyKind::StaticMax);
+        let d = r.degradation_vs(&base);
+        let worst = d.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "vs baseline    : {:.1}% energy savings, worst slowdown {:.1}%",
+            100.0 * r.energy_savings_vs(&base),
+            100.0 * worst
+        );
+    }
+
+    if let Some(path) = args.timeline {
+        let f = std::fs::File::create(&path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(1);
+        });
+        r.write_timeline(std::io::BufWriter::new(f))
+            .unwrap_or_else(|e| {
+                eprintln!("cannot write timeline: {e}");
+                std::process::exit(1);
+            });
+        println!("timeline       : {path}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Workspace-level integration tests: the full system assembled from all
+//! crates, exercised through the facade.
+
+use coscale_repro::prelude::*;
+
+fn cfg(mix_name: &str) -> SimConfig {
+    let mut c = SimConfig::small(mix(mix_name).unwrap());
+    c.target_instrs = 1_000_000;
+    c
+}
+
+#[test]
+fn system_advances_time_and_instructions() {
+    let mut sys = System::new(cfg("MID1"));
+    assert_eq!(sys.now(), Ps::ZERO);
+    sys.run_until(Ps::from_us(200));
+    assert_eq!(sys.now(), Ps::from_us(200));
+    let instrs = sys.instrs();
+    assert!(
+        instrs.iter().all(|&i| i > 10_000),
+        "all cores should progress: {instrs:?}"
+    );
+}
+
+#[test]
+fn snapshots_are_monotone() {
+    let mut sys = System::new(cfg("MEM1"));
+    sys.run_until(Ps::from_us(100));
+    let a = sys.snapshot();
+    sys.run_until(Ps::from_us(300));
+    let b = sys.snapshot();
+    for (x, y) in a.cores.iter().zip(&b.cores) {
+        let d = y.delta(x); // panics in debug if not monotone
+        assert!(d.tic > 0);
+    }
+    let dm = b.mem.delta(&a.mem);
+    assert!(dm.reads > 0, "MEM mix must touch memory");
+    assert!(b.l2_accesses > a.l2_accesses);
+}
+
+#[test]
+fn apply_plan_changes_frequencies_and_slows_execution() {
+    let mut fast = System::new(cfg("ILP1"));
+    let mut slow = System::new(cfg("ILP1"));
+    let n = fast.plan().cores.len();
+    slow.run_until(Ps::from_us(10));
+    let low = Plan {
+        cores: vec![0; n],
+        mem: 0,
+    };
+    slow.apply_plan(&low);
+    assert_eq!(slow.plan(), &low);
+    fast.run_until(Ps::from_ms(2));
+    slow.run_until(Ps::from_ms(2));
+    let fi: u64 = fast.instrs().iter().sum();
+    let si: u64 = slow.instrs().iter().sum();
+    assert!(
+        si < fi * 8 / 10,
+        "lowest frequencies must slow ILP work: fast {fi}, slow {si}"
+    );
+}
+
+#[test]
+fn cloned_system_diverges_identically() {
+    let mut a = System::new(cfg("MIX3"));
+    a.run_until(Ps::from_us(500));
+    let mut b = a.clone();
+    a.run_until(Ps::from_ms(2));
+    b.run_until(Ps::from_ms(2));
+    assert_eq!(a.instrs(), b.instrs());
+    assert_eq!(
+        a.snapshot().mem.reads,
+        b.snapshot().mem.reads,
+        "checkpoint/replay must be exact (Offline oracle depends on it)"
+    );
+}
+
+#[test]
+fn run_result_accounts_energy_components() {
+    let r = run_policy(cfg("MID3"), PolicyKind::CoScale);
+    assert!(r.cpu_energy_j > 0.0);
+    assert!(r.mem_energy_j > 0.0);
+    assert!(r.l2_energy_j > 0.0);
+    assert!(r.rest_energy_j > 0.0);
+    let sum = r.cpu_energy_j + r.mem_energy_j + r.l2_energy_j + r.rest_energy_j;
+    assert!((sum - r.total_energy_j()).abs() < 1e-9);
+    // CPU should dominate per the 60/30/10 calibration.
+    assert!(r.cpu_energy_j > r.mem_energy_j);
+    assert!(r.cpu_energy_j > r.rest_energy_j);
+}
+
+#[test]
+fn mem_mixes_stress_memory_more_than_ilp() {
+    let mem = run_policy(cfg("MEM1"), PolicyKind::StaticMax);
+    let ilp = run_policy(cfg("ILP1"), PolicyKind::StaticMax);
+    assert!(mem.mpki > ilp.mpki * 5.0, "mem {} ilp {}", mem.mpki, ilp.mpki);
+    assert!(mem.bus_utilization > ilp.bus_utilization);
+    // Memory-bound work takes longer for the same instruction count.
+    assert!(mem.makespan > ilp.makespan);
+}
+
+#[test]
+fn facade_prelude_reexports_work() {
+    // Compile-time check that the prelude surface is usable end to end.
+    let grid = SimConfig::core_grid_with_steps(4);
+    assert_eq!(grid.len(), 4);
+    let f: Freq = grid[0];
+    assert!(f.as_ghz() > 2.0);
+    let classes = all_mixes()
+        .iter()
+        .filter(|m| m.class == MixClass::Mem)
+        .count();
+    assert_eq!(classes, 4);
+}
+
+#[test]
+fn prefetch_and_mlp_configs_run_through_facade() {
+    let mut c = cfg("MEM2");
+    c.core.prefetch = true;
+    let pref = run_policy(c.clone(), PolicyKind::StaticMax);
+    assert!(pref.prefetch_accuracy > 0.2, "accuracy {}", pref.prefetch_accuracy);
+
+    let mut c2 = cfg("MEM2");
+    c2.core.pipeline = PipelineMode::MlpWindow(128);
+    let ooo = run_policy(c2, PolicyKind::StaticMax);
+    let inorder = run_policy(cfg("MEM2"), PolicyKind::StaticMax);
+    assert!(
+        ooo.makespan < inorder.makespan,
+        "MLP window should speed up a MEM mix: {} vs {}",
+        ooo.makespan,
+        inorder.makespan
+    );
+}
