@@ -3,9 +3,7 @@
 //! exponential O(M·Cᴺ) of brute force.
 
 use bench::experiments::synthetic_profile;
-use coscale::{
-    CoScalePolicy, MemScalePolicy, Model, OfflinePolicy, Plan, Policy, SimConfig,
-};
+use coscale::{CoScalePolicy, MemScalePolicy, Model, OfflinePolicy, Plan, Policy, SimConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use memsim::MemConfig;
 use powermodel::{MemGeometry, PowerConfig};
@@ -80,9 +78,7 @@ fn bench_policies_at_16(c: &mut Criterion) {
         b.iter(|| black_box(p.decide(&model, &current)));
     });
     group.bench_function("coscale_no_grouping", |b| {
-        let mut p = CoScalePolicy {
-            group_cores: false,
-        };
+        let mut p = CoScalePolicy { group_cores: false };
         b.iter(|| black_box(p.decide(&model, &current)));
     });
     group.bench_function("memscale", |b| {
@@ -118,7 +114,9 @@ fn bench_model_primitives(c: &mut Criterion) {
         b.iter(|| black_box(model.tpi(black_box(7), black_box(4), black_box(5))))
     });
     group.bench_function("ser", |b| b.iter(|| black_box(model.ser(&plan))));
-    group.bench_function("power", |b| b.iter(|| black_box(model.power(&plan).total())));
+    group.bench_function("power", |b| {
+        b.iter(|| black_box(model.power(&plan).total()))
+    });
     group.finish();
 }
 

@@ -98,5 +98,11 @@ fn bench_full_epochs(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_memsim, bench_l2, bench_tracegen, bench_full_epochs);
+criterion_group!(
+    benches,
+    bench_memsim,
+    bench_l2,
+    bench_tracegen,
+    bench_full_epochs
+);
 criterion_main!(benches);

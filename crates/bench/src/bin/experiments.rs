@@ -5,7 +5,7 @@
 //!
 //! Commands: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //!           fig14 fig15 fig16 fig17 fig18 search-cost
-//!           ablation-grouping ablation-phase all
+//!           ablation-grouping ablation-phase cluster-capping all
 //! ```
 
 use bench::{experiments, Ctx, Opts};
@@ -16,7 +16,7 @@ fn usage() -> ! {
          commands: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13\n\
          \x20         fig14 fig15 fig16 fig17 fig18 search-cost\n\
          \x20         ablation-grouping ablation-phase ablation-page-policy\n\
-         \x20         ablation-idle-states report all"
+         \x20         ablation-idle-states cluster-capping report all"
     );
     std::process::exit(2);
 }
@@ -60,12 +60,12 @@ fn main() {
             "ablation-idle-states" => experiments::ablation_idle_states(&mut ctx),
             "ablation-voltage-domains" => experiments::ablation_voltage_domains(&mut ctx),
             "ablation-phase" => experiments::ablation_phase(&mut ctx),
+            "cluster-capping" => experiments::cluster_capping(&mut ctx),
             "report" => {
-                let body = bench::report::render_report(&ctx.opts.out_dir)
-                    .unwrap_or_else(|e| {
-                        eprintln!("cannot read {}: {e}", ctx.opts.out_dir.display());
-                        std::process::exit(1);
-                    });
+                let body = bench::report::render_report(&ctx.opts.out_dir).unwrap_or_else(|e| {
+                    eprintln!("cannot read {}: {e}", ctx.opts.out_dir.display());
+                    std::process::exit(1);
+                });
                 let path = ctx.opts.out_dir.join("REPORT.md");
                 std::fs::write(&path, body).expect("write REPORT.md");
                 eprintln!("  -> {}", path.display());

@@ -55,7 +55,15 @@ fn mid_mixes_for(ctx: &Ctx) -> Vec<&'static str> {
 pub fn table1(ctx: &mut Ctx) {
     let mut t = Table::new(
         "Table 1 — workload mixes: measured vs paper MPKI/WPKI (baseline, max frequencies)",
-        &["mix", "class", "apps", "MPKI", "WPKI", "paper MPKI", "paper WPKI"],
+        &[
+            "mix",
+            "class",
+            "apps",
+            "MPKI",
+            "WPKI",
+            "paper MPKI",
+            "paper WPKI",
+        ],
     );
     for &(name, p_mpki, p_wpki) in &TABLE1_PAPER {
         if ctx.opts.quick && !mixes_for(ctx).contains(&name) {
@@ -170,10 +178,7 @@ pub fn fig7(ctx: &mut Ctx) {
         PolicyKind::SemiCoordinated,
     ];
     let cfg = ctx.standard_config("MIX2");
-    let runs: Vec<_> = policies
-        .iter()
-        .map(|&p| ctx.run("MIX2", p))
-        .collect();
+    let runs: Vec<_> = policies.iter().map(|&p| ctx.run("MIX2", p)).collect();
     let epochs = runs.iter().map(|r| r.records.len()).max().unwrap_or(0);
     for e in 0..epochs {
         let mut row = vec![format!("{e}")];
@@ -270,7 +275,12 @@ pub fn fig10(ctx: &mut Ctx) {
     let gammas = [0.01, 0.05, 0.10, 0.15, 0.20];
     let mut t = Table::new(
         "Figure 10 — impact of the performance bound (MID mixes)",
-        &["bound", "energy savings", "worst degradation", "paper savings"],
+        &[
+            "bound",
+            "energy savings",
+            "worst degradation",
+            "paper savings",
+        ],
     );
     let paper = ["4%", "9%", "16% (all-mix avg)", ">16%", ">16%"];
     for (gi, &g) in gammas.iter().enumerate() {
@@ -287,12 +297,7 @@ pub fn fig10(ctx: &mut Ctx) {
             worst = worst.max(w);
         }
         savings /= mid_mixes_for(ctx).len() as f64;
-        t.row(vec![
-            pct(g),
-            pct(savings),
-            pct(worst),
-            paper[gi].into(),
-        ]);
+        t.row(vec![pct(g), pct(savings), pct(worst), paper[gi].into()]);
     }
     ctx.emit(&t, "fig10.tsv");
 }
@@ -401,7 +406,11 @@ pub fn fig15(ctx: &mut Ctx) {
         "Figure 15 — impact of the number of frequency steps (MID mixes)",
         &["steps", "energy savings", "worst degradation", "paper"],
     );
-    for (steps, paper) in [(4usize, "slightly less"), (7, "slightly less"), (10, "default")] {
+    for (steps, paper) in [
+        (4usize, "slightly less"),
+        (7, "slightly less"),
+        (10, "default"),
+    ] {
         let mut savings = 0.0;
         let mut worst = f64::NEG_INFINITY;
         let mids = mid_mixes_for(ctx);
@@ -494,11 +503,23 @@ pub fn fig16(ctx: &mut Ctx) {
 pub fn fig17_18(ctx: &mut Ctx) {
     let mut t17 = Table::new(
         "Figure 17 — average CPI normalized to in-order baseline",
-        &["class", "In-order", "OoO", "In-order+CoScale", "OoO+CoScale"],
+        &[
+            "class",
+            "In-order",
+            "OoO",
+            "In-order+CoScale",
+            "OoO+CoScale",
+        ],
     );
     let mut t18 = Table::new(
         "Figure 18 — energy per instruction normalized to in-order baseline",
-        &["class", "In-order", "OoO", "In-order+CoScale", "OoO+CoScale"],
+        &[
+            "class",
+            "In-order",
+            "OoO",
+            "In-order+CoScale",
+            "OoO+CoScale",
+        ],
     );
     for class in ["MEM", "MID", "ILP", "MIX"] {
         let mixes: Vec<&str> = if ctx.opts.quick {
@@ -642,7 +663,12 @@ pub fn search_cost(ctx: &mut Ctx) {
 pub fn ablation_grouping(ctx: &mut Ctx) {
     let mut t = Table::new(
         "Ablation — CoScale core grouping on vs off",
-        &["mix", "savings (grouping)", "savings (no grouping)", "worst deg (no grouping)"],
+        &[
+            "mix",
+            "savings (grouping)",
+            "savings (no grouping)",
+            "worst deg (no grouping)",
+        ],
     );
     let mixes = if ctx.opts.quick {
         vec!["MID1"]
@@ -672,7 +698,12 @@ pub fn ablation_grouping(ctx: &mut Ctx) {
 pub fn ablation_phase(ctx: &mut Ctx) {
     let mut t = Table::new(
         "Ablation — Semi-coordinated in-phase vs out-of-phase managers",
-        &["mix", "savings (in phase)", "savings (out of phase)", "worst deg (out of phase)"],
+        &[
+            "mix",
+            "savings (in phase)",
+            "savings (out of phase)",
+            "worst deg (out of phase)",
+        ],
     );
     let mixes = if ctx.opts.quick {
         vec!["MID1"]
@@ -704,7 +735,14 @@ pub fn ablation_page_policy(ctx: &mut Ctx) {
     use memsim::{AddrMap, PagePolicy, SchedPolicy};
     let mut t = Table::new(
         "Ablation — page policy / scheduling / address map (baseline, no DVFS)",
-        &["mix", "config", "makespan (ms)", "energy (J)", "row hit rate", "avg read lat (ns)"],
+        &[
+            "mix",
+            "config",
+            "makespan (ms)",
+            "energy (J)",
+            "row hit rate",
+            "avg read lat (ns)",
+        ],
     );
     let mixes = if ctx.opts.quick {
         vec!["MEM1"]
@@ -712,10 +750,30 @@ pub fn ablation_page_policy(ctx: &mut Ctx) {
         vec!["MEM1", "MEM4", "MID1"]
     };
     let variants: [(&str, PagePolicy, SchedPolicy, AddrMap); 4] = [
-        ("closed+interleave (paper)", PagePolicy::Closed, SchedPolicy::Fcfs, AddrMap::ChannelInterleaved),
-        ("open+interleave", PagePolicy::Open, SchedPolicy::Fcfs, AddrMap::ChannelInterleaved),
-        ("open+rowmap", PagePolicy::Open, SchedPolicy::Fcfs, AddrMap::RowInterleaved),
-        ("open+rowmap+frfcfs", PagePolicy::Open, SchedPolicy::FrFcfs, AddrMap::RowInterleaved),
+        (
+            "closed+interleave (paper)",
+            PagePolicy::Closed,
+            SchedPolicy::Fcfs,
+            AddrMap::ChannelInterleaved,
+        ),
+        (
+            "open+interleave",
+            PagePolicy::Open,
+            SchedPolicy::Fcfs,
+            AddrMap::ChannelInterleaved,
+        ),
+        (
+            "open+rowmap",
+            PagePolicy::Open,
+            SchedPolicy::Fcfs,
+            AddrMap::RowInterleaved,
+        ),
+        (
+            "open+rowmap+frfcfs",
+            PagePolicy::Open,
+            SchedPolicy::FrFcfs,
+            AddrMap::RowInterleaved,
+        ),
     ];
     for name in mixes {
         for (label, page, sched, map) in variants {
@@ -747,7 +805,13 @@ pub fn ablation_idle_states(ctx: &mut Ctx) {
     use memsim::{IdleMemPolicy, IdleMode};
     let mut t = Table::new(
         "Ablation — idle low-power states vs active low-power modes (DVFS)",
-        &["mix", "scheme", "energy savings", "worst degradation", "sleep frac"],
+        &[
+            "mix",
+            "scheme",
+            "energy savings",
+            "worst degradation",
+            "sleep frac",
+        ],
     );
     let mixes = if ctx.opts.quick {
         vec!["ILP1"]
@@ -831,6 +895,79 @@ pub fn ablation_voltage_domains(ctx: &mut Ctx) {
     ctx.emit(&t, "ablation_voltage_domains.tsv");
 }
 
+/// Cluster-level power capping (the paper's §2.3 extension lifted to a
+/// rack, after FastCap/PowerTracer): a heterogeneous fleet under one
+/// global budget, comparing the three cap-splitting disciplines at the
+/// same budget.
+pub fn cluster_capping(ctx: &mut Ctx) {
+    use cluster::{run_cluster, CapSplit, ClusterConfig, ServerSpec};
+    // Big memory-bound servers next to small compute-bound ones, with the
+    // faster servers given proportionally longer workloads so the fleet
+    // stays busy together (steady-state load). A uniform share then
+    // over-provisions the small servers while starving the big ones.
+    let fleet = |quick: bool| -> Vec<ServerSpec> {
+        let mut f = vec![
+            ServerSpec::small_with_cores("mem-8c-a", "MEM2", 1, 8),
+            ServerSpec::small_with_cores("mem-8c-b", "MEM2", 2, 8),
+            ServerSpec::small_with_cores("ilp-2c-a", "ILP2", 5, 2),
+            ServerSpec::small_with_cores("ilp-2c-b", "ILP2", 6, 2),
+        ];
+        if !quick {
+            f.insert(2, ServerSpec::small_with_cores("mem-8c-c", "MEM2", 3, 8));
+            f.insert(3, {
+                let mut s = ServerSpec::small_with_cores("mid-4c", "MID1", 4, 4);
+                s.config.target_instrs *= 2;
+                s
+            });
+            f.push(ServerSpec::small_with_cores("ilp-2c-c", "ILP2", 7, 2));
+            f.push(ServerSpec::small_with_cores("ilp-2c-d", "ILP2", 8, 2));
+        }
+        for s in f.iter_mut().filter(|s| s.config.cores == 2) {
+            s.config.target_instrs *= 3;
+        }
+        f
+    };
+    let n = fleet(ctx.opts.quick).len();
+    // ~80% of the fleet's uncapped demand: tight enough to throttle the
+    // big servers, loose enough that a uniform share over-provisions the
+    // small ones.
+    let global_cap_w = 62.5 * n as f64;
+    let mut t = Table::new(
+        &format!("Cluster capping — {n} servers, global budget {global_cap_w} W"),
+        &[
+            "split",
+            "energy (J)",
+            "makespan (ms)",
+            "aggregate (GIPS)",
+            "cap fairness",
+            "violations",
+            "rounds",
+        ],
+    );
+    for split in [
+        CapSplit::Uniform,
+        CapSplit::DemandProportional,
+        CapSplit::FastCap,
+    ] {
+        eprintln!("  running cluster [{split}] ...");
+        let r = run_cluster(
+            ClusterConfig::new(fleet(ctx.opts.quick), global_cap_w, split)
+                .with_epochs_per_round(2)
+                .with_threads(4),
+        );
+        t.row(vec![
+            split.to_string(),
+            format!("{:.2}", r.total_energy_j()),
+            format!("{:.3}", r.makespan().as_secs_f64() * 1e3),
+            format!("{:.3}", r.aggregate_throughput_ips() / 1e9),
+            format!("{:.3}", r.cap_fairness()),
+            format!("{}", r.total_violations()),
+            format!("{}", r.rounds),
+        ]);
+    }
+    ctx.emit(&t, "cluster_capping.tsv");
+}
+
 /// Runs every experiment in paper order.
 pub fn all(ctx: &mut Ctx) {
     table1(ctx);
@@ -851,4 +988,5 @@ pub fn all(ctx: &mut Ctx) {
     ablation_page_policy(ctx);
     ablation_idle_states(ctx);
     ablation_voltage_domains(ctx);
+    cluster_capping(ctx);
 }

@@ -78,8 +78,7 @@ impl Ctx {
     ///
     /// Panics if the mix name is unknown.
     pub fn standard_config(&self, mix_name: &str) -> SimConfig {
-        let m = workloads::mix(mix_name)
-            .unwrap_or_else(|| panic!("unknown mix {mix_name}"));
+        let m = workloads::mix(mix_name).unwrap_or_else(|| panic!("unknown mix {mix_name}"));
         let mut cfg = SimConfig::for_mix(m);
         cfg.target_instrs = self.opts.target_instrs();
         cfg
@@ -130,8 +129,8 @@ pub fn pct(x: f64) -> String {
 
 /// The four class-representative orderings used by the figures.
 pub const ALL_MIXES: [&str; 16] = [
-    "MEM1", "MEM2", "MEM3", "MEM4", "MID1", "MID2", "MID3", "MID4", "ILP1", "ILP2", "ILP3",
-    "ILP4", "MIX1", "MIX2", "MIX3", "MIX4",
+    "MEM1", "MEM2", "MEM3", "MEM4", "MID1", "MID2", "MID3", "MID4", "ILP1", "ILP2", "ILP3", "ILP4",
+    "MIX1", "MIX2", "MIX3", "MIX4",
 ];
 
 /// The MID mixes (default subject of the sensitivity studies, §4.2.4).

@@ -1,0 +1,203 @@
+//! Cluster-level configuration: the server fleet, the global power budget,
+//! and how the coordinator splits it.
+
+use coscale::SimConfig;
+
+/// How the coordinator divides the global budget into per-server caps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CapSplit {
+    /// Every active server receives an equal share of the budget,
+    /// regardless of what it could use. The naive baseline.
+    Uniform,
+    /// Shares proportional to each server's observed uncapped power demand
+    /// (above its power floor), so heavy servers receive more headroom.
+    DemandProportional,
+    /// FastCap-style marginal-utility splitting (after Liu et al.): the
+    /// budget is granted in small quanta, each to the server whose
+    /// predicted performance gain per additional watt is currently
+    /// highest, under a concave performance-versus-power curve.
+    FastCap,
+}
+
+impl std::fmt::Display for CapSplit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CapSplit::Uniform => "uniform",
+            CapSplit::DemandProportional => "demand-proportional",
+            CapSplit::FastCap => "fastcap",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One server in the cluster: a display name plus the full single-server
+/// simulation configuration it runs.
+#[derive(Clone, Debug)]
+pub struct ServerSpec {
+    /// Display name (used in tables and result rows).
+    pub name: String,
+    /// The server's own simulation configuration (mix, cores, grids…).
+    pub config: SimConfig,
+}
+
+impl ServerSpec {
+    /// A small fast-running server for tests and examples: the reduced
+    /// [`SimConfig::small`] configuration for `mix_name`, re-seeded per
+    /// server so servers are not clones of each other. Epochs are
+    /// shortened to 250 µs so even the reduced workloads span enough
+    /// epochs for several coordination rounds, and the epoch ceiling is
+    /// raised (a capped server legitimately needs more epochs than an
+    /// unmanaged one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix name is unknown.
+    pub fn small(name: &str, mix_name: &str, seed: u64) -> ServerSpec {
+        let m = workloads::mix(mix_name).unwrap_or_else(|| panic!("unknown mix {mix_name}"));
+        let mut config = SimConfig::small(m);
+        config.seed = seed;
+        config.epoch = simkernel::Ps::from_us(250);
+        config.profile_window = simkernel::Ps::from_us(50);
+        config.max_epochs = 4_000;
+        ServerSpec {
+            name: name.to_string(),
+            config,
+        }
+    }
+
+    /// Same as [`ServerSpec::small`] with a custom core count (1..=16),
+    /// the easiest way to build a heterogeneous fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix name is unknown.
+    pub fn small_with_cores(name: &str, mix_name: &str, seed: u64, cores: usize) -> ServerSpec {
+        let mut s = Self::small(name, mix_name, seed);
+        s.config.cores = cores;
+        s
+    }
+}
+
+/// Configuration of one cluster simulation.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// The server fleet.
+    pub servers: Vec<ServerSpec>,
+    /// Global power budget across all servers, watts.
+    pub global_cap_w: f64,
+    /// The budget-splitting discipline.
+    pub split: CapSplit,
+    /// Coordination period: how many epochs each server runs between
+    /// redistributions of the budget.
+    pub epochs_per_round: usize,
+    /// Worker threads driving servers within a round. Results are
+    /// identical for any thread count — servers only exchange state with
+    /// the coordinator at round barriers.
+    pub threads: usize,
+    /// FastCap grant granularity, watts per quantum.
+    pub quantum_w: f64,
+}
+
+impl ClusterConfig {
+    /// A cluster of `servers` under `global_cap_w` using `split`, with the
+    /// default coordination period (5 epochs), one worker thread and 1 W
+    /// grant quanta.
+    pub fn new(servers: Vec<ServerSpec>, global_cap_w: f64, split: CapSplit) -> ClusterConfig {
+        ClusterConfig {
+            servers,
+            global_cap_w,
+            split,
+            epochs_per_round: 5,
+            threads: 1,
+            quantum_w: 1.0,
+        }
+    }
+
+    /// Sets the worker thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> ClusterConfig {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the coordination period in epochs.
+    #[must_use]
+    pub fn with_epochs_per_round(mut self, epochs: usize) -> ClusterConfig {
+        self.epochs_per_round = epochs;
+        self
+    }
+
+    /// Validates cross-field consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.servers.is_empty() {
+            return Err("cluster needs at least one server".into());
+        }
+        if self.global_cap_w.is_nan() || self.global_cap_w <= 0.0 {
+            return Err(format!("global cap {} must be positive", self.global_cap_w));
+        }
+        if self.epochs_per_round == 0 {
+            return Err("epochs_per_round must be positive".into());
+        }
+        if self.threads == 0 {
+            return Err("threads must be positive".into());
+        }
+        if self.quantum_w.is_nan() || self.quantum_w <= 0.0 {
+            return Err(format!("quantum {} must be positive", self.quantum_w));
+        }
+        for s in &self.servers {
+            s.config
+                .validate()
+                .map_err(|e| format!("server {}: {e}", s.name))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_bad_clusters() {
+        let ok = ClusterConfig::new(
+            vec![ServerSpec::small("s0", "MID1", 1)],
+            100.0,
+            CapSplit::Uniform,
+        );
+        assert!(ok.validate().is_ok());
+
+        let mut c = ok.clone();
+        c.servers.clear();
+        assert!(c.validate().is_err());
+
+        let mut c = ok.clone();
+        c.global_cap_w = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = ok.clone();
+        c.epochs_per_round = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ok.clone();
+        c.threads = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ok;
+        c.servers[0].config.gamma = 2.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn split_display_names() {
+        assert_eq!(CapSplit::Uniform.to_string(), "uniform");
+        assert_eq!(
+            CapSplit::DemandProportional.to_string(),
+            "demand-proportional"
+        );
+        assert_eq!(CapSplit::FastCap.to_string(), "fastcap");
+    }
+}

@@ -1,0 +1,267 @@
+//! The cluster-level coordinator: turns one global power budget into
+//! per-server caps, once per coordination round.
+//!
+//! Three disciplines are implemented (see [`CapSplit`]):
+//!
+//! * **Uniform** — `C/N` each; the baseline every capping paper compares
+//!   against.
+//! * **Demand-proportional** — floors first, then leftover budget in
+//!   proportion to each server's demand above its floor.
+//! * **FastCap-style** — marginal-utility greedy after FastCap (Liu et
+//!   al.): budget is granted in quanta, each to the server with the
+//!   highest predicted *absolute* performance return per watt under a
+//!   concave (square-root) performance-versus-power curve scaled by the
+//!   server's uncapped demand — a proxy for machine size, so a watt that
+//!   buys a big server 1% buys more instructions than 1% on a small one.
+//!   Servers far below their demand have steep curves and win quanta;
+//!   saturated servers stop bidding.
+//!
+//! All three are deterministic: ties break toward the lowest server index.
+
+use crate::CapSplit;
+
+/// What the coordinator knows about one server at a round boundary.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerDemand {
+    /// Predicted uncapped (all-max plan) power draw, watts.
+    pub demand_w: f64,
+    /// Predicted all-minimum plan power draw — the floor below which a cap
+    /// is unreachable, watts.
+    pub min_w: f64,
+    /// Whether the server still has work to run. Finished servers get a
+    /// zero cap and their share returns to the pool.
+    pub active: bool,
+}
+
+impl ServerDemand {
+    /// Demand headroom above the floor, clamped non-negative.
+    fn headroom(&self) -> f64 {
+        (self.demand_w - self.min_w).max(0.0)
+    }
+}
+
+/// Splits `global_cap_w` across servers according to `split`.
+///
+/// The returned caps sum to at most `global_cap_w` (up to rounding in the
+/// last FastCap quantum) and are zero for inactive servers. When the
+/// budget cannot even cover every active server's floor, floors are scaled
+/// down proportionally — each server then receives an unreachable cap and
+/// degrades to its all-minimum plan (see `PowerCapPolicy`).
+pub fn split_caps(
+    split: CapSplit,
+    global_cap_w: f64,
+    demands: &[ServerDemand],
+    quantum_w: f64,
+) -> Vec<f64> {
+    let n_active = demands.iter().filter(|d| d.active).count();
+    if n_active == 0 {
+        return vec![0.0; demands.len()];
+    }
+    match split {
+        CapSplit::Uniform => {
+            let share = global_cap_w / n_active as f64;
+            demands
+                .iter()
+                .map(|d| if d.active { share } else { 0.0 })
+                .collect()
+        }
+        CapSplit::DemandProportional => {
+            let mut caps = floors(global_cap_w, demands);
+            let used: f64 = caps.iter().sum();
+            let spare = (global_cap_w - used).max(0.0);
+            let total_headroom: f64 = demands
+                .iter()
+                .filter(|d| d.active)
+                .map(ServerDemand::headroom)
+                .sum();
+            for (cap, d) in caps.iter_mut().zip(demands) {
+                if !d.active {
+                    continue;
+                }
+                *cap += if total_headroom > 0.0 {
+                    spare * d.headroom() / total_headroom
+                } else {
+                    spare / n_active as f64
+                };
+            }
+            caps
+        }
+        CapSplit::FastCap => fastcap_split(global_cap_w, demands, quantum_w),
+    }
+}
+
+/// Per-server power floors: each active server's all-minimum power, scaled
+/// down proportionally when the budget cannot cover them all.
+fn floors(global_cap_w: f64, demands: &[ServerDemand]) -> Vec<f64> {
+    let total_min: f64 = demands.iter().filter(|d| d.active).map(|d| d.min_w).sum();
+    let scale = if total_min > global_cap_w {
+        global_cap_w / total_min
+    } else {
+        1.0
+    };
+    demands
+        .iter()
+        .map(|d| if d.active { d.min_w * scale } else { 0.0 })
+        .collect()
+}
+
+/// Predicted relative performance (0..=1) of a server allocated `cap`
+/// watts, under the concave curve `perf = sqrt(fill)` where `fill` is the
+/// fraction of the demand headroom covered. Square root models diminishing
+/// returns: the first watts above the floor buy back the most performance.
+fn perf_at(d: &ServerDemand, cap: f64) -> f64 {
+    let headroom = d.headroom();
+    if headroom <= 0.0 {
+        return 1.0;
+    }
+    let fill = ((cap - d.min_w) / headroom).clamp(0.0, 1.0);
+    fill.sqrt()
+}
+
+/// Predicted absolute performance: relative performance scaled by the
+/// server's uncapped demand, the coordinator's proxy for how much work the
+/// machine does at full speed. Without the weighting the greedy would hand
+/// small-headroom servers the most watts above their floors (their
+/// *relative* curves are steepest) and starve the servers whose watts buy
+/// the most instructions.
+fn utility_at(d: &ServerDemand, cap: f64) -> f64 {
+    d.demand_w * perf_at(d, cap)
+}
+
+/// The marginal-utility greedy allocation.
+fn fastcap_split(global_cap_w: f64, demands: &[ServerDemand], quantum_w: f64) -> Vec<f64> {
+    let mut caps = floors(global_cap_w, demands);
+    let mut spare = global_cap_w - caps.iter().sum::<f64>();
+    // Grant quanta while any server still gains from them.
+    while spare > 1e-9 {
+        let q = quantum_w.min(spare);
+        let mut best: Option<(usize, f64)> = None;
+        for (i, d) in demands.iter().enumerate() {
+            if !d.active || caps[i] >= d.demand_w {
+                continue;
+            }
+            let gain = utility_at(d, caps[i] + q) - utility_at(d, caps[i]);
+            if gain > 0.0 && best.is_none_or(|(_, g)| gain > g) {
+                best = Some((i, gain));
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                caps[i] += q;
+                spare -= q;
+            }
+            // Everyone saturated: park the leftover uniformly as headroom
+            // so transient demand spikes between rounds stay within budget.
+            None => {
+                let n_active = demands.iter().filter(|d| d.active).count() as f64;
+                for (cap, d) in caps.iter_mut().zip(demands) {
+                    if d.active {
+                        *cap += spare / n_active;
+                    }
+                }
+                break;
+            }
+        }
+    }
+    caps
+}
+
+/// Jain's fairness index over a set of non-negative allocations:
+/// `(Σx)² / (n·Σx²)`, 1 when perfectly equal, `1/n` when one party takes
+/// everything. Empty or all-zero inputs report 1 (nothing is unfair about
+/// nothing).
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq <= 0.0 {
+        return 1.0;
+    }
+    sum * sum / (xs.len() as f64 * sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(demand_w: f64, min_w: f64) -> ServerDemand {
+        ServerDemand {
+            demand_w,
+            min_w,
+            active: true,
+        }
+    }
+
+    #[test]
+    fn uniform_splits_equally_among_active() {
+        let mut ds = vec![d(100.0, 30.0), d(200.0, 30.0), d(50.0, 30.0)];
+        ds[1].active = false;
+        let caps = split_caps(CapSplit::Uniform, 120.0, &ds, 1.0);
+        assert_eq!(caps, vec![60.0, 0.0, 60.0]);
+    }
+
+    #[test]
+    fn demand_proportional_tracks_headroom() {
+        let ds = vec![d(130.0, 30.0), d(80.0, 30.0)];
+        // Floors take 60; spare 90 splits 2:1 by headroom (100 vs 50).
+        let caps = split_caps(CapSplit::DemandProportional, 150.0, &ds, 1.0);
+        assert!((caps[0] - 90.0).abs() < 1e-9, "{caps:?}");
+        assert!((caps[1] - 60.0).abs() < 1e-9, "{caps:?}");
+    }
+
+    #[test]
+    fn fastcap_never_exceeds_budget_and_covers_floors() {
+        let ds = vec![d(150.0, 40.0), d(90.0, 35.0), d(60.0, 30.0)];
+        for budget in [110.0, 160.0, 250.0, 400.0] {
+            let caps = split_caps(CapSplit::FastCap, budget, &ds, 1.0);
+            let total: f64 = caps.iter().sum();
+            assert!(total <= budget + 1e-6, "budget {budget}: {caps:?}");
+            if budget >= 105.0 {
+                for (c, dem) in caps.iter().zip(&ds) {
+                    assert!(*c >= dem.min_w - 1e-9, "floor unmet: {caps:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fastcap_beats_uniform_on_modelled_performance() {
+        // Strongly heterogeneous demand: uniform wastes budget on the
+        // small server while starving the big ones.
+        let ds = vec![d(200.0, 40.0), d(180.0, 40.0), d(50.0, 40.0)];
+        let budget = 270.0;
+        let uni = split_caps(CapSplit::Uniform, budget, &ds, 1.0);
+        let fc = split_caps(CapSplit::FastCap, budget, &ds, 1.0);
+        let perf =
+            |caps: &[f64]| -> f64 { caps.iter().zip(&ds).map(|(c, d)| utility_at(d, *c)).sum() };
+        assert!(
+            perf(&fc) > perf(&uni) + 1e-6,
+            "fastcap {} vs uniform {}",
+            perf(&fc),
+            perf(&uni)
+        );
+    }
+
+    #[test]
+    fn infeasible_floors_scale_down() {
+        let ds = vec![d(100.0, 60.0), d(100.0, 60.0)];
+        for split in [
+            CapSplit::Uniform,
+            CapSplit::DemandProportional,
+            CapSplit::FastCap,
+        ] {
+            let caps = split_caps(split, 60.0, &ds, 1.0);
+            assert!(caps.iter().sum::<f64>() <= 60.0 + 1e-9, "{split}: {caps:?}");
+        }
+    }
+
+    #[test]
+    fn jain_index_extremes() {
+        assert!((jain_index(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+}

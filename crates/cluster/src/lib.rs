@@ -1,0 +1,57 @@
+//! # cluster — multi-server CoScale under one datacenter power budget
+//!
+//! The paper sketches power capping as CoScale's natural extension (§2.3);
+//! the single-server `PowerCapPolicy` in the `coscale` crate implements
+//! it. This crate lifts that to a rack: **N independent servers**, each
+//! running the full epoch engine on its own workload mix, coordinated by a
+//! **cluster-level controller** that periodically redistributes one global
+//! power budget into per-server caps — the shape FastCap (Liu et al.)
+//! studies, motivated by cluster-level power management work such as
+//! PowerTracer.
+//!
+//! The control loop is round-based:
+//!
+//! 1. At each round boundary every server reports telemetry: predicted
+//!    uncapped demand, its power floor, measured power, and completion
+//!    status.
+//! 2. The coordinator splits the global budget into per-server caps using
+//!    one of three disciplines ([`CapSplit`]): uniform,
+//!    demand-proportional, or FastCap-style marginal-utility greedy.
+//!    Finished servers return their share to the pool.
+//! 3. Every server runs `epochs_per_round` epochs of the ordinary
+//!    profiling/decision/execution engine with `PowerCapPolicy` reading
+//!    its (freshly rewritten) cap.
+//!
+//! Servers only exchange state at round barriers, so rounds fan out across
+//! `std::thread` scoped workers with **bit-identical results for any
+//! thread count** — see `ClusterResult::digest`.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use cluster::{run_cluster, CapSplit, ClusterConfig, ServerSpec};
+//!
+//! let fleet: Vec<ServerSpec> = (0..8)
+//!     .map(|i| ServerSpec::small(&format!("srv{i}"), "MID1", i as u64))
+//!     .collect();
+//! let cfg = ClusterConfig::new(fleet, 400.0, CapSplit::FastCap).with_threads(4);
+//! let result = run_cluster(cfg);
+//! println!(
+//!     "total energy {:.1} J, fairness {:.3}",
+//!     result.total_energy_j(),
+//!     result.cap_fairness()
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod coordinator;
+mod server;
+mod sim;
+
+pub use config::{CapSplit, ClusterConfig, ServerSpec};
+pub use coordinator::{jain_index, split_caps, ServerDemand};
+pub use server::{Server, ServerStatus};
+pub use sim::{run_cluster, ClusterResult, ClusterSim, ServerOutcome};

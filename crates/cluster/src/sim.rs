@@ -1,0 +1,251 @@
+//! The cluster simulation loop: rounds of (collect telemetry → split the
+//! budget → run every server a few epochs in parallel), repeated until
+//! every server's workload completes.
+
+use crate::coordinator::{jain_index, split_caps, ServerDemand};
+use crate::server::{Server, ServerStatus};
+use crate::{CapSplit, ClusterConfig};
+use coscale::RunResult;
+use simkernel::Ps;
+
+/// One server's final accounting.
+#[derive(Clone, Debug)]
+pub struct ServerOutcome {
+    /// Server name from the spec.
+    pub name: String,
+    /// The single-server result (energy, makespan, latency percentiles…).
+    pub result: RunResult,
+    /// Mean cap granted over the server's rounds, watts.
+    pub mean_cap_w: f64,
+    /// Cap granted in the server's last round, watts.
+    pub final_cap_w: f64,
+    /// Rounds whose measured average power exceeded the granted cap by
+    /// more than the 5% modelling tolerance.
+    pub violation_rounds: u64,
+    /// Instructions the workload committed across all cores (the
+    /// completion target × cores).
+    pub total_target_instrs: u64,
+}
+
+impl ServerOutcome {
+    /// Aggregate instruction throughput: target instructions over the
+    /// server's makespan, instructions per second.
+    pub fn throughput_ips(&self) -> f64 {
+        self.total_target_instrs as f64 / self.result.makespan.as_secs_f64()
+    }
+}
+
+/// Everything one cluster simulation produces.
+#[derive(Clone, Debug)]
+pub struct ClusterResult {
+    /// The splitting discipline that ran.
+    pub split: CapSplit,
+    /// The global budget, watts.
+    pub global_cap_w: f64,
+    /// Per-server outcomes, in fleet order.
+    pub outcomes: Vec<ServerOutcome>,
+    /// Coordination rounds executed.
+    pub rounds: usize,
+    /// Per-round per-server caps (rounds × servers), watts.
+    pub cap_timeline: Vec<Vec<f64>>,
+}
+
+impl ClusterResult {
+    /// Total cluster energy to each server's completion, joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .map(|o| o.result.total_energy_j())
+            .sum()
+    }
+
+    /// Cluster makespan: the slowest server's completion.
+    pub fn makespan(&self) -> Ps {
+        self.outcomes
+            .iter()
+            .map(|o| o.result.makespan)
+            .fold(Ps::ZERO, Ps::max)
+    }
+
+    /// Aggregate performance: the sum of per-server instruction
+    /// throughputs, instructions per second.
+    pub fn aggregate_throughput_ips(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .map(ServerOutcome::throughput_ips)
+            .sum()
+    }
+
+    /// Cap-violation rounds summed over the fleet.
+    pub fn total_violations(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.violation_rounds).sum()
+    }
+
+    /// Jain fairness index over the mean cap each server was granted:
+    /// 1 under a perfectly equal allocation, approaching `1/N` as the
+    /// budget concentrates on one server.
+    pub fn cap_fairness(&self) -> f64 {
+        let caps: Vec<f64> = self.outcomes.iter().map(|o| o.mean_cap_w).collect();
+        jain_index(&caps)
+    }
+
+    /// Jain fairness index over per-server completion speed
+    /// (1/makespan) — performance fairness rather than allocation
+    /// fairness.
+    pub fn perf_fairness(&self) -> f64 {
+        let speeds: Vec<f64> = self
+            .outcomes
+            .iter()
+            .map(|o| 1.0 / o.result.makespan.as_secs_f64())
+            .collect();
+        jain_index(&speeds)
+    }
+
+    /// Per-server completion-time degradation versus the same fleet under
+    /// `base` (matched by position): `t/t_base − 1`.
+    pub fn slowdowns_vs(&self, base: &ClusterResult) -> Vec<f64> {
+        self.outcomes
+            .iter()
+            .zip(&base.outcomes)
+            .map(|(a, b)| a.result.makespan.as_secs_f64() / b.result.makespan.as_secs_f64() - 1.0)
+            .collect()
+    }
+
+    /// A bit-exact digest of every scheduling-sensitive number in the
+    /// result — per-server makespans, energies, caps, violations and the
+    /// full cap timeline. Two runs of the same configuration must produce
+    /// identical digests regardless of the worker thread count.
+    pub fn digest(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!(
+            "split={} cap={:016x}\n",
+            self.split,
+            self.global_cap_w.to_bits()
+        );
+        for o in &self.outcomes {
+            let _ = writeln!(
+                s,
+                "{} makespan={} energy={:016x} mean_cap={:016x} viol={} epochs={}",
+                o.name,
+                o.result.makespan.as_ps(),
+                o.result.total_energy_j().to_bits(),
+                o.mean_cap_w.to_bits(),
+                o.violation_rounds,
+                o.result.epochs,
+            );
+        }
+        for (r, caps) in self.cap_timeline.iter().enumerate() {
+            let _ = write!(s, "round {r}:");
+            for c in caps {
+                let _ = write!(s, " {:016x}", c.to_bits());
+            }
+            let _ = writeln!(s);
+        }
+        s
+    }
+}
+
+/// The cluster simulator. Build with a validated [`ClusterConfig`], then
+/// call [`ClusterSim::run`].
+pub struct ClusterSim {
+    config: ClusterConfig,
+    servers: Vec<Server>,
+}
+
+impl ClusterSim {
+    /// Builds the fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: ClusterConfig) -> ClusterSim {
+        if let Err(e) = config.validate() {
+            panic!("invalid cluster config: {e}");
+        }
+        let initial = config.global_cap_w / config.servers.len() as f64;
+        let servers = config
+            .servers
+            .iter()
+            .map(|spec| Server::new(spec, initial))
+            .collect();
+        ClusterSim { config, servers }
+    }
+
+    /// Runs rounds until every server completes, then aggregates.
+    ///
+    /// Within a round servers are advanced on up to `config.threads`
+    /// worker threads. Servers exchange state with the coordinator only at
+    /// round barriers, so results are bit-identical for every thread
+    /// count.
+    pub fn run(mut self) -> ClusterResult {
+        let mut cap_timeline: Vec<Vec<f64>> = Vec::new();
+        let mut rounds = 0usize;
+        while self.servers.iter().any(|s| !s.is_done()) {
+            // --- coordinate: telemetry in, caps out ---
+            let statuses: Vec<ServerStatus> = self.servers.iter_mut().map(Server::status).collect();
+            let demands: Vec<ServerDemand> = statuses.iter().map(|s| s.demand).collect();
+            let caps = split_caps(
+                self.config.split,
+                self.config.global_cap_w,
+                &demands,
+                self.config.quantum_w,
+            );
+            for (server, &cap) in self.servers.iter_mut().zip(&caps) {
+                server.set_cap(cap);
+            }
+            cap_timeline.push(caps);
+
+            // --- advance every server one coordination period ---
+            let epochs = self.config.epochs_per_round;
+            if self.config.threads == 1 {
+                for server in &mut self.servers {
+                    server.step_round(epochs);
+                }
+            } else {
+                let chunk = self.servers.len().div_ceil(self.config.threads);
+                std::thread::scope(|scope| {
+                    for servers in self.servers.chunks_mut(chunk) {
+                        scope.spawn(move || {
+                            for server in servers {
+                                server.step_round(epochs);
+                            }
+                        });
+                    }
+                });
+            }
+            rounds += 1;
+        }
+
+        let outcomes = self
+            .servers
+            .into_iter()
+            .map(|server| {
+                let name = server.name.clone();
+                let mean_cap_w = server.mean_cap_w();
+                let final_cap_w = server.cap_w();
+                let violation_rounds = server.violations();
+                let total_target_instrs = server.total_target_instrs();
+                ServerOutcome {
+                    name,
+                    mean_cap_w,
+                    final_cap_w,
+                    violation_rounds,
+                    total_target_instrs,
+                    result: server.finalize(),
+                }
+            })
+            .collect();
+        ClusterResult {
+            split: self.config.split,
+            global_cap_w: self.config.global_cap_w,
+            outcomes,
+            rounds,
+            cap_timeline,
+        }
+    }
+}
+
+/// Convenience: build and run a cluster in one call.
+pub fn run_cluster(config: ClusterConfig) -> ClusterResult {
+    ClusterSim::new(config).run()
+}

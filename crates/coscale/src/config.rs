@@ -157,7 +157,10 @@ impl SimConfig {
     /// Returns a message describing the first inconsistency found.
     pub fn validate(&self) -> Result<(), String> {
         if self.cores == 0 || self.cores > 16 {
-            return Err(format!("cores {} out of 1..=16 (mixes define 16)", self.cores));
+            return Err(format!(
+                "cores {} out of 1..=16 (mixes define 16)",
+                self.cores
+            ));
         }
         if self.core_freqs.is_empty() {
             return Err("empty core frequency grid".into());

@@ -2,8 +2,8 @@
 //! under one event queue, driven in profiling/decision/execution epochs.
 
 use crate::{
-    extract_profile, make_policy, normalize_profile, EpochProfile, Model, Plan, Policy,
-    PolicyKind, SimConfig,
+    extract_profile, make_policy, normalize_profile, EpochProfile, Model, Plan, Policy, PolicyKind,
+    SimConfig,
 };
 use cpusim::{CoreCounters, CoreOutput, CoreSim, L2Cache, Wake};
 use memsim::{LineAddr, MemCounters, MemEvent, MemorySystem, Outcome};
@@ -252,17 +252,13 @@ impl System {
                 },
             );
         }
-        if self.completion[id].is_none() && self.cores[id].instrs() >= self.config.target_instrs
-        {
+        if self.completion[id].is_none() && self.cores[id].instrs() >= self.config.target_instrs {
             self.completion[id] = Some(self.now);
         }
     }
 
     fn finish_read(&mut self, tag: u64) {
-        let info = self
-            .tags
-            .remove(&tag)
-            .expect("completion for unknown tag");
+        let info = self.tags.remove(&tag).expect("completion for unknown tag");
         self.core_out.clear();
         let mut out = std::mem::take(&mut self.core_out);
         let runnable = if info.prefetch {
@@ -341,7 +337,8 @@ struct Segment {
     power: SystemPower,
 }
 
-/// One epoch's decision record, for timeline figures.
+/// One epoch's decision record, for timeline figures and for cluster-level
+/// coordinators that need each server's power demand.
 #[derive(Clone, Debug)]
 pub struct EpochRecord {
     /// Epoch index.
@@ -354,6 +351,14 @@ pub struct EpochRecord {
     pub slack: Vec<f64>,
     /// The model's predicted SER for the chosen plan.
     pub predicted_ser: f64,
+    /// The model's predicted full-system power for the chosen plan, watts.
+    pub predicted_power_w: f64,
+    /// Predicted power at the all-maximum plan — the server's uncapped
+    /// demand this epoch, watts.
+    pub demand_power_w: f64,
+    /// Predicted power at the all-minimum plan — the floor below which no
+    /// cap is reachable, watts.
+    pub min_power_w: f64,
 }
 
 /// Everything a single run produces.
@@ -458,6 +463,11 @@ impl RunResult {
 }
 
 /// Runs one complete workload under `policy`.
+///
+/// A runner can either be driven to completion in one call ([`Runner::run`])
+/// or stepped epoch by epoch ([`Runner::step_epoch`]) so an external
+/// coordinator — such as the cluster-level power capper in the `cluster`
+/// crate — can observe telemetry and adjust the policy between epochs.
 pub struct Runner {
     sys: System,
     policy: Box<dyn Policy>,
@@ -465,19 +475,22 @@ pub struct Runner {
     segments: Vec<Segment>,
     records: Vec<EpochRecord>,
     geom: MemGeometry,
+    epoch: usize,
 }
 
 impl Runner {
     /// Creates a runner for `config` under the given policy kind.
     pub fn new(config: SimConfig, kind: PolicyKind) -> Runner {
         let geom = MemGeometry::of(&config.mem);
+        let n = config.cores;
         Runner {
             sys: System::new(config),
             policy: make_policy(kind),
-            slack: Vec::new(),
+            slack: vec![0.0; n],
             segments: Vec::new(),
             records: Vec::new(),
             geom,
+            epoch: 0,
         }
     }
 
@@ -514,12 +527,7 @@ impl Runner {
         }
         let cfg = &self.sys.config;
         let cores: Vec<(Freq, CoreCounters)> = (0..a.cores.len())
-            .map(|i| {
-                (
-                    cfg.core_freqs[plan.cores[i]],
-                    b.cores[i].delta(&a.cores[i]),
-                )
-            })
+            .map(|i| (cfg.core_freqs[plan.cores[i]], b.cores[i].delta(&a.cores[i])))
             .collect();
         let mut power = system_power(
             &cfg.power,
@@ -554,6 +562,44 @@ impl Runner {
         });
     }
 
+    /// Whether every application has reached its instruction target.
+    pub fn is_done(&self) -> bool {
+        self.sys.all_done()
+    }
+
+    /// Number of epochs executed so far.
+    pub fn epochs_run(&self) -> usize {
+        self.epoch
+    }
+
+    /// The per-epoch decision records so far.
+    pub fn records(&self) -> &[EpochRecord] {
+        &self.records
+    }
+
+    /// The underlying system (for telemetry).
+    pub fn system(&self) -> &System {
+        &self.sys
+    }
+
+    /// The policy driving decisions (for coordinators adjusting it between
+    /// epochs).
+    pub fn policy_mut(&mut self) -> &mut dyn Policy {
+        self.policy.as_mut()
+    }
+
+    /// Full-system energy integrated over all segments so far, joules.
+    ///
+    /// Unlike the final [`RunResult`] energies this is not prorated to the
+    /// makespan — it is live telemetry for coordinators while the workload
+    /// is still running.
+    pub fn energy_so_far_j(&self) -> f64 {
+        self.segments
+            .iter()
+            .map(|s| s.power.total() * (s.end - s.start).as_secs_f64())
+            .sum()
+    }
+
     /// Runs to completion and produces the result.
     ///
     /// # Panics
@@ -561,96 +607,132 @@ impl Runner {
     /// Panics if the workload fails to complete within `max_epochs` (a
     /// configuration error).
     pub fn run(mut self) -> RunResult {
+        while !self.is_done() {
+            self.step_epoch();
+        }
+        self.finalize()
+    }
+
+    /// Executes one profiling/decision/execution epoch. No-op once the
+    /// workload is complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload fails to complete within `max_epochs` (a
+    /// configuration error).
+    pub fn step_epoch(&mut self) {
+        if self.sys.all_done() {
+            return;
+        }
         let cfg = self.sys.config.clone();
         let n = cfg.cores;
-        self.slack = vec![0.0; n];
-        let mut epoch = 0usize;
+        let epoch = self.epoch;
+        assert!(
+            epoch < cfg.max_epochs,
+            "workload did not complete in {} epochs",
+            cfg.max_epochs
+        );
+        let start_snap = self.sys.snapshot();
+        let epoch_start = start_snap.at;
+        let old_plan = self.sys.plan().clone();
 
-        while !self.sys.all_done() {
-            assert!(
-                epoch < cfg.max_epochs,
-                "workload did not complete in {} epochs",
-                cfg.max_epochs
-            );
-            let start_snap = self.sys.snapshot();
-            let epoch_start = start_snap.at;
-            let old_plan = self.sys.plan().clone();
+        // --- profiling phase ---
+        self.sys.run_until(epoch_start + cfg.profile_window);
+        let prof_snap = self.sys.snapshot();
+        self.add_segment(&start_snap, &prof_snap, &old_plan);
 
-            // --- profiling phase ---
-            self.sys.run_until(epoch_start + cfg.profile_window);
-            let prof_snap = self.sys.snapshot();
-            self.add_segment(&start_snap, &prof_snap, &old_plan);
+        // --- decision ---
+        let profile = if self.policy.needs_oracle() {
+            // Perfect lookahead: run a checkpoint to the epoch end at
+            // the current frequencies, profile the whole epoch, rewind.
+            let mut oracle = self.sys.clone();
+            oracle.run_until(epoch_start + cfg.epoch);
+            let end = oracle.snapshot();
+            self.oracle_profile(&start_snap, &end, &old_plan)
+        } else {
+            self.profile_between(&start_snap, &prof_snap, &old_plan)
+        };
+        let model = Model::new(
+            &profile,
+            &cfg.core_freqs,
+            &cfg.mem.freq_grid,
+            &cfg.power,
+            self.geom,
+            &cfg.mem.timings,
+            &self.slack,
+            cfg.epoch,
+            cfg.gamma,
+        )
+        .with_voltage_domains(cfg.voltage_domain_cores);
+        let plan = self.policy.decide(&model, &old_plan);
+        let predicted_ser = model.ser(&plan);
+        let predicted_power_w = model.power(&plan).total();
+        let demand_power_w = model
+            .power(&Plan::max(n, cfg.core_freqs.len(), cfg.mem.freq_grid.len()))
+            .total();
+        let min_power_w = model
+            .power(&Plan {
+                cores: vec![0; n],
+                mem: 0,
+            })
+            .total();
+        drop(model);
+        self.sys.apply_plan(&plan);
 
-            // --- decision ---
-            let profile = if self.policy.needs_oracle() {
-                // Perfect lookahead: run a checkpoint to the epoch end at
-                // the current frequencies, profile the whole epoch, rewind.
-                let mut oracle = self.sys.clone();
-                oracle.run_until(epoch_start + cfg.epoch);
-                let end = oracle.snapshot();
-                self.oracle_profile(&start_snap, &end, &old_plan)
-            } else {
-                self.profile_between(&start_snap, &prof_snap, &old_plan)
-            };
-            let model = Model::new(
-                &profile,
-                &cfg.core_freqs,
-                &cfg.mem.freq_grid,
-                &cfg.power,
-                self.geom,
-                &cfg.mem.timings,
-                &self.slack,
-                cfg.epoch,
-                cfg.gamma,
-            )
-            .with_voltage_domains(cfg.voltage_domain_cores);
-            let plan = self.policy.decide(&model, &old_plan);
-            let predicted_ser = model.ser(&plan);
-            drop(model);
-            self.sys.apply_plan(&plan);
+        // --- execution phase ---
+        self.sys.run_until(epoch_start + cfg.epoch);
+        let end_snap = self.sys.snapshot();
+        self.add_segment(&prof_snap, &end_snap, &plan);
 
-            // --- execution phase ---
-            self.sys.run_until(epoch_start + cfg.epoch);
-            let end_snap = self.sys.snapshot();
-            self.add_segment(&prof_snap, &end_snap, &plan);
-
-            // --- slack settlement (paper §3: estimate what performance
-            // would have been at maximum frequencies and bank the
-            // difference) ---
-            let epoch_profile = self.profile_between(&start_snap, &end_snap, &plan);
-            let settle = Model::new(
-                &epoch_profile,
-                &cfg.core_freqs,
-                &cfg.mem.freq_grid,
-                &cfg.power,
-                self.geom,
-                &cfg.mem.timings,
-                &self.slack,
-                cfg.epoch,
-                cfg.gamma,
-            );
-            let epoch_s = cfg.epoch.as_secs_f64();
-            for i in 0..n {
-                let instrs = (end_snap.cores[i].tic - start_snap.cores[i].tic) as f64;
-                let tpi_max = settle.tpi(i, cfg.max_core_idx(), cfg.mem.max_freq_idx());
-                let target = instrs * tpi_max * (1.0 + cfg.gamma);
-                self.slack[i] += target - epoch_s;
-                // Bound the bank so numeric drift cannot hide real debt and
-                // surpluses cannot grow without bound.
-                self.slack[i] = self.slack[i].clamp(-4.0 * epoch_s, 4.0 * epoch_s);
-            }
-
-            self.records.push(EpochRecord {
-                epoch,
-                start: epoch_start,
-                plan: plan.clone(),
-                slack: self.slack.clone(),
-                predicted_ser,
-            });
-            epoch += 1;
+        // --- slack settlement (paper §3: estimate what performance
+        // would have been at maximum frequencies and bank the
+        // difference) ---
+        let epoch_profile = self.profile_between(&start_snap, &end_snap, &plan);
+        let settle = Model::new(
+            &epoch_profile,
+            &cfg.core_freqs,
+            &cfg.mem.freq_grid,
+            &cfg.power,
+            self.geom,
+            &cfg.mem.timings,
+            &self.slack,
+            cfg.epoch,
+            cfg.gamma,
+        );
+        let epoch_s = cfg.epoch.as_secs_f64();
+        for i in 0..n {
+            let instrs = (end_snap.cores[i].tic - start_snap.cores[i].tic) as f64;
+            let tpi_max = settle.tpi(i, cfg.max_core_idx(), cfg.mem.max_freq_idx());
+            let target = instrs * tpi_max * (1.0 + cfg.gamma);
+            self.slack[i] += target - epoch_s;
+            // Bound the bank so numeric drift cannot hide real debt and
+            // surpluses cannot grow without bound.
+            self.slack[i] = self.slack[i].clamp(-4.0 * epoch_s, 4.0 * epoch_s);
         }
 
-        self.finish(epoch)
+        self.records.push(EpochRecord {
+            epoch,
+            start: epoch_start,
+            plan,
+            slack: self.slack.clone(),
+            predicted_ser,
+            predicted_power_w,
+            demand_power_w,
+            min_power_w,
+        });
+        self.epoch += 1;
+    }
+
+    /// Consumes the runner and produces the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload has not completed yet (drive it with
+    /// [`Runner::run`] or [`Runner::step_epoch`] first).
+    pub fn finalize(self) -> RunResult {
+        assert!(self.sys.all_done(), "finalize() before workload completion");
+        let epochs = self.epoch;
+        self.finish(epochs)
     }
 
     /// Oracle profile over the full epoch (start snapshot to the lookahead
@@ -709,8 +791,7 @@ impl Runner {
             bus_utilization: mem_ctr.bus_utilization(makespan, cfg.mem.channels),
             row_hit_rate: mem_ctr.row_hits as f64 / mem_accesses as f64,
             avg_read_latency_ns: mem_ctr.avg_read_latency().as_ps() as f64 / 1e3,
-            mem_sleep_fraction: mem_ctr
-                .rank_sleep_fraction(makespan, cfg.mem.total_ranks()),
+            mem_sleep_fraction: mem_ctr.rank_sleep_fraction(makespan, cfg.mem.total_ranks()),
             read_lat_p50_ns: sys.mem().read_latency_histogram().percentile(0.50) as f64 / 1e3,
             read_lat_p95_ns: sys.mem().read_latency_histogram().percentile(0.95) as f64 / 1e3,
             read_lat_p99_ns: sys.mem().read_latency_histogram().percentile(0.99) as f64 / 1e3,

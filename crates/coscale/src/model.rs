@@ -138,7 +138,11 @@ pub fn extract_profile(
 
 /// Finalizes the frequency-dependent part of a profile: converts measured
 /// busy time into frequency-invariant cycles per instruction.
-pub fn normalize_profile(profile: &mut EpochProfile, cores: &[(usize, CoreCounters)], grid: &[Freq]) {
+pub fn normalize_profile(
+    profile: &mut EpochProfile,
+    cores: &[(usize, CoreCounters)],
+    grid: &[Freq],
+) {
     for (cp, &(fidx, c)) in profile.cores.iter_mut().zip(cores) {
         let tic = c.tic.max(1) as f64;
         cp.cpu_cycles_pi = c.busy_time.as_secs_f64() * grid[fidx].as_hz() as f64 / tic;
@@ -286,8 +290,7 @@ impl<'a> Model<'a> {
         // Queueing waits scale with the service times they queue behind
         // (constant-ξ assumption inherited from MemScale).
         let bank_wait = p.bank_wait_s * s_new / s_now;
-        let bus_wait =
-            p.bus_wait_s * self.burst_s[fm] / self.burst_s[self.profile.mem_freq_idx];
+        let bus_wait = p.bus_wait_s * self.burst_s[fm] / self.burst_s[self.profile.mem_freq_idx];
         bank_wait + s_new + bus_wait
     }
 
@@ -368,12 +371,7 @@ impl<'a> Model<'a> {
     /// profiled throughput; memory traffic is assumed proportional.
     fn throughput_ratio(&self, plan: &Plan) -> f64 {
         let w = self.profile.window.as_secs_f64();
-        let prof_rate: f64 = self
-            .profile
-            .cores
-            .iter()
-            .map(|c| c.instrs as f64 / w)
-            .sum();
+        let prof_rate: f64 = self.profile.cores.iter().map(|c| c.instrs as f64 / w).sum();
         if prof_rate <= 0.0 {
             return 1.0;
         }
@@ -451,8 +449,7 @@ impl<'a> Model<'a> {
         let v_lo = self.domain_vfreq(&lower, i);
         let p_hi = powermodel::core_power_shared_domain(self.power_cfg, f_hi, v_hi, &c_hi, w);
         let p_lo = powermodel::core_power_shared_domain(self.power_cfg, f_lo, v_lo, &c_lo, w);
-        let d_perf =
-            self.slowdown(i, fc - 1, plan.mem) - self.slowdown(i, fc, plan.mem);
+        let d_perf = self.slowdown(i, fc - 1, plan.mem) - self.slowdown(i, fc, plan.mem);
         Some(StepUtility {
             d_power: (p_hi - p_lo).max(0.0),
             d_perf: d_perf.max(0.0),
@@ -605,7 +602,10 @@ mod tests {
         let m = model(&p, &cg, &mg, &pc, geom, &t, &[0.0, 0.0]);
         let d0 = m.slowdown(0, 0, 9) - 1.0;
         let d1 = m.slowdown(1, 0, 9) - 1.0;
-        assert!(d0 > d1, "compute-bound core should suffer more: {d0} vs {d1}");
+        assert!(
+            d0 > d1,
+            "compute-bound core should suffer more: {d0} vs {d1}"
+        );
     }
 
     #[test]
@@ -666,7 +666,9 @@ mod tests {
         let (cg, mg, pc, geom, t) = fixtures();
         let m = model(&p, &cg, &mg, &pc, geom, &t, &[0.0, 0.0]);
         let plan = Plan::max(2, cg.len(), mg.len());
-        let cu = m.core_step_utility(0, &plan).expect("step must be feasible");
+        let cu = m
+            .core_step_utility(0, &plan)
+            .expect("step must be feasible");
         assert!(cu.d_power > 0.0);
         assert!(cu.d_perf > 0.0);
         assert!(cu.value() > 0.0);
@@ -695,7 +697,15 @@ mod tests {
         let (cg, mg, pc, geom, t) = fixtures();
         let per_core = model(&p, &cg, &mg, &pc, geom, &t, &[0.0, 0.0]);
         let shared = Model::new(
-            &p, &cg, &mg, &pc, geom, &t, &[0.0, 0.0], Ps::from_ms(5), 0.10,
+            &p,
+            &cg,
+            &mg,
+            &pc,
+            geom,
+            &t,
+            &[0.0, 0.0],
+            Ps::from_ms(5),
+            0.10,
         )
         .with_voltage_domains(2);
         // One fast + one slow core: with a shared domain the slow core pays

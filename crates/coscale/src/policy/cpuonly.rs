@@ -41,9 +41,8 @@ pub(crate) fn best_cores_for_mem(model: &Model<'_>, mem: usize) -> (Plan, f64) {
         for i in 0..n {
             // Lowest frequency whose slowdown fits under both τ and the
             // slack bound; tpi is monotone in frequency so scan upward.
-            let choice = (0..=cmax).find(|&fc| {
-                model.core_ok(i, fc, mem) && model.slowdown(i, fc, mem) <= tau + 1e-12
-            });
+            let choice = (0..=cmax)
+                .find(|&fc| model.core_ok(i, fc, mem) && model.slowdown(i, fc, mem) <= tau + 1e-12);
             match choice {
                 Some(fc) => cores.push(fc),
                 None => {

@@ -39,45 +39,66 @@ impl Policy for PowerCapPolicy {
     fn decide(&mut self, model: &Model<'_>, _current: &Plan) -> Plan {
         let n = model.n_cores();
         let mut plan = Plan::max(n, model.core_grid_len(), model.mem_grid_len());
+        let mut cur_power = model.power(&plan).total();
+        let mut cur_slow = model.worst_slowdown(&plan);
 
-        while model.power(&plan).total() > self.cap_w {
+        // Each accepted step lowers exactly one grid index, so the walk
+        // takes at most n·(core grid − 1) + (mem grid − 1) iterations.
+        while cur_power > self.cap_w {
             // Candidate single steps: each core one step down, or memory one
             // step down. Pick the one shedding the most watts per unit of
             // performance lost. Feasibility here is only grid bounds — the
             // cap overrides the performance slack.
-            let mut best: Option<(Option<usize>, f64)> = None;
+            //
+            // (knob, utility, power after, slowdown after); knob None = mem.
+            let mut best: Option<(Option<usize>, f64, f64, f64)> = None;
 
             for i in 0..n {
                 if plan.cores[i] == 0 {
                     continue;
                 }
-                let mut next = plan.clone();
-                next.cores[i] -= 1;
-                let d_power = model.power(&plan).total() - model.power(&next).total();
-                let d_perf = (model.worst_slowdown(&next) - model.worst_slowdown(&plan))
-                    .max(1e-12);
-                let utility = d_power / d_perf;
-                if d_power > 0.0 && best.as_ref().is_none_or(|&(_, u)| utility > u) {
-                    best = Some((Some(i), utility));
+                plan.cores[i] -= 1;
+                let power = model.power(&plan).total();
+                let slow = model.worst_slowdown(&plan);
+                plan.cores[i] += 1;
+                let d_power = cur_power - power;
+                let utility = d_power / (slow - cur_slow).max(1e-12);
+                if d_power > 0.0 && best.is_none_or(|(_, u, _, _)| utility > u) {
+                    best = Some((Some(i), utility, power, slow));
                 }
             }
             if plan.mem > 0 {
-                let mut next = plan.clone();
-                next.mem -= 1;
-                let d_power = model.power(&plan).total() - model.power(&next).total();
-                let d_perf = (model.worst_slowdown(&next) - model.worst_slowdown(&plan))
-                    .max(1e-12);
-                let utility = d_power / d_perf;
-                if d_power > 0.0 && best.as_ref().is_none_or(|&(_, u)| utility > u) {
-                    best = Some((None, utility));
+                plan.mem -= 1;
+                let power = model.power(&plan).total();
+                let slow = model.worst_slowdown(&plan);
+                plan.mem += 1;
+                let d_power = cur_power - power;
+                let utility = d_power / (slow - cur_slow).max(1e-12);
+                if d_power > 0.0 && best.is_none_or(|(_, u, _, _)| utility > u) {
+                    best = Some((None, utility, power, slow));
                 }
             }
 
             match best {
-                Some((Some(i), _)) => plan.cores[i] -= 1,
-                Some((None, _)) => plan.mem -= 1,
-                // Nothing sheds power anymore: everything is at minimum.
-                None => break,
+                Some((knob, _, power, slow)) => {
+                    match knob {
+                        Some(i) => plan.cores[i] -= 1,
+                        None => plan.mem -= 1,
+                    }
+                    cur_power = power;
+                    cur_slow = slow;
+                }
+                // No remaining down-step sheds power: the cap is
+                // unreachable. Degrade to the all-minimum plan — the
+                // lowest-power configuration under a monotone power model —
+                // rather than reporting a higher-frequency plan that is
+                // still above budget.
+                None => {
+                    return Plan {
+                        cores: vec![0; n],
+                        mem: 0,
+                    };
+                }
             }
         }
         plan

@@ -27,14 +27,12 @@ impl Policy for UncoordinatedPolicy {
 
         // CPU manager: baseline is "cores at max, memory as it is now";
         // no accumulated slack is consulted (it assumes none exists).
-        let cpu_allowed =
-            |i: usize| model.tpi(i, cmax, current.mem) * (1.0 + gamma);
+        let cpu_allowed = |i: usize| model.tpi(i, cmax, current.mem) * (1.0 + gamma);
         let cores = cpu_manager_plan(model, current.mem, cpu_allowed);
 
         // Memory manager: baseline is "memory at max, cores as they are
         // now"; also consumes the full budget.
-        let mem_allowed =
-            |i: usize| model.tpi(i, current.cores[i], mmax) * (1.0 + gamma);
+        let mem_allowed = |i: usize| model.tpi(i, current.cores[i], mmax) * (1.0 + gamma);
         let mem = mem_manager_plan(model, &current.cores, mem_allowed);
 
         Plan { cores, mem }

@@ -118,7 +118,11 @@ fn prefetch_speeds_up_streaming_mix_end_to_end() {
         pref.makespan,
         base.makespan
     );
-    assert!(pref.prefetch_accuracy > 0.5, "accuracy {}", pref.prefetch_accuracy);
+    assert!(
+        pref.prefetch_accuracy > 0.5,
+        "accuracy {}",
+        pref.prefetch_accuracy
+    );
 }
 
 #[test]

@@ -57,7 +57,10 @@ fn coscale_saves_energy_within_bound() {
             worst <= 0.115,
             "{m}: CoScale must respect the 10% bound (+tolerance), got {worst}"
         );
-        assert!(savings > 0.02, "{m}: CoScale should save energy, got {savings}");
+        assert!(
+            savings > 0.02,
+            "{m}: CoScale should save energy, got {savings}"
+        );
         assert!(avg <= worst + 1e-12);
     }
 }
@@ -125,7 +128,10 @@ fn offline_bounds_coscale_from_above_approximately() {
         .degradation_vs(&base)
         .into_iter()
         .fold(f64::NEG_INFINITY, f64::max);
-    assert!(worst <= 0.115, "Offline must respect the bound too: {worst}");
+    assert!(
+        worst <= 0.115,
+        "Offline must respect the bound too: {worst}"
+    );
 }
 
 #[test]

@@ -147,7 +147,7 @@ fn cpuonly_leaves_memory_at_max() {
     let p = contrast_profile();
     let slack = [0.0, 0.0];
     let m = model(&f, &p, &slack, 0.10);
-    let plan = CpuOnlyPolicy::default().decide(&m, &Plan::max(2, 10, 10));
+    let plan = CpuOnlyPolicy.decide(&m, &Plan::max(2, 10, 10));
     assert_eq!(plan.mem, 9);
     assert!(plan.cores.iter().any(|&c| c < 9));
     assert!(m.plan_ok(&plan));
@@ -165,7 +165,7 @@ fn offline_dominates_every_other_policy_in_model_ser() {
     for plan in [
         CoScalePolicy::default().decide(&m, &max),
         MemScalePolicy.decide(&m, &max),
-        CpuOnlyPolicy::default().decide(&m, &max),
+        CpuOnlyPolicy.decide(&m, &max),
         StaticMaxPolicy.decide(&m, &max),
     ] {
         assert!(
@@ -214,6 +214,30 @@ fn power_cap_prefers_cheap_performance() {
         "capper should shed from the insensitive core first: {:?}",
         plan.cores
     );
+}
+
+#[test]
+fn power_cap_sub_minimum_budget_returns_all_min_plan() {
+    // A cap below even the all-minimum plan's power (leakage + idle DRAM is
+    // tens of watts) is unreachable: decide must terminate and hand back
+    // the all-minimum plan, never loop or panic.
+    let f = fix();
+    let p = contrast_profile();
+    let slack = [0.0, 0.0];
+    let m = model(&f, &p, &slack, 0.10);
+    let max = Plan::max(2, 10, 10);
+    let all_min = Plan {
+        cores: vec![0; 2],
+        mem: 0,
+    };
+    assert!(
+        m.power(&all_min).total() > f64::MIN_POSITIVE,
+        "test premise: even all-min draws real power"
+    );
+    for cap in [f64::MIN_POSITIVE, 1e-9, 0.5] {
+        let plan = PowerCapPolicy::new(cap).decide(&m, &max);
+        assert_eq!(plan, all_min, "cap {cap} should bottom out at all-min");
+    }
 }
 
 #[test]

@@ -398,9 +398,11 @@ mod tests {
         let lines = same_set_lines(&c, 8);
         let set9 = (0u64..)
             .map(LineAddr)
-            .filter(|l| l.0 != 9 && {
-                let mut probe = tiny();
-                probe.set_index(*l) == probe.set_index(LineAddr(9))
+            .filter(|l| {
+                l.0 != 9 && {
+                    let probe = tiny();
+                    probe.set_index(*l) == probe.set_index(LineAddr(9))
+                }
             })
             .take(2)
             .collect::<Vec<_>>();

@@ -123,13 +123,7 @@ const MAX_INFLIGHT_PREFETCHES: usize = 32;
 
 impl CoreSim {
     /// Creates a core executing `profile`, clocked at `freq`.
-    pub fn new(
-        id: usize,
-        profile: AppProfile,
-        seed: u64,
-        freq: Freq,
-        config: CoreConfig,
-    ) -> Self {
+    pub fn new(id: usize, profile: AppProfile, seed: u64, freq: Freq, config: CoreConfig) -> Self {
         CoreSim {
             id,
             config,
@@ -635,7 +629,9 @@ mod tests {
         };
         // Halt mid-segment.
         let mid = first_end / 2;
-        let wake = c.apply_dvfs(mid, Freq::from_ghz(2.0), Ps::from_us(20)).unwrap();
+        let wake = c
+            .apply_dvfs(mid, Freq::from_ghz(2.0), Ps::from_us(20))
+            .unwrap();
         let Wake::At(resumed) = wake else {
             panic!("expected timed wake")
         };

@@ -1,0 +1,215 @@
+//! A vendored, dependency-free shim implementing the subset of the
+//! [`criterion`](https://crates.io/crates/criterion) API this workspace's
+//! benchmarks use.
+//!
+//! The build environment has no access to a crates.io registry, so the real
+//! criterion cannot be fetched. This shim keeps the `benches/` sources
+//! unchanged: `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`/`bench_with_input`, throughput annotations and
+//! `Bencher::iter` all work. Under `cargo bench` each benchmark is timed
+//! (median of measured batches) and a one-line summary is printed; under
+//! `cargo test` (no `--bench` flag) every routine runs exactly once as a
+//! smoke test, mirroring real criterion's test mode.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How results are scaled for reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark (`group/function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    /// True when invoked by `cargo bench`; false under `cargo test`, where
+    /// the routine runs once as a smoke test.
+    measure: bool,
+    /// Median per-iteration time of the last `iter` call, if measuring.
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records its median per-iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.measure {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Warm up, then time batches until ~200 ms total or 15 batches.
+        let mut batch = 1u64;
+        let warm = Instant::now();
+        while warm.elapsed() < Duration::from_millis(20) {
+            std::hint::black_box(routine());
+            batch += 1;
+        }
+        let batch = batch.max(1);
+        let mut samples = Vec::new();
+        let start = Instant::now();
+        while samples.len() < 15 && start.elapsed() < Duration::from_millis(200) {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            samples.push(t0.elapsed() / batch as u32);
+        }
+        samples.sort();
+        self.last = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work volume for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Sets the sample count (accepted for API compatibility; the shim
+    /// sizes samples by wall-clock budget instead).
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        self.run(id, &mut |b| f(b));
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = id.name.clone();
+        self.run(&name, &mut |b| f(b, input));
+    }
+
+    /// Ends the group (formatting no-op, kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            measure: self.criterion.measure,
+            last: None,
+        };
+        f(&mut b);
+        if let Some(t) = b.last {
+            let per_iter = t.as_secs_f64();
+            let rate = match self.throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  {:>12.0} elem/s", n as f64 / per_iter)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!("  {:>12.0} B/s", n as f64 / per_iter)
+                }
+                None => String::new(),
+            };
+            println!("{}/{id}: {:>12.3} µs/iter{rate}", self.name, per_iter * 1e6);
+        } else if !self.criterion.measure {
+            println!("{}/{id}: ok (smoke test)", self.name);
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench`; plain `cargo test` does not. Mirror
+        // real criterion: only measure under `cargo bench`.
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion { measure }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+        g.finish();
+    }
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { measure: false };
+        let mut g = c.benchmark_group("g");
+        let mut runs = 0u32;
+        g.bench_function("once", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_reports_time() {
+        let mut c = Criterion { measure: true };
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+}

@@ -83,6 +83,8 @@ pub fn map_line(config: &MemConfig, line: LineAddr) -> Location {
 }
 
 #[cfg(test)]
+// Tests build counter/config fixtures incrementally from defaults on purpose.
+#[allow(clippy::field_reassign_with_default)]
 mod tests {
     use super::*;
 
@@ -93,8 +95,10 @@ mod tests {
         let first = map_line(&c, LineAddr(0));
         for i in 1..c.lines_per_row {
             let loc = map_line(&c, LineAddr(i));
-            assert_eq!((loc.channel, loc.rank, loc.bank, loc.row),
-                       (first.channel, first.rank, first.bank, first.row));
+            assert_eq!(
+                (loc.channel, loc.rank, loc.bank, loc.row),
+                (first.channel, first.rank, first.bank, first.row)
+            );
         }
         let next = map_line(&c, LineAddr(c.lines_per_row));
         assert_ne!(next.channel, first.channel);

@@ -381,7 +381,8 @@ impl Channel {
             // Queue wait: everything before the column/activate sequence
             // could begin.
             let service = service_floor + burst + t.mc_overhead;
-            counters.bank_wait_sum += (done - req.arrival).saturating_sub(service)
+            counters.bank_wait_sum += (done - req.arrival)
+                .saturating_sub(service)
                 .saturating_sub(data_start - cas_done);
             counters.bus_wait_sum += data_start - cas_done;
             counters.bank_service_sum += service;
@@ -433,7 +434,13 @@ impl Channel {
 
     /// Blocks every bank in `rank` for one refresh cycle starting no earlier
     /// than `now` (and no earlier than any in-flight access to the rank).
-    pub fn refresh_rank(&mut self, now: Ps, rank: usize, t: &DdrTimings, counters: &mut MemCounters) {
+    pub fn refresh_rank(
+        &mut self,
+        now: Ps,
+        rank: usize,
+        t: &DdrTimings,
+        counters: &mut MemCounters,
+    ) {
         let base = rank * self.banks_per_rank;
         let mut start = now;
         for b in 0..self.banks_per_rank {
@@ -476,6 +483,8 @@ impl Channel {
 }
 
 #[cfg(test)]
+// Tests build counter/config fixtures incrementally from defaults on purpose.
+#[allow(clippy::field_reassign_with_default)]
 mod tests {
     use super::*;
     use crate::map_line;
@@ -744,7 +753,10 @@ mod tests {
         let d2 = second.completion.unwrap().1;
         // Conflict waits for tRAS (35ns from ACT), precharges (15ns), then
         // re-activates (15+15+5+5).
-        assert!(d2 >= d1 + Ps::from_ns(40), "conflict too fast: {d1} -> {d2}");
+        assert!(
+            d2 >= d1 + Ps::from_ns(40),
+            "conflict too fast: {d1} -> {d2}"
+        );
     }
 
     #[test]
@@ -816,7 +828,12 @@ mod tests {
         // Rank idle since t=0; access at t = 10 µs: slept 9 µs, pays exit.
         let at = Ps::from_us(10);
         ch.push_read(read_to(&config, 0, at));
-        let done = ch.issue_next(at, &config, f, &mut c).unwrap().completion.unwrap().1;
+        let done = ch
+            .issue_next(at, &config, f, &mut c)
+            .unwrap()
+            .completion
+            .unwrap()
+            .1;
         assert_eq!(c.sleep_wakeups, 1);
         assert_eq!(c.rank_sleep, Ps::from_us(9));
         // 640 ns exit penalty + 40 ns unloaded service.
@@ -876,10 +893,7 @@ mod tests {
             Ps::from_ns(50)
         );
         // Fully contained: adds nothing.
-        assert_eq!(
-            r.extend_active(Ps::from_ns(10), Ps::from_ns(40)),
-            Ps::ZERO
-        );
+        assert_eq!(r.extend_active(Ps::from_ns(10), Ps::from_ns(40)), Ps::ZERO);
         // Partial overlap: only the new tail counts.
         assert_eq!(
             r.extend_active(Ps::from_ns(30), Ps::from_ns(80)),

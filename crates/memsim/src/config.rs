@@ -285,6 +285,8 @@ impl Default for MemConfig {
 }
 
 #[cfg(test)]
+// Tests build counter/config fixtures incrementally from defaults on purpose.
+#[allow(clippy::field_reassign_with_default)]
 mod tests {
     use super::*;
 

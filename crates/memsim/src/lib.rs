@@ -43,6 +43,8 @@ mod counters;
 mod system;
 
 pub use addr::{map_line, LineAddr, Location};
-pub use config::{AddrMap, DdrTimings, IdleMemPolicy, IdleMode, MemConfig, PagePolicy, SchedPolicy};
+pub use config::{
+    AddrMap, DdrTimings, IdleMemPolicy, IdleMode, MemConfig, PagePolicy, SchedPolicy,
+};
 pub use counters::MemCounters;
 pub use system::{Completion, MemEvent, MemorySystem, Outcome};

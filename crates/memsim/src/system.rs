@@ -101,7 +101,9 @@ impl MemorySystem {
         if let Err(e) = config.validate() {
             panic!("invalid memory config: {e}");
         }
-        let channels = (0..config.channels).map(|_| Channel::new(&config)).collect();
+        let channels = (0..config.channels)
+            .map(|_| Channel::new(&config))
+            .collect();
         let freq_idx = config.max_freq_idx();
         MemorySystem {
             config,
@@ -231,8 +233,10 @@ impl MemorySystem {
                     &self.config.timings,
                     &mut self.counters,
                 );
-                out.wakeups
-                    .push((now + self.config.timings.t_refi, MemEvent::Refresh { channel, rank }));
+                out.wakeups.push((
+                    now + self.config.timings.t_refi,
+                    MemEvent::Refresh { channel, rank },
+                ));
             }
         }
     }
@@ -277,7 +281,10 @@ impl MemorySystem {
     ///
     /// Panics if `idx` is outside the frequency grid.
     pub fn set_frequency(&mut self, now: Ps, idx: usize, out: &mut Outcome) -> Ps {
-        assert!(idx < self.config.freq_grid.len(), "bad frequency index {idx}");
+        assert!(
+            idx < self.config.freq_grid.len(),
+            "bad frequency index {idx}"
+        );
         if idx == self.freq_idx {
             return now;
         }
@@ -314,11 +321,14 @@ mod tests {
         for (t, e) in out.wakeups.drain(..) {
             q.push(t, e);
         }
-        done.extend(out.completions.drain(..));
+        done.append(&mut out.completions);
         let mut guard = 0;
         while let Some((t, e)) = q.pop() {
             // Stop refresh events from keeping the loop alive forever.
-            if matches!(e, MemEvent::Refresh { .. }) && mem.queued_requests() == 0 && mem.outstanding_reads() == 0 {
+            if matches!(e, MemEvent::Refresh { .. })
+                && mem.queued_requests() == 0
+                && mem.outstanding_reads() == 0
+            {
                 continue;
             }
             let mut o = Outcome::default();
@@ -403,7 +413,7 @@ mod tests {
         let mem = MemorySystem::new(MemConfig::default());
         let evs = mem.initial_events();
         assert_eq!(evs.len(), 16); // 4 channels x 4 ranks
-        // Staggered within one tREFI.
+                                   // Staggered within one tREFI.
         let t_refi = mem.config().timings.t_refi;
         assert!(evs.iter().all(|(t, _)| *t < t_refi));
         let mut mem = mem;
@@ -439,7 +449,12 @@ mod tests {
             mem.set_frequency(Ps::ZERO, idx, &mut out);
             out.clear();
             for i in 0..32u64 {
-                mem.enqueue_read(Ps::from_us(10) + Ps::from_ns(100 * i), LineAddr(i * 5), i, &mut out);
+                mem.enqueue_read(
+                    Ps::from_us(10) + Ps::from_ns(100 * i),
+                    LineAddr(i * 5),
+                    i,
+                    &mut out,
+                );
             }
             let done = drain(&mut mem, &mut out);
             let total: u64 = done.iter().map(|c| c.finish.as_ps()).sum();

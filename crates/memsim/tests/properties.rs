@@ -1,11 +1,11 @@
 //! Property-based tests for the DDR3 memory simulator: timing legality,
 //! conservation of requests, and frequency-scaling monotonicity.
 
-use proptest::prelude::*;
 use memsim::{
     AddrMap, Completion, IdleMemPolicy, IdleMode, LineAddr, MemConfig, MemEvent, MemorySystem,
     Outcome, PagePolicy, SchedPolicy,
 };
+use proptest::prelude::*;
 use simkernel::{EventQueue, Ps};
 
 /// All interesting memory-configuration variants, by index.

@@ -138,7 +138,10 @@ impl PowerConfig {
     ///
     /// Panics unless `0 < frac < 1`.
     pub fn with_rest_fraction(mut self, frac: f64) -> Self {
-        assert!(frac > 0.0 && frac < 1.0, "rest fraction {frac} out of (0,1)");
+        assert!(
+            frac > 0.0 && frac < 1.0,
+            "rest fraction {frac} out of (0,1)"
+        );
         self.rest_power_w = Self::REFERENCE_CPU_MEM_W * frac / (1.0 - frac);
         self
     }

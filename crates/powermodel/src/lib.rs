@@ -32,4 +32,7 @@ mod config;
 mod models;
 
 pub use config::PowerConfig;
-pub use models::{core_power, core_power_shared_domain, l2_power, memory_power, system_power, MemGeometry, MemPower, SystemPower};
+pub use models::{
+    core_power, core_power_shared_domain, l2_power, memory_power, system_power, MemGeometry,
+    MemPower, SystemPower,
+};

@@ -198,9 +198,9 @@ pub fn memory_power(
     // PLL/register per DIMM: register part scales with utilization, PLL part
     // with frequency.
     let pll_scale = 0.5 + 0.5 * f_rel;
-    let pllreg_w =
-        (cfg.pllreg_min_w + (cfg.pllreg_max_w - cfg.pllreg_min_w) * util) * pll_scale
-            * geom.dimms as f64;
+    let pllreg_w = (cfg.pllreg_min_w + (cfg.pllreg_max_w - cfg.pllreg_min_w) * util)
+        * pll_scale
+        * geom.dimms as f64;
 
     MemPower {
         dimm_w,
@@ -264,6 +264,8 @@ pub fn system_power(
 }
 
 #[cfg(test)]
+// Tests build counter/config fixtures incrementally from defaults on purpose.
+#[allow(clippy::field_reassign_with_default)]
 mod tests {
     use super::*;
 
@@ -376,7 +378,15 @@ mod tests {
         mem.bus_busy = Ps::from_us(350) * 4;
         mem.rank_active = Ps::from_us(600) * 16;
         mem.refreshes = 2048;
-        let sys = system_power(&cfg, &geom(), &cores, 2_000_000, Freq::from_mhz(800), &mem, w);
+        let sys = system_power(
+            &cfg,
+            &geom(),
+            &cores,
+            2_000_000,
+            Freq::from_mhz(800),
+            &mem,
+            w,
+        );
         let total = sys.total();
         let cpu_frac = sys.cpu_total() / total;
         let mem_frac = sys.mem.total() / total;

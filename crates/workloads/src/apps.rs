@@ -33,7 +33,12 @@ fn single(
     streaming: f64,
     store: f64,
 ) -> AppProfile {
-    AppProfile::simple(name, cpi, mix, ph(1.0, l2_apki, mpki / l2_apki, streaming, store))
+    AppProfile::simple(
+        name,
+        cpi,
+        mix,
+        ph(1.0, l2_apki, mpki / l2_apki, streaming, store),
+    )
 }
 
 fn two_phase(

@@ -70,22 +70,86 @@ impl Mix {
 pub fn all_mixes() -> Vec<Mix> {
     use MixClass::{Ilp, Mem, Mid, Mix as MixC};
     vec![
-        Mix { name: "ILP1", class: Ilp, apps: ["vortex", "gcc", "sixtrack", "mesa"] },
-        Mix { name: "ILP2", class: Ilp, apps: ["perlbmk", "crafty", "gzip", "eon"] },
-        Mix { name: "ILP3", class: Ilp, apps: ["sixtrack", "mesa", "perlbmk", "crafty"] },
-        Mix { name: "ILP4", class: Ilp, apps: ["vortex", "mesa", "perlbmk", "crafty"] },
-        Mix { name: "MID1", class: Mid, apps: ["ammp", "gap", "wupwise", "vpr"] },
-        Mix { name: "MID2", class: Mid, apps: ["astar", "parser", "twolf", "facerec"] },
-        Mix { name: "MID3", class: Mid, apps: ["apsi", "bzip2", "ammp", "gap"] },
-        Mix { name: "MID4", class: Mid, apps: ["wupwise", "vpr", "astar", "parser"] },
-        Mix { name: "MEM1", class: Mem, apps: ["swim", "applu", "galgel", "equake"] },
-        Mix { name: "MEM2", class: Mem, apps: ["art", "milc", "mgrid", "fma3d"] },
-        Mix { name: "MEM3", class: Mem, apps: ["fma3d", "mgrid", "galgel", "equake"] },
-        Mix { name: "MEM4", class: Mem, apps: ["swim", "applu", "sphinx3", "lucas"] },
-        Mix { name: "MIX1", class: MixC, apps: ["applu", "hmmer", "gap", "gzip"] },
-        Mix { name: "MIX2", class: MixC, apps: ["milc", "gobmk", "facerec", "perlbmk"] },
-        Mix { name: "MIX3", class: MixC, apps: ["equake", "ammp", "sjeng", "crafty"] },
-        Mix { name: "MIX4", class: MixC, apps: ["swim", "ammp", "twolf", "sixtrack"] },
+        Mix {
+            name: "ILP1",
+            class: Ilp,
+            apps: ["vortex", "gcc", "sixtrack", "mesa"],
+        },
+        Mix {
+            name: "ILP2",
+            class: Ilp,
+            apps: ["perlbmk", "crafty", "gzip", "eon"],
+        },
+        Mix {
+            name: "ILP3",
+            class: Ilp,
+            apps: ["sixtrack", "mesa", "perlbmk", "crafty"],
+        },
+        Mix {
+            name: "ILP4",
+            class: Ilp,
+            apps: ["vortex", "mesa", "perlbmk", "crafty"],
+        },
+        Mix {
+            name: "MID1",
+            class: Mid,
+            apps: ["ammp", "gap", "wupwise", "vpr"],
+        },
+        Mix {
+            name: "MID2",
+            class: Mid,
+            apps: ["astar", "parser", "twolf", "facerec"],
+        },
+        Mix {
+            name: "MID3",
+            class: Mid,
+            apps: ["apsi", "bzip2", "ammp", "gap"],
+        },
+        Mix {
+            name: "MID4",
+            class: Mid,
+            apps: ["wupwise", "vpr", "astar", "parser"],
+        },
+        Mix {
+            name: "MEM1",
+            class: Mem,
+            apps: ["swim", "applu", "galgel", "equake"],
+        },
+        Mix {
+            name: "MEM2",
+            class: Mem,
+            apps: ["art", "milc", "mgrid", "fma3d"],
+        },
+        Mix {
+            name: "MEM3",
+            class: Mem,
+            apps: ["fma3d", "mgrid", "galgel", "equake"],
+        },
+        Mix {
+            name: "MEM4",
+            class: Mem,
+            apps: ["swim", "applu", "sphinx3", "lucas"],
+        },
+        Mix {
+            name: "MIX1",
+            class: MixC,
+            apps: ["applu", "hmmer", "gap", "gzip"],
+        },
+        Mix {
+            name: "MIX2",
+            class: MixC,
+            apps: ["milc", "gobmk", "facerec", "perlbmk"],
+        },
+        Mix {
+            name: "MIX3",
+            class: MixC,
+            apps: ["equake", "ammp", "sjeng", "crafty"],
+        },
+        Mix {
+            name: "MIX4",
+            class: MixC,
+            apps: ["swim", "ammp", "twolf", "sixtrack"],
+        },
     ]
 }
 
@@ -98,7 +162,10 @@ pub fn mix(name: &str) -> Option<Mix> {
 
 /// All mixes belonging to `class`, in table order.
 pub fn mixes_in_class(class: MixClass) -> Vec<Mix> {
-    all_mixes().into_iter().filter(|m| m.class == class).collect()
+    all_mixes()
+        .into_iter()
+        .filter(|m| m.class == class)
+        .collect()
 }
 
 #[cfg(test)]
@@ -140,9 +207,18 @@ mod tests {
 
     #[test]
     fn table1_composition_spot_checks() {
-        assert_eq!(mix("MEM1").unwrap().apps, ["swim", "applu", "galgel", "equake"]);
-        assert_eq!(mix("MIX4").unwrap().apps, ["swim", "ammp", "twolf", "sixtrack"]);
-        assert_eq!(mix("ILP2").unwrap().apps, ["perlbmk", "crafty", "gzip", "eon"]);
+        assert_eq!(
+            mix("MEM1").unwrap().apps,
+            ["swim", "applu", "galgel", "equake"]
+        );
+        assert_eq!(
+            mix("MIX4").unwrap().apps,
+            ["swim", "ammp", "twolf", "sixtrack"]
+        );
+        assert_eq!(
+            mix("ILP2").unwrap().apps,
+            ["perlbmk", "crafty", "gzip", "eon"]
+        );
     }
 
     #[test]

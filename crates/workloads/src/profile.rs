@@ -113,12 +113,7 @@ pub struct AppProfile {
 
 impl AppProfile {
     /// A single-phase profile.
-    pub fn simple(
-        name: &'static str,
-        cpi_base: f64,
-        mix: InstrMix,
-        phase: PhaseProfile,
-    ) -> Self {
+    pub fn simple(name: &'static str, cpi_base: f64, mix: InstrMix, phase: PhaseProfile) -> Self {
         AppProfile {
             name,
             cpi_base,
@@ -146,7 +141,10 @@ impl AppProfile {
     /// mix, no phases, or an invalid phase.
     pub fn validate(&self) -> Result<(), String> {
         if self.cpi_base < 1.0 || self.cpi_base > 10.0 {
-            return Err(format!("{}: cpi_base {} out of [1,10]", self.name, self.cpi_base));
+            return Err(format!(
+                "{}: cpi_base {} out of [1,10]",
+                self.name, self.cpi_base
+            ));
         }
         if !self.mix.is_normalized() {
             return Err(format!("{}: instruction mix does not sum to 1", self.name));

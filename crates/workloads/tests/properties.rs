@@ -8,9 +8,8 @@ use workloads::{
 };
 
 fn arb_phase() -> impl Strategy<Value = PhaseProfile> {
-    (1.0f64..100.0, 0.01f64..1.0, 0.0f64..1.0, 0.0f64..1.0).prop_map(
-        |(apki, miss, stream, store)| PhaseProfile::uniform(apki, miss, stream, store),
-    )
+    (1.0f64..100.0, 0.01f64..1.0, 0.0f64..1.0, 0.0f64..1.0)
+        .prop_map(|(apki, miss, stream, store)| PhaseProfile::uniform(apki, miss, stream, store))
 }
 
 proptest! {
@@ -90,11 +89,7 @@ proptest! {
 fn every_app_profile_generates_plausible_store_fractions() {
     for name in ALL_APPS {
         let profile = app(name);
-        let expect: f64 = profile
-            .phases
-            .iter()
-            .map(|p| p.weight * p.store_frac)
-            .sum();
+        let expect: f64 = profile.phases.iter().map(|p| p.weight * p.store_frac).sum();
         let mut g = TraceGen::new(profile, 0, 42);
         let n = 30_000;
         let stores = (0..n).filter(|_| g.next_op().is_store).count();

@@ -25,7 +25,10 @@ fn main() {
         eprintln!("running {kind}...");
         let r = run_policy(cfg.clone(), kind);
         println!("\n=== {kind} ({} epochs) ===", r.epochs);
-        println!("{:>5}  {:>9}  {:>10}  bars: memory #### / core ====", "epoch", "mem (GHz)", "core (GHz)");
+        println!(
+            "{:>5}  {:>9}  {:>10}  bars: memory #### / core ====",
+            "epoch", "mem (GHz)", "core (GHz)"
+        );
         for rec in &r.records {
             let mem_ghz = cfg.mem.freq_grid[rec.plan.mem].as_ghz();
             let core_ghz: f64 = milc_cores

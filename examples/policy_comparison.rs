@@ -20,8 +20,8 @@ fn main() {
     let base = run_policy(cfg.clone(), PolicyKind::StaticMax);
 
     println!(
-        "{:<18} {:>12} {:>10} {:>10} {:>10}  {}",
-        "policy", "energy (J)", "savings", "avg slow", "worst", "bound (10%)"
+        "{:<18} {:>12} {:>10} {:>10} {:>10}  bound (10%)",
+        "policy", "energy (J)", "savings", "avg slow", "worst"
     );
     for kind in [
         PolicyKind::MemScale,

@@ -56,5 +56,8 @@ fn main() {
         "memory energy savings:      {:.1}%",
         100.0 * (1.0 - run.mem_energy_j / base.mem_energy_j)
     );
-    println!("worst application slowdown: {:.1}% (bound 10%)", 100.0 * worst);
+    println!(
+        "worst application slowdown: {:.1}% (bound 10%)",
+        100.0 * worst
+    );
 }

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full local CI gate: format, lint, test. Works offline — the workspace
+# vendors its only external (dev) dependencies as local shim crates.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo test =="
+cargo test -q --workspace --offline
+
+echo "All checks passed."

@@ -94,8 +94,11 @@ fn parse_args() -> Args {
 fn main() {
     let args = parse_args();
     let Some(m) = mix(&args.mix) else {
-        eprintln!("unknown mix '{}'; known: {:?}", args.mix,
-            all_mixes().iter().map(|m| m.name).collect::<Vec<_>>());
+        eprintln!(
+            "unknown mix '{}'; known: {:?}",
+            args.mix,
+            all_mixes().iter().map(|m| m.name).collect::<Vec<_>>()
+        );
         std::process::exit(2);
     };
 
@@ -119,24 +122,24 @@ fn main() {
         std::process::exit(2);
     }
 
-    let (kind, custom): (PolicyKind, Option<Box<dyn coscale::Policy>>) =
-        match args.policy.as_str() {
-            "baseline" | "static" => (PolicyKind::StaticMax, None),
-            "coscale" => (PolicyKind::CoScale, None),
-            "memscale" => (PolicyKind::MemScale, None),
-            "cpuonly" => (PolicyKind::CpuOnly, None),
-            "uncoordinated" => (PolicyKind::Uncoordinated, None),
-            "semi" => (PolicyKind::SemiCoordinated, None),
-            "offline" => (PolicyKind::Offline, None),
-            "powercap" => (
-                PolicyKind::PowerCap,
-                Some(Box::new(PowerCapPolicy::new(args.cap))),
-            ),
-            other => {
-                eprintln!("unknown policy '{other}'");
-                usage();
-            }
-        };
+    let (kind, custom): (PolicyKind, Option<Box<dyn coscale::Policy>>) = match args.policy.as_str()
+    {
+        "baseline" | "static" => (PolicyKind::StaticMax, None),
+        "coscale" => (PolicyKind::CoScale, None),
+        "memscale" => (PolicyKind::MemScale, None),
+        "cpuonly" => (PolicyKind::CpuOnly, None),
+        "uncoordinated" => (PolicyKind::Uncoordinated, None),
+        "semi" => (PolicyKind::SemiCoordinated, None),
+        "offline" => (PolicyKind::Offline, None),
+        "powercap" => (
+            PolicyKind::PowerCap,
+            Some(Box::new(PowerCapPolicy::new(args.cap))),
+        ),
+        other => {
+            eprintln!("unknown policy '{other}'");
+            usage();
+        }
+    };
 
     eprintln!("running {} / {kind} ...", args.mix);
     let mut runner = Runner::new(cfg.clone(), kind);

@@ -12,6 +12,9 @@
 //! * [`powermodel`] — core/DRAM/MC/PLL/system power models.
 //! * [`coscale`] — the performance/energy models, the CoScale controller,
 //!   the five comparison policies, and the epoch engine.
+//! * [`cluster`] — N servers under one global power budget, coordinated by
+//!   a cluster-level cap redistributor (uniform / demand-proportional /
+//!   FastCap-style splitting).
 //!
 //! # Example
 //!
@@ -27,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use cluster;
 pub use coscale;
 pub use cpusim;
 pub use memsim;
@@ -36,9 +40,12 @@ pub use workloads;
 
 /// The most common imports for driving simulations.
 pub mod prelude {
+    pub use cluster::{
+        run_cluster, CapSplit, ClusterConfig, ClusterResult, ClusterSim, ServerSpec,
+    };
     pub use coscale::{
-        run_policy, CoScalePolicy, Model, Plan, Policy, PolicyKind, RunResult, Runner,
-        SimConfig, System,
+        run_policy, CoScalePolicy, Model, Plan, Policy, PolicyKind, RunResult, Runner, SimConfig,
+        System,
     };
     pub use cpusim::{CoreConfig, PipelineMode};
     pub use simkernel::{Freq, Ps};

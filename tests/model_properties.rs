@@ -42,7 +42,6 @@ fn profile_strategy(n: usize) -> impl Strategy<Value = EpochProfile> {
                 refreshes: 38,
                 rank_active_s: 1e-4,
                 l2_accesses: reads * 3,
-                ..Default::default()
             },
             window: Ps::from_us(300),
             mem_freq_idx: 9,
@@ -124,7 +123,7 @@ proptest! {
             Box::new(CoScalePolicy::default()),
             Box::new(CoScalePolicy { group_cores: false }),
             Box::new(MemScalePolicy),
-            Box::new(coscale::CpuOnlyPolicy::default()),
+            Box::new(coscale::CpuOnlyPolicy),
             Box::new(OfflinePolicy),
             Box::new(SemiCoordinatedPolicy::default()),
             Box::new(UncoordinatedPolicy),

@@ -93,7 +93,12 @@ fn run_result_accounts_energy_components() {
 fn mem_mixes_stress_memory_more_than_ilp() {
     let mem = run_policy(cfg("MEM1"), PolicyKind::StaticMax);
     let ilp = run_policy(cfg("ILP1"), PolicyKind::StaticMax);
-    assert!(mem.mpki > ilp.mpki * 5.0, "mem {} ilp {}", mem.mpki, ilp.mpki);
+    assert!(
+        mem.mpki > ilp.mpki * 5.0,
+        "mem {} ilp {}",
+        mem.mpki,
+        ilp.mpki
+    );
     assert!(mem.bus_utilization > ilp.bus_utilization);
     // Memory-bound work takes longer for the same instruction count.
     assert!(mem.makespan > ilp.makespan);
@@ -118,7 +123,11 @@ fn prefetch_and_mlp_configs_run_through_facade() {
     let mut c = cfg("MEM2");
     c.core.prefetch = true;
     let pref = run_policy(c.clone(), PolicyKind::StaticMax);
-    assert!(pref.prefetch_accuracy > 0.2, "accuracy {}", pref.prefetch_accuracy);
+    assert!(
+        pref.prefetch_accuracy > 0.2,
+        "accuracy {}",
+        pref.prefetch_accuracy
+    );
 
     let mut c2 = cfg("MEM2");
     c2.core.pipeline = PipelineMode::MlpWindow(128);
