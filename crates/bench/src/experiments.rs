@@ -968,6 +968,62 @@ pub fn cluster_capping(ctx: &mut Ctx) {
     ctx.emit(&t, "cluster_capping.tsv");
 }
 
+/// The serving fleet under tail-latency SLOs (after PowerTracer): one big
+/// memory-bound server pushed near its full-speed serving capacity next to
+/// three lightly loaded servers, under one global budget, comparing the
+/// splitting disciplines across load levels. The SLA-aware discipline
+/// should meet every server's p99 target at high load — where uniform
+/// saturates the big server — while consuming no more energy.
+pub fn service_sla(ctx: &mut Ctx) {
+    use service::{run_service, CapSplit, ServiceConfig, ServiceServerSpec};
+    let fleet = |load: f64| -> Vec<ServiceServerSpec> {
+        vec![
+            ServiceServerSpec::small_with_cores("heavy", "MEM2", 11, 230_000.0 * load, 8)
+                .with_p99_target_s(1e-3),
+            ServiceServerSpec::small("light0", "ILP1", 12, 30_000.0 * load).with_p99_target_s(1e-3),
+            ServiceServerSpec::small("light1", "ILP2", 13, 30_000.0 * load).with_p99_target_s(1e-3),
+            ServiceServerSpec::small("light2", "MID2", 14, 30_000.0 * load).with_p99_target_s(1e-3),
+        ]
+    };
+    let rounds = if ctx.opts.quick { 16 } else { 40 };
+    let mut t = Table::new(
+        "Serving fleet under SLOs — 4 servers, 280 W budget, 1 ms p99 target",
+        &[
+            "split",
+            "load",
+            "energy (J)",
+            "fleet p99 (ms)",
+            "worst p99 (ms)",
+            "SLO met",
+            "viol rounds",
+            "rejects",
+        ],
+    );
+    for load in [0.75, 1.0] {
+        for split in [CapSplit::Uniform, CapSplit::FastCap, CapSplit::SlaAware] {
+            eprintln!("  running service [{split}, load {load}] ...");
+            let r = run_service(
+                ServiceConfig::new(fleet(load), 280.0, split)
+                    .with_rounds(rounds)
+                    .with_threads(4),
+            );
+            let worst = r.outcomes.iter().map(|o| o.p99_s()).fold(0.0f64, f64::max);
+            let met = r.outcomes.iter().filter(|o| o.meets_slo()).count();
+            t.row(vec![
+                split.to_string(),
+                format!("{load:.2}"),
+                format!("{:.2}", r.total_energy_j()),
+                format!("{:.3}", r.fleet_percentile_s(0.99) * 1e3),
+                format!("{:.3}", worst * 1e3),
+                format!("{met}/{}", r.outcomes.len()),
+                format!("{}", r.total_violation_rounds()),
+                format!("{}", r.total_shed()),
+            ]);
+        }
+    }
+    ctx.emit(&t, "service_sla.tsv");
+}
+
 /// Runs every experiment in paper order.
 pub fn all(ctx: &mut Ctx) {
     table1(ctx);
@@ -989,4 +1045,5 @@ pub fn all(ctx: &mut Ctx) {
     ablation_idle_states(ctx);
     ablation_voltage_domains(ctx);
     cluster_capping(ctx);
+    service_sla(ctx);
 }

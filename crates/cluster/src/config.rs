@@ -17,6 +17,14 @@ pub enum CapSplit {
     /// predicted performance gain per additional watt is currently
     /// highest, under a concave performance-versus-power curve.
     FastCap,
+    /// Latency-target aware splitting: servers violating their p99 SLO bid
+    /// for budget first (up to their full demand), servers comfortably
+    /// meeting it are trimmed below their demand in proportion to their
+    /// latency headroom, and granting within each tier is FastCap-style.
+    /// Requires per-server [`SlaSignal`](crate::coordinator::SlaSignal)s
+    /// (see [`split_caps_sla`](crate::coordinator::split_caps_sla));
+    /// without them it degrades to plain FastCap.
+    SlaAware,
 }
 
 impl std::fmt::Display for CapSplit {
@@ -25,8 +33,85 @@ impl std::fmt::Display for CapSplit {
             CapSplit::Uniform => "uniform",
             CapSplit::DemandProportional => "demand-proportional",
             CapSplit::FastCap => "fastcap",
+            CapSplit::SlaAware => "sla-aware",
         };
         write!(f, "{s}")
+    }
+}
+
+/// What happens to the fleet at one churn point.
+#[derive(Clone, Debug)]
+pub enum ChurnAction<S> {
+    /// A new server (described by `S`, e.g. a spec) joins the fleet.
+    Join(S),
+    /// The named server leaves the fleet. Unknown names are ignored — a
+    /// server may have already left, or never joined.
+    Leave(String),
+}
+
+/// One scheduled fleet change, applied at the boundary of `round` (before
+/// telemetry is collected and the budget is split for that round).
+#[derive(Clone, Debug)]
+pub struct ChurnEvent<S> {
+    /// The coordination round at whose start the action applies.
+    pub round: usize,
+    /// The action.
+    pub action: ChurnAction<S>,
+}
+
+/// An ordered list of fleet changes. The coordinator drains the events due
+/// at each round boundary; the generic parameter is the server-description
+/// type of whichever simulation layer consumes the schedule.
+#[derive(Clone, Debug, Default)]
+pub struct ChurnSchedule<S> {
+    events: Vec<ChurnEvent<S>>,
+}
+
+impl<S> ChurnSchedule<S> {
+    /// An empty schedule (no churn).
+    pub fn new() -> Self {
+        ChurnSchedule { events: Vec::new() }
+    }
+
+    /// Builds a schedule from events, ordering them by round (stable, so
+    /// same-round events apply in insertion order).
+    pub fn from_events(mut events: Vec<ChurnEvent<S>>) -> Self {
+        events.sort_by_key(|e| e.round);
+        ChurnSchedule { events }
+    }
+
+    /// Adds a join at the given round boundary.
+    pub fn join(&mut self, round: usize, server: S) {
+        self.events.push(ChurnEvent {
+            round,
+            action: ChurnAction::Join(server),
+        });
+        self.events.sort_by_key(|e| e.round);
+    }
+
+    /// Adds a departure at the given round boundary.
+    pub fn leave(&mut self, round: usize, name: &str) {
+        self.events.push(ChurnEvent {
+            round,
+            action: ChurnAction::Leave(name.to_string()),
+        });
+        self.events.sort_by_key(|e| e.round);
+    }
+
+    /// Whether any events remain.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events not yet drained.
+    pub fn remaining(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Removes and returns the actions due at or before `round`, in order.
+    pub fn drain_due(&mut self, round: usize) -> Vec<ChurnAction<S>> {
+        let n_due = self.events.iter().take_while(|e| e.round <= round).count();
+        self.events.drain(..n_due).map(|e| e.action).collect()
     }
 }
 
@@ -199,5 +284,27 @@ mod tests {
             "demand-proportional"
         );
         assert_eq!(CapSplit::FastCap.to_string(), "fastcap");
+        assert_eq!(CapSplit::SlaAware.to_string(), "sla-aware");
+    }
+
+    #[test]
+    fn churn_schedule_drains_in_round_order() {
+        let mut sched: ChurnSchedule<&str> = ChurnSchedule::new();
+        sched.leave(5, "a");
+        sched.join(2, "b");
+        sched.join(5, "c");
+        assert_eq!(sched.remaining(), 3);
+
+        assert!(sched.drain_due(1).is_empty());
+        let due = sched.drain_due(2);
+        assert_eq!(due.len(), 1);
+        assert!(matches!(due[0], ChurnAction::Join("b")));
+
+        // Round 5's events come out in insertion order (stable sort).
+        let due = sched.drain_due(10);
+        assert_eq!(due.len(), 2);
+        assert!(matches!(due[0], ChurnAction::Leave(ref n) if n == "a"));
+        assert!(matches!(due[1], ChurnAction::Join("c")));
+        assert!(sched.is_empty());
     }
 }

@@ -87,7 +87,105 @@ pub fn split_caps(
             caps
         }
         CapSplit::FastCap => fastcap_split(global_cap_w, demands, quantum_w),
+        // Without latency signals the SLA discipline has nothing to react
+        // to; degrade to plain FastCap (its granting core).
+        CapSplit::SlaAware => fastcap_split(global_cap_w, demands, quantum_w),
     }
+}
+
+/// One server's tail-latency telemetry for SLA-aware splitting.
+#[derive(Clone, Copy, Debug)]
+pub struct SlaSignal {
+    /// Observed p99 request latency over the recent window, seconds.
+    /// Zero means "no samples yet" — the server is treated as unknown and
+    /// bids its full demand.
+    pub p99_s: f64,
+    /// The server's p99 latency target, seconds.
+    pub target_s: f64,
+}
+
+impl SlaSignal {
+    /// Whether the server is violating its target (requires samples).
+    pub fn violating(&self) -> bool {
+        self.p99_s > self.target_s && self.target_s > 0.0
+    }
+}
+
+/// SLA-aware splitting: latency-violating servers bid for the budget first.
+///
+/// Each server's *desired* cap depends on its latency signal:
+///
+/// * **Violating** (`p99 > target`) or **unknown** (`p99 == 0`): desires its
+///   full uncapped demand — nothing less is defensible while requests are
+///   missing their SLO.
+/// * **Meeting**: trimmed below demand in proportion to how much latency
+///   headroom it has — `min_w + headroom × (0.25 + 0.75 × p99/target)`. A
+///   server at 40% of its target gives up over half its power headroom; one
+///   brushing the target keeps nearly all of it.
+///
+/// Floors are covered first (scaled when infeasible), then quanta go to
+/// violators in FastCap marginal-utility order until they saturate at their
+/// desires, then to everyone else. Unlike [`split_caps`] with
+/// `CapSplit::FastCap`, leftover budget is **not** parked on servers: when
+/// every desire is satisfied the fleet deliberately draws less than the
+/// budget — that slack is the energy the discipline saves.
+pub fn split_caps_sla(
+    global_cap_w: f64,
+    demands: &[ServerDemand],
+    sla: &[SlaSignal],
+    quantum_w: f64,
+) -> Vec<f64> {
+    assert_eq!(demands.len(), sla.len(), "one SLA signal per server");
+    let n_active = demands.iter().filter(|d| d.active).count();
+    if n_active == 0 {
+        return vec![0.0; demands.len()];
+    }
+    // Per-server desired cap (the ceiling it may be granted up to).
+    let desired: Vec<f64> = demands
+        .iter()
+        .zip(sla)
+        .map(|(d, s)| {
+            if !d.active {
+                0.0
+            } else if s.violating() || s.p99_s <= 0.0 || s.target_s <= 0.0 {
+                d.demand_w
+            } else {
+                let ratio = (s.p99_s / s.target_s).clamp(0.0, 1.0);
+                (d.min_w + d.headroom() * (0.25 + 0.75 * ratio)).min(d.demand_w)
+            }
+        })
+        .collect();
+    let mut caps = floors(global_cap_w, demands);
+    let mut spare = global_cap_w - caps.iter().sum::<f64>();
+    // Two passes: violators first, then everyone still below desire.
+    for violators_only in [true, false] {
+        while spare > 1e-9 {
+            let q = quantum_w.min(spare);
+            let mut best: Option<(usize, f64)> = None;
+            for (i, d) in demands.iter().enumerate() {
+                if !d.active || caps[i] >= desired[i] {
+                    continue;
+                }
+                if violators_only && !sla[i].violating() {
+                    continue;
+                }
+                let gain = utility_at(d, caps[i] + q) - utility_at(d, caps[i]);
+                if gain > 0.0 && best.is_none_or(|(_, g)| gain > g) {
+                    best = Some((i, gain));
+                }
+            }
+            match best {
+                Some((i, _)) => {
+                    // Never exceed the desire: the final quantum is clipped.
+                    let grant = q.min(desired[i] - caps[i]);
+                    caps[i] += grant;
+                    spare -= grant;
+                }
+                None => break,
+            }
+        }
+    }
+    caps
 }
 
 /// Per-server power floors: each active server's all-minimum power, scaled
@@ -255,6 +353,71 @@ mod tests {
             let caps = split_caps(split, 60.0, &ds, 1.0);
             assert!(caps.iter().sum::<f64>() <= 60.0 + 1e-9, "{split}: {caps:?}");
         }
+    }
+
+    fn sla(p99_s: f64, target_s: f64) -> SlaSignal {
+        SlaSignal { p99_s, target_s }
+    }
+
+    #[test]
+    fn sla_split_boosts_violators_and_trims_meeters() {
+        // Two identical servers; one violating, one comfortably meeting.
+        let ds = vec![d(120.0, 30.0), d(120.0, 30.0)];
+        let sig = vec![sla(2e-3, 1e-3), sla(0.3e-3, 1e-3)];
+        let caps = split_caps_sla(200.0, &ds, &sig, 1.0);
+        // The violator bids full demand and there is budget for it.
+        assert!((caps[0] - 120.0).abs() < 1e-9, "{caps:?}");
+        // The meeter is trimmed below demand: at 30% of target its desire
+        // is 30 + 90·(0.25 + 0.75·0.3) = 72.75 W.
+        assert!((caps[1] - 72.75).abs() < 1e-9, "{caps:?}");
+        // And the fleet deliberately under-consumes the budget.
+        assert!(caps.iter().sum::<f64>() < 200.0);
+    }
+
+    #[test]
+    fn sla_split_respects_budget_under_pressure() {
+        let ds = vec![d(150.0, 40.0), d(90.0, 35.0), d(60.0, 30.0)];
+        let sig = vec![sla(5e-3, 1e-3), sla(5e-3, 1e-3), sla(5e-3, 1e-3)];
+        for budget in [90.0, 140.0, 200.0, 500.0] {
+            let caps = split_caps_sla(budget, &ds, &sig, 1.0);
+            assert!(
+                caps.iter().sum::<f64>() <= budget + 1e-6,
+                "budget {budget}: {caps:?}"
+            );
+            for (c, dem) in caps.iter().zip(&ds) {
+                assert!(*c <= dem.demand_w + 1e-9, "over demand: {caps:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sla_split_with_unknown_latency_bids_full_demand() {
+        // No samples yet (p99 == 0): treated like a violator's full-demand
+        // bid, so a generous budget grants everything.
+        let ds = vec![d(100.0, 30.0), d(100.0, 30.0)];
+        let sig = vec![sla(0.0, 1e-3), sla(0.0, 1e-3)];
+        let caps = split_caps_sla(400.0, &ds, &sig, 1.0);
+        assert!((caps[0] - 100.0).abs() < 1e-9, "{caps:?}");
+        assert!((caps[1] - 100.0).abs() < 1e-9, "{caps:?}");
+    }
+
+    #[test]
+    fn sla_split_violators_win_scarce_budget() {
+        // Budget covers floors plus ~one server's headroom. The violator
+        // must get its headroom before the meeter sees a single quantum.
+        let ds = vec![d(100.0, 30.0), d(100.0, 30.0)];
+        let sig = vec![sla(2e-3, 1e-3), sla(0.99e-3, 1e-3)];
+        let caps = split_caps_sla(130.0, &ds, &sig, 1.0);
+        assert!((caps[0] - 100.0).abs() < 1e-9, "{caps:?}");
+        assert!((caps[1] - 30.0).abs() < 1e-9, "{caps:?}");
+    }
+
+    #[test]
+    fn sla_variant_without_signals_degrades_to_fastcap() {
+        let ds = vec![d(200.0, 40.0), d(180.0, 40.0), d(50.0, 40.0)];
+        let a = split_caps(CapSplit::SlaAware, 270.0, &ds, 1.0);
+        let b = split_caps(CapSplit::FastCap, 270.0, &ds, 1.0);
+        assert_eq!(a, b);
     }
 
     #[test]

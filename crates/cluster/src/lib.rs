@@ -51,7 +51,7 @@ pub mod coordinator;
 mod server;
 mod sim;
 
-pub use config::{CapSplit, ClusterConfig, ServerSpec};
-pub use coordinator::{jain_index, split_caps, ServerDemand};
-pub use server::{Server, ServerStatus};
+pub use config::{CapSplit, ChurnAction, ChurnEvent, ChurnSchedule, ClusterConfig, ServerSpec};
+pub use coordinator::{jain_index, split_caps, split_caps_sla, ServerDemand, SlaSignal};
+pub use server::{CappedPolicy, Server, ServerStatus, SharedCap};
 pub use sim::{run_cluster, ClusterResult, ClusterSim, ServerOutcome};

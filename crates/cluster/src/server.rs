@@ -16,25 +16,39 @@ use std::sync::Arc;
 pub struct SharedCap(Arc<AtomicU64>);
 
 impl SharedCap {
-    fn new(cap_w: f64) -> SharedCap {
+    /// A fresh cap cell holding `cap_w`.
+    pub fn new(cap_w: f64) -> SharedCap {
         SharedCap(Arc::new(AtomicU64::new(cap_w.to_bits())))
     }
 
-    fn set(&self, cap_w: f64) {
+    /// Rewrites the cap (coordinator side).
+    pub fn set(&self, cap_w: f64) {
         self.0.store(cap_w.to_bits(), Ordering::Relaxed);
     }
 
-    fn get(&self) -> f64 {
+    /// Reads the current cap (policy side).
+    pub fn get(&self) -> f64 {
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
 }
 
 /// `PowerCapPolicy` with its budget read from a [`SharedCap`] at each
 /// decision, so the coordinator can move the cap without rebuilding the
-/// runner.
-struct CappedPolicy {
+/// runner. Public so other fleet layers (e.g. the `service` crate) can
+/// build capped runners of their own.
+pub struct CappedPolicy {
     inner: PowerCapPolicy,
     cap: SharedCap,
+}
+
+impl CappedPolicy {
+    /// A capping policy that reads its budget from `cap` at each decision.
+    pub fn new(cap: SharedCap) -> CappedPolicy {
+        CappedPolicy {
+            inner: PowerCapPolicy::new(f64::MAX),
+            cap,
+        }
+    }
 }
 
 impl Policy for CappedPolicy {
@@ -92,10 +106,7 @@ impl Server {
     /// Builds the server from its spec, initially granted `initial_cap_w`.
     pub fn new(spec: &ServerSpec, initial_cap_w: f64) -> Server {
         let cap = SharedCap::new(initial_cap_w);
-        let policy = CappedPolicy {
-            inner: PowerCapPolicy::new(f64::MAX),
-            cap: cap.clone(),
-        };
+        let policy = CappedPolicy::new(cap.clone());
         let total_target_instrs = spec.config.target_instrs * spec.config.cores as u64;
         let runner =
             Runner::new(spec.config.clone(), PolicyKind::PowerCap).with_policy(Box::new(policy));

@@ -48,3 +48,8 @@ pub use config::{
 };
 pub use counters::MemCounters;
 pub use system::{Completion, MemEvent, MemorySystem, Outcome};
+
+// The read-latency histogram type began life in this crate; it now lives in
+// `simkernel::stats` so the service layer can share one implementation.
+// Re-exported to keep this crate's API stable.
+pub use simkernel::stats::Histogram;

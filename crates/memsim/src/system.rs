@@ -2,7 +2,7 @@
 
 use crate::channel::{Channel, Request};
 use crate::{map_line, LineAddr, MemConfig, MemCounters};
-use simkernel::{stats::LogHistogram, Freq, Ps};
+use simkernel::{stats::Histogram, Freq, Ps};
 
 /// Events the memory system asks the simulation driver to deliver back.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -88,7 +88,7 @@ pub struct MemorySystem {
     counters: MemCounters,
     outstanding_reads: usize,
     /// Distribution of demand-read latencies, picoseconds.
-    read_latency_hist: LogHistogram,
+    read_latency_hist: Histogram,
 }
 
 impl MemorySystem {
@@ -112,7 +112,7 @@ impl MemorySystem {
             recal_until: Ps::ZERO,
             counters: MemCounters::default(),
             outstanding_reads: 0,
-            read_latency_hist: LogHistogram::new(),
+            read_latency_hist: Histogram::new(),
         }
     }
 
@@ -159,7 +159,7 @@ impl MemorySystem {
     }
 
     /// Distribution of demand-read latencies (picosecond samples).
-    pub fn read_latency_histogram(&self) -> &LogHistogram {
+    pub fn read_latency_histogram(&self) -> &Histogram {
         &self.read_latency_hist
     }
 

@@ -1,0 +1,258 @@
+//! Service-layer configuration: per-server serving specs and the fleet
+//! configuration.
+
+use crate::arrivals::ArrivalKind;
+use cluster::{CapSplit, ChurnSchedule};
+use coscale::SimConfig;
+use simkernel::Ps;
+
+/// One serving server: an engine configuration plus the request stream it
+/// must absorb and the latency target it is held to.
+#[derive(Clone, Debug)]
+pub struct ServiceServerSpec {
+    /// Display name (unique within the fleet; churn departures are by
+    /// name).
+    pub name: String,
+    /// The underlying engine configuration. The completion target is
+    /// irrelevant here — serving runs for a fixed number of rounds, so
+    /// [`ServiceServerSpec::small`] pushes `target_instrs`/`max_epochs`
+    /// effectively out of reach.
+    pub config: SimConfig,
+    /// The arrival process.
+    pub arrivals: ArrivalKind,
+    /// Seed of the arrival/request-size stream (independent of the engine
+    /// workload seed).
+    pub arrival_seed: u64,
+    /// Mean instructions a request costs; actual sizes are uniform in
+    /// `[0.5, 1.5] ×` this.
+    pub mean_request_instrs: f64,
+    /// Queue bound for admission control (requests, including the one in
+    /// service).
+    pub queue_capacity: usize,
+    /// The server's p99 sojourn-time SLO, seconds.
+    pub p99_target_s: f64,
+}
+
+impl ServiceServerSpec {
+    /// A small fast serving server for tests and examples: the reduced
+    /// engine configuration (4 cores, 250 µs epochs) with the completion
+    /// target pushed out of reach, Poisson arrivals at `rate_hz`, 40 k
+    /// instructions per request, a 512-deep queue and a 1 ms p99 target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix name is unknown.
+    pub fn small(name: &str, mix_name: &str, seed: u64, rate_hz: f64) -> ServiceServerSpec {
+        let m = workloads::mix(mix_name).unwrap_or_else(|| panic!("unknown mix {mix_name}"));
+        let mut config = SimConfig::small(m);
+        config.seed = seed;
+        config.epoch = Ps::from_us(250);
+        config.profile_window = Ps::from_us(50);
+        // Serving runs never "complete": the fixed round count ends them.
+        config.target_instrs = 1 << 50;
+        config.max_epochs = 1_000_000;
+        ServiceServerSpec {
+            name: name.to_string(),
+            config,
+            arrivals: ArrivalKind::Poisson { rate_hz },
+            arrival_seed: seed ^ 0x5e21_1ce0,
+            mean_request_instrs: 40_000.0,
+            queue_capacity: 512,
+            p99_target_s: 1e-3,
+        }
+    }
+
+    /// Same as [`ServiceServerSpec::small`] with a custom core count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix name is unknown.
+    pub fn small_with_cores(
+        name: &str,
+        mix_name: &str,
+        seed: u64,
+        rate_hz: f64,
+        cores: usize,
+    ) -> ServiceServerSpec {
+        let mut s = Self::small(name, mix_name, seed, rate_hz);
+        s.config.cores = cores;
+        s
+    }
+
+    /// Sets the p99 target.
+    #[must_use]
+    pub fn with_p99_target_s(mut self, target_s: f64) -> ServiceServerSpec {
+        self.p99_target_s = target_s;
+        self
+    }
+
+    /// Sets the arrival process.
+    #[must_use]
+    pub fn with_arrivals(mut self, arrivals: ArrivalKind) -> ServiceServerSpec {
+        self.arrivals = arrivals;
+        self
+    }
+}
+
+/// Configuration of one serving-fleet simulation.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// The initial fleet (churn may add or remove servers later).
+    pub servers: Vec<ServiceServerSpec>,
+    /// Global power budget, watts.
+    pub global_cap_w: f64,
+    /// The budget-splitting discipline. [`CapSplit::SlaAware`] uses the
+    /// servers' windowed p99 signals; the others ignore latency.
+    pub split: CapSplit,
+    /// Coordination rounds to run (the serving horizon).
+    pub rounds: usize,
+    /// Engine epochs per round.
+    pub epochs_per_round: usize,
+    /// Worker threads within a round; results are identical for any count.
+    pub threads: usize,
+    /// Cap-granting quantum, watts.
+    pub quantum_w: f64,
+    /// How many recent rounds of latency feed the SLA signal.
+    pub sla_window_rounds: usize,
+    /// Scheduled fleet changes.
+    pub churn: ChurnSchedule<ServiceServerSpec>,
+}
+
+impl ServiceConfig {
+    /// A fleet under `global_cap_w` split by `split`, with defaults: 40
+    /// rounds of 4 epochs, one thread, 1 W quanta, a 4-round SLA window and
+    /// no churn.
+    pub fn new(
+        servers: Vec<ServiceServerSpec>,
+        global_cap_w: f64,
+        split: CapSplit,
+    ) -> ServiceConfig {
+        ServiceConfig {
+            servers,
+            global_cap_w,
+            split,
+            rounds: 40,
+            epochs_per_round: 4,
+            threads: 1,
+            quantum_w: 1.0,
+            sla_window_rounds: 4,
+            churn: ChurnSchedule::new(),
+        }
+    }
+
+    /// Sets the round count.
+    #[must_use]
+    pub fn with_rounds(mut self, rounds: usize) -> ServiceConfig {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Sets the worker thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> ServiceConfig {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the churn schedule.
+    #[must_use]
+    pub fn with_churn(mut self, churn: ChurnSchedule<ServiceServerSpec>) -> ServiceConfig {
+        self.churn = churn;
+        self
+    }
+
+    /// Validates cross-field consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.global_cap_w.is_nan() || self.global_cap_w <= 0.0 {
+            return Err(format!("global cap {} must be positive", self.global_cap_w));
+        }
+        if self.rounds == 0 {
+            return Err("rounds must be positive".into());
+        }
+        if self.epochs_per_round == 0 {
+            return Err("epochs_per_round must be positive".into());
+        }
+        if self.threads == 0 {
+            return Err("threads must be positive".into());
+        }
+        if self.quantum_w.is_nan() || self.quantum_w <= 0.0 {
+            return Err(format!("quantum {} must be positive", self.quantum_w));
+        }
+        if self.sla_window_rounds == 0 {
+            return Err("sla_window_rounds must be positive".into());
+        }
+        for s in &self.servers {
+            Self::validate_spec(s)?;
+        }
+        let total_epochs = self.rounds.saturating_mul(self.epochs_per_round);
+        for s in &self.servers {
+            if total_epochs > s.config.max_epochs {
+                return Err(format!(
+                    "server {}: {total_epochs} total epochs exceed max_epochs {}",
+                    s.name, s.config.max_epochs
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates one serving spec (also applied to churn joiners at the
+    /// round they join).
+    pub(crate) fn validate_spec(s: &ServiceServerSpec) -> Result<(), String> {
+        s.config
+            .validate()
+            .map_err(|e| format!("server {}: {e}", s.name))?;
+        if s.mean_request_instrs <= 0.0 {
+            return Err(format!("server {}: request size must be positive", s.name));
+        }
+        if s.queue_capacity == 0 {
+            return Err(format!(
+                "server {}: queue capacity must be positive",
+                s.name
+            ));
+        }
+        if s.p99_target_s <= 0.0 {
+            return Err(format!("server {}: p99 target must be positive", s.name));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let ok = ServiceConfig::new(
+            vec![ServiceServerSpec::small("s0", "MID1", 1, 1000.0)],
+            100.0,
+            CapSplit::SlaAware,
+        );
+        assert!(ok.validate().is_ok());
+
+        let mut c = ok.clone();
+        c.global_cap_w = -1.0;
+        assert!(c.validate().is_err());
+
+        let mut c = ok.clone();
+        c.rounds = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ok.clone();
+        c.servers[0].queue_capacity = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ok.clone();
+        c.servers[0].p99_target_s = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = ok;
+        c.rounds = 2_000_000;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! One serving server: the epoch engine under a coordinator-written power
+//! cap, plus the request stream it serves.
+//!
+//! Each round the server (1) advances the engine `epochs_per_round` epochs
+//! under its current cap, (2) measures the aggregate instruction throughput
+//! the engine actually achieved over that window, (3) pulls the arrivals
+//! that fell inside the window and drains the queue fluidly at the measured
+//! rate. Slower DVFS plans (tighter caps) thus directly stretch request
+//! sojourn times — the link between power capping and tail latency the
+//! SLA-aware discipline exploits.
+
+use crate::arrivals::ArrivalGen;
+use crate::config::ServiceServerSpec;
+use crate::queue::{Request, RequestQueue};
+use cluster::{CappedPolicy, ServerDemand, SharedCap, SlaSignal};
+use coscale::{PolicyKind, Runner};
+use simkernel::{stats::Histogram, Ps, SimRng};
+use std::collections::VecDeque;
+
+/// One serving server.
+pub struct ServiceServer {
+    /// Display name from the spec.
+    pub name: String,
+    runner: Runner,
+    cap: SharedCap,
+    cap_w: f64,
+    mean_cap_num: f64,
+    rounds_run: u64,
+    records_seen: usize,
+    // Serving state.
+    arrivals: ArrivalGen,
+    size_rng: SimRng,
+    mean_request_instrs: f64,
+    queue: RequestQueue,
+    p99_target_s: f64,
+    /// All sojourns since the server joined.
+    cum_hist: Histogram,
+    /// Most recent per-round histograms (the SLA feedback window).
+    window: VecDeque<Histogram>,
+    window_rounds: usize,
+    violation_rounds: u64,
+}
+
+impl ServiceServer {
+    /// Builds the server from its spec, initially granted `initial_cap_w`,
+    /// with an SLA window of `window_rounds` rounds.
+    pub fn new(
+        spec: &ServiceServerSpec,
+        initial_cap_w: f64,
+        window_rounds: usize,
+    ) -> ServiceServer {
+        let cap = SharedCap::new(initial_cap_w);
+        let policy = CappedPolicy::new(cap.clone());
+        let runner =
+            Runner::new(spec.config.clone(), PolicyKind::PowerCap).with_policy(Box::new(policy));
+        ServiceServer {
+            name: spec.name.clone(),
+            runner,
+            cap,
+            cap_w: initial_cap_w,
+            mean_cap_num: 0.0,
+            rounds_run: 0,
+            records_seen: 0,
+            arrivals: ArrivalGen::new(spec.arrivals, spec.arrival_seed),
+            size_rng: SimRng::new(spec.arrival_seed ^ 0x517e_d00d),
+            mean_request_instrs: spec.mean_request_instrs,
+            queue: RequestQueue::new(spec.queue_capacity),
+            p99_target_s: spec.p99_target_s,
+            cum_hist: Histogram::new(),
+            window: VecDeque::new(),
+            window_rounds: window_rounds.max(1),
+            violation_rounds: 0,
+        }
+    }
+
+    /// Assigns the cap for the coming round.
+    pub fn set_cap(&mut self, cap_w: f64) {
+        self.cap.set(cap_w);
+        self.cap_w = cap_w;
+    }
+
+    /// Total committed instructions across all cores.
+    fn total_instrs(&self) -> u64 {
+        self.runner.system().instrs().iter().sum()
+    }
+
+    /// Advances the engine `epochs` epochs and serves the request stream
+    /// over the simulated window at the throughput the engine delivered.
+    pub fn step_round(&mut self, epochs: usize) {
+        let t0 = self.runner.system().now();
+        let i0 = self.total_instrs();
+        for _ in 0..epochs {
+            if self.runner.is_done() {
+                break;
+            }
+            self.runner.step_epoch();
+        }
+        let t1 = self.runner.system().now();
+        let dt = (t1 - t0).as_secs_f64();
+        let rate_ips = if dt > 0.0 {
+            (self.total_instrs() - i0) as f64 / dt
+        } else {
+            0.0
+        };
+        // Requests that arrived during the window, with their sizes.
+        let reqs: Vec<Request> = self
+            .arrivals
+            .arrivals_until(t1)
+            .into_iter()
+            .map(|arrival| Request {
+                arrival,
+                remaining_instrs: self.mean_request_instrs * (0.5 + self.size_rng.f64()),
+            })
+            .collect();
+        let mut round_hist = Histogram::new();
+        self.queue.advance(t0, t1, rate_ips, &reqs, &mut round_hist);
+        self.cum_hist.merge(&round_hist);
+        self.window.push_back(round_hist);
+        while self.window.len() > self.window_rounds {
+            self.window.pop_front();
+        }
+        let sla = self.sla_signal();
+        if sla.p99_s > 0.0 && sla.violating() {
+            self.violation_rounds += 1;
+        }
+        self.mean_cap_num += self.cap_w;
+        self.rounds_run += 1;
+    }
+
+    /// Power telemetry for cap splitting: the mean of the engine's
+    /// per-epoch demand/floor predictions since the last call (see the
+    /// batch layer's `Server::status` for the same convention).
+    pub fn demand(&mut self) -> ServerDemand {
+        let records = self.runner.records();
+        let fresh = &records[self.records_seen.min(records.len())..];
+        let (demand_w, min_w) = if fresh.is_empty() {
+            records
+                .last()
+                .map_or((0.0, 0.0), |r| (r.demand_power_w, r.min_power_w))
+        } else {
+            let n = fresh.len() as f64;
+            (
+                fresh.iter().map(|r| r.demand_power_w).sum::<f64>() / n,
+                fresh.iter().map(|r| r.min_power_w).sum::<f64>() / n,
+            )
+        };
+        self.records_seen = records.len();
+        ServerDemand {
+            demand_w,
+            min_w,
+            active: true,
+        }
+    }
+
+    /// The latency signal for SLA-aware splitting: windowed p99 (zero
+    /// before any completion) against the server's target.
+    pub fn sla_signal(&self) -> SlaSignal {
+        let mut merged = Histogram::new();
+        for h in &self.window {
+            merged.merge(h);
+        }
+        let p99_s = if merged.count() == 0 {
+            0.0
+        } else {
+            merged.percentile(0.99) as f64 / 1e12
+        };
+        SlaSignal {
+            p99_s,
+            target_s: self.p99_target_s,
+        }
+    }
+
+    /// The server's p99 target, seconds.
+    pub fn p99_target_s(&self) -> f64 {
+        self.p99_target_s
+    }
+
+    /// All sojourn times since the server joined.
+    pub fn histogram(&self) -> &Histogram {
+        &self.cum_hist
+    }
+
+    /// Requests completed so far.
+    pub fn completed(&self) -> u64 {
+        self.queue.completed()
+    }
+
+    /// Requests shed by admission control so far.
+    pub fn shed(&self) -> u64 {
+        self.queue.shed()
+    }
+
+    /// Current queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Rounds where the windowed p99 exceeded the target.
+    pub fn violation_rounds(&self) -> u64 {
+        self.violation_rounds
+    }
+
+    /// Rounds this server participated in.
+    pub fn rounds_run(&self) -> u64 {
+        self.rounds_run
+    }
+
+    /// Mean assigned cap over the rounds run, watts.
+    pub fn mean_cap_w(&self) -> f64 {
+        if self.rounds_run == 0 {
+            0.0
+        } else {
+            self.mean_cap_num / self.rounds_run as f64
+        }
+    }
+
+    /// Engine energy consumed so far, joules.
+    pub fn energy_j(&self) -> f64 {
+        self.runner.energy_so_far_j()
+    }
+
+    /// Simulated time reached.
+    pub fn now(&self) -> Ps {
+        self.runner.system().now()
+    }
+
+    /// Abandons everything still queued (the server is leaving the
+    /// fleet), returning the abandoned-request count.
+    pub fn abandon_queue(&mut self) -> u64 {
+        self.queue.abandon_all()
+    }
+}

@@ -1,0 +1,315 @@
+//! The serving-fleet simulation loop: rounds of (apply churn → collect
+//! power and latency telemetry → split the budget → serve a coordination
+//! period in parallel), for a fixed horizon.
+
+use crate::config::ServiceConfig;
+use crate::server::ServiceServer;
+use cluster::{split_caps, split_caps_sla, CapSplit, ChurnAction, ServerDemand, SlaSignal};
+use simkernel::{stats::Histogram, Ps};
+
+/// One server's final accounting (final fleet members and churn departures
+/// alike).
+#[derive(Clone, Debug)]
+pub struct ServiceOutcome {
+    /// Server name from the spec.
+    pub name: String,
+    /// Whether the server left the fleet before the horizon (churn).
+    pub departed: bool,
+    /// Engine energy consumed while in the fleet, joules.
+    pub energy_j: f64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Requests abandoned in-queue (at departure, or still queued at the
+    /// horizon).
+    pub abandoned: u64,
+    /// Rounds whose windowed p99 exceeded the target.
+    pub violation_rounds: u64,
+    /// Rounds the server participated in.
+    pub rounds_run: u64,
+    /// Mean granted cap over those rounds, watts.
+    pub mean_cap_w: f64,
+    /// The server's p99 target, seconds.
+    pub p99_target_s: f64,
+    /// All sojourn times, picosecond-bucketed.
+    pub hist: Histogram,
+    /// Simulated time the server reached.
+    pub now: Ps,
+}
+
+impl ServiceOutcome {
+    /// The `q`-quantile sojourn time in seconds (zero if no completions).
+    pub fn percentile_s(&self, q: f64) -> f64 {
+        self.hist.percentile(q) as f64 / 1e12
+    }
+
+    /// Whole-run p99 sojourn, seconds.
+    pub fn p99_s(&self) -> f64 {
+        self.percentile_s(0.99)
+    }
+
+    /// Whether the whole-run p99 met the server's target (vacuously true
+    /// with no completions).
+    pub fn meets_slo(&self) -> bool {
+        self.hist.count() == 0 || self.p99_s() <= self.p99_target_s
+    }
+}
+
+/// Everything one serving-fleet simulation produces.
+#[derive(Clone, Debug)]
+pub struct ServiceResult {
+    /// The splitting discipline that ran.
+    pub split: CapSplit,
+    /// The global budget, watts.
+    pub global_cap_w: f64,
+    /// Per-server outcomes: churn departures first (in departure order),
+    /// then the final fleet in fleet order.
+    pub outcomes: Vec<ServiceOutcome>,
+    /// Coordination rounds executed.
+    pub rounds: usize,
+    /// Per-round granted caps (ragged: the fleet size may change), watts.
+    pub cap_timeline: Vec<Vec<f64>>,
+}
+
+impl ServiceResult {
+    /// Total fleet energy, joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.outcomes.iter().map(|o| o.energy_j).sum()
+    }
+
+    /// Total requests completed.
+    pub fn total_completed(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.completed).sum()
+    }
+
+    /// Total requests shed.
+    pub fn total_shed(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.shed).sum()
+    }
+
+    /// SLO-violation rounds summed over the fleet.
+    pub fn total_violation_rounds(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.violation_rounds).sum()
+    }
+
+    /// The fleet-wide sojourn distribution (all servers merged).
+    pub fn fleet_hist(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for o in &self.outcomes {
+            h.merge(&o.hist);
+        }
+        h
+    }
+
+    /// Fleet-wide `q`-quantile sojourn, seconds.
+    pub fn fleet_percentile_s(&self, q: f64) -> f64 {
+        self.fleet_hist().percentile(q) as f64 / 1e12
+    }
+
+    /// Whether every server met its whole-run p99 target.
+    pub fn all_meet_slo(&self) -> bool {
+        self.outcomes.iter().all(ServiceOutcome::meets_slo)
+    }
+
+    /// A bit-exact digest of every scheduling-sensitive number: per-server
+    /// energies, caps, queue counters, full latency-bucket state and the
+    /// cap timeline. Two runs of the same configuration must produce
+    /// identical digests regardless of the worker thread count.
+    pub fn digest(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!(
+            "split={} cap={:016x} rounds={}\n",
+            self.split,
+            self.global_cap_w.to_bits(),
+            self.rounds
+        );
+        for o in &self.outcomes {
+            let _ = writeln!(
+                s,
+                "{} departed={} energy={:016x} done={} shed={} abandoned={} viol={} \
+                 mean_cap={:016x} n={} p50={} p99={} p999={} now={}",
+                o.name,
+                o.departed,
+                o.energy_j.to_bits(),
+                o.completed,
+                o.shed,
+                o.abandoned,
+                o.violation_rounds,
+                o.mean_cap_w.to_bits(),
+                o.hist.count(),
+                o.hist.percentile(0.50),
+                o.hist.percentile(0.99),
+                o.hist.percentile(0.999),
+                o.now.as_ps(),
+            );
+        }
+        for (r, caps) in self.cap_timeline.iter().enumerate() {
+            let _ = write!(s, "round {r}:");
+            for c in caps {
+                let _ = write!(s, " {:016x}", c.to_bits());
+            }
+            let _ = writeln!(s);
+        }
+        s
+    }
+}
+
+/// The serving-fleet simulator. Build with a validated [`ServiceConfig`],
+/// then call [`ServiceSim::run`].
+pub struct ServiceSim {
+    config: ServiceConfig,
+    servers: Vec<ServiceServer>,
+}
+
+impl ServiceSim {
+    /// Builds the initial fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: ServiceConfig) -> ServiceSim {
+        if let Err(e) = config.validate() {
+            panic!("invalid service config: {e}");
+        }
+        let n = config.servers.len().max(1);
+        let initial = config.global_cap_w / n as f64;
+        let servers = config
+            .servers
+            .iter()
+            .map(|spec| ServiceServer::new(spec, initial, config.sla_window_rounds))
+            .collect();
+        ServiceSim { config, servers }
+    }
+
+    fn outcome(mut server: ServiceServer, departed: bool) -> ServiceOutcome {
+        let abandoned = server.abandon_queue();
+        ServiceOutcome {
+            name: server.name.clone(),
+            departed,
+            energy_j: server.energy_j(),
+            completed: server.completed(),
+            shed: server.shed(),
+            abandoned,
+            violation_rounds: server.violation_rounds(),
+            rounds_run: server.rounds_run(),
+            mean_cap_w: server.mean_cap_w(),
+            p99_target_s: server.p99_target_s(),
+            hist: server.histogram().clone(),
+            now: server.now(),
+        }
+    }
+
+    /// Runs the configured number of rounds, applying churn at round
+    /// boundaries, and aggregates.
+    ///
+    /// Within a round servers are advanced on up to `config.threads`
+    /// worker threads. Servers exchange state with the coordinator only at
+    /// round barriers, so results are bit-identical for every thread
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a churn join carries an invalid spec, or a joiner's
+    /// remaining epochs exceed its `max_epochs`.
+    pub fn run(mut self) -> ServiceResult {
+        let mut churn = self.config.churn.clone();
+        let mut departures: Vec<ServiceOutcome> = Vec::new();
+        let mut cap_timeline: Vec<Vec<f64>> = Vec::new();
+        for round in 0..self.config.rounds {
+            // --- churn: apply fleet changes due at this boundary ---
+            for action in churn.drain_due(round) {
+                match action {
+                    ChurnAction::Join(spec) => {
+                        if let Err(e) = ServiceConfig::validate_spec(&spec) {
+                            panic!("churn join: {e}");
+                        }
+                        let left = (self.config.rounds - round) * self.config.epochs_per_round;
+                        assert!(
+                            left <= spec.config.max_epochs,
+                            "churn join {}: {left} remaining epochs exceed max_epochs",
+                            spec.name
+                        );
+                        // Joiners start with no budget; the next split
+                        // grants them their share.
+                        self.servers.push(ServiceServer::new(
+                            &spec,
+                            0.0,
+                            self.config.sla_window_rounds,
+                        ));
+                    }
+                    ChurnAction::Leave(name) => {
+                        if let Some(i) = self.servers.iter().position(|s| s.name == name) {
+                            let server = self.servers.remove(i);
+                            departures.push(Self::outcome(server, true));
+                        }
+                    }
+                }
+            }
+            if self.servers.is_empty() {
+                cap_timeline.push(Vec::new());
+                continue;
+            }
+
+            // --- coordinate: telemetry in, caps out ---
+            let demands: Vec<ServerDemand> =
+                self.servers.iter_mut().map(ServiceServer::demand).collect();
+            let caps = match self.config.split {
+                CapSplit::SlaAware => {
+                    let signals: Vec<SlaSignal> =
+                        self.servers.iter().map(ServiceServer::sla_signal).collect();
+                    split_caps_sla(
+                        self.config.global_cap_w,
+                        &demands,
+                        &signals,
+                        self.config.quantum_w,
+                    )
+                }
+                split => split_caps(
+                    split,
+                    self.config.global_cap_w,
+                    &demands,
+                    self.config.quantum_w,
+                ),
+            };
+            for (server, &cap) in self.servers.iter_mut().zip(&caps) {
+                server.set_cap(cap);
+            }
+            cap_timeline.push(caps);
+
+            // --- serve one coordination period ---
+            let epochs = self.config.epochs_per_round;
+            if self.config.threads == 1 {
+                for server in &mut self.servers {
+                    server.step_round(epochs);
+                }
+            } else {
+                let chunk = self.servers.len().div_ceil(self.config.threads);
+                std::thread::scope(|scope| {
+                    for servers in self.servers.chunks_mut(chunk) {
+                        scope.spawn(move || {
+                            for server in servers {
+                                server.step_round(epochs);
+                            }
+                        });
+                    }
+                });
+            }
+        }
+
+        let mut outcomes = departures;
+        outcomes.extend(self.servers.into_iter().map(|s| Self::outcome(s, false)));
+        ServiceResult {
+            split: self.config.split,
+            global_cap_w: self.config.global_cap_w,
+            outcomes,
+            rounds: self.config.rounds,
+            cap_timeline,
+        }
+    }
+}
+
+/// Convenience: build and run a serving fleet in one call.
+pub fn run_service(config: ServiceConfig) -> ServiceResult {
+    ServiceSim::new(config).run()
+}

@@ -1,0 +1,162 @@
+//! Integration tests for the serving fleet: thread-count determinism, the
+//! SLA-aware discipline's headline behaviour, and churn.
+
+use service::{
+    run_service, ArrivalKind, CapSplit, ChurnSchedule, ServiceConfig, ServiceServerSpec,
+};
+use simkernel::Ps;
+
+/// The `service-sla` bench scenario: one big memory-bound server pushed
+/// close to its full-speed capacity plus three lightly loaded servers, under
+/// a 280 W budget. A uniform 70 W share starves the big server below its
+/// arrival rate (its queue saturates), while its full ~99 W demand serves
+/// the same stream with a sub-millisecond tail.
+fn sla_fleet() -> Vec<ServiceServerSpec> {
+    vec![
+        ServiceServerSpec::small_with_cores("heavy", "MEM2", 11, 230_000.0, 8)
+            .with_p99_target_s(1e-3),
+        ServiceServerSpec::small("light0", "ILP1", 12, 30_000.0).with_p99_target_s(1e-3),
+        ServiceServerSpec::small("light1", "ILP2", 13, 30_000.0).with_p99_target_s(1e-3),
+        ServiceServerSpec::small("light2", "MID2", 14, 30_000.0).with_p99_target_s(1e-3),
+    ]
+}
+
+fn sla_config(split: CapSplit) -> ServiceConfig {
+    ServiceConfig::new(sla_fleet(), 280.0, split).with_rounds(40)
+}
+
+/// Servers only exchange state at round barriers, so the worker thread
+/// count must not change a single bit of the result — checked on the full
+/// bench scenario via the digest (energies, caps, queue counters, latency
+/// buckets, cap timeline).
+#[test]
+fn results_are_bit_identical_across_thread_counts() {
+    let d1 = run_service(sla_config(CapSplit::SlaAware).with_threads(1)).digest();
+    let d2 = run_service(sla_config(CapSplit::SlaAware).with_threads(2)).digest();
+    let d8 = run_service(sla_config(CapSplit::SlaAware).with_threads(8)).digest();
+    assert_eq!(d1, d2, "1 vs 2 threads");
+    assert_eq!(d1, d8, "1 vs 8 threads");
+}
+
+/// The PR's acceptance scenario: at the same 280 W budget the SLA-aware
+/// discipline meets every server's p99 target (uniform misses on the heavy
+/// server) while consuming *less* energy — the trimmed light servers more
+/// than pay for the heavy server's boost.
+#[test]
+fn sla_aware_meets_slo_uniform_misses_at_same_budget() {
+    let uniform = run_service(sla_config(CapSplit::Uniform));
+    let sla = run_service(sla_config(CapSplit::SlaAware));
+
+    // Uniform: the heavy server saturates and blows through its target.
+    let heavy_uni = uniform.outcomes.iter().find(|o| o.name == "heavy").unwrap();
+    assert!(
+        !heavy_uni.meets_slo(),
+        "uniform should miss on heavy: p99 {:.0} µs",
+        heavy_uni.p99_s() * 1e6
+    );
+    assert!(heavy_uni.shed > 0, "saturated queue should shed");
+
+    // SLA-aware: every server meets its target, nothing is shed.
+    assert!(
+        sla.all_meet_slo(),
+        "sla-aware p99s: {:?}",
+        sla.outcomes
+            .iter()
+            .map(|o| (o.name.clone(), o.p99_s()))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(sla.total_shed(), 0);
+
+    // And it does so on less energy than uniform at the same budget.
+    assert!(
+        sla.total_energy_j() <= uniform.total_energy_j(),
+        "sla {:.2} J > uniform {:.2} J",
+        sla.total_energy_j(),
+        uniform.total_energy_j()
+    );
+
+    // The heavy server was actually boosted above its uniform share, and
+    // the light servers trimmed below theirs.
+    let heavy_sla = sla.outcomes.iter().find(|o| o.name == "heavy").unwrap();
+    assert!(heavy_sla.mean_cap_w > heavy_uni.mean_cap_w + 5.0);
+    for light in sla.outcomes.iter().filter(|o| o.name.starts_with("light")) {
+        assert!(
+            light.mean_cap_w < 70.0 - 5.0,
+            "{}: {}",
+            light.name,
+            light.mean_cap_w
+        );
+    }
+}
+
+/// Churn mid-run: a join and a departure at round boundaries neither panic
+/// nor corrupt fleet metrics, and the result stays thread-count
+/// deterministic.
+#[test]
+fn churn_mid_run_keeps_metrics_sane_and_deterministic() {
+    let build = |threads: usize| {
+        let fleet = vec![
+            ServiceServerSpec::small("s0", "MID1", 21, 40_000.0),
+            ServiceServerSpec::small("s1", "MEM1", 22, 40_000.0).with_arrivals(ArrivalKind::Mmpp {
+                rate_hz: 30_000.0,
+                burst_factor: 3.0,
+                mean_calm: Ps::from_ms(2),
+                mean_burst: Ps::from_ms(1),
+                diurnal_period: Ps::from_ms(10),
+                diurnal_depth: 0.4,
+            }),
+        ];
+        let mut churn = ChurnSchedule::new();
+        churn.join(4, ServiceServerSpec::small("late", "ILP1", 23, 40_000.0));
+        churn.leave(9, "s1");
+        ServiceConfig::new(fleet, 180.0, CapSplit::SlaAware)
+            .with_rounds(14)
+            .with_churn(churn)
+            .with_threads(threads)
+    };
+
+    let r = run_service(build(1));
+    // All three servers appear exactly once; only s1 departed.
+    assert_eq!(r.outcomes.len(), 3);
+    let s1 = r.outcomes.iter().find(|o| o.name == "s1").unwrap();
+    assert!(s1.departed);
+    assert_eq!(s1.rounds_run, 9);
+    let late = r.outcomes.iter().find(|o| o.name == "late").unwrap();
+    assert!(!late.departed);
+    assert_eq!(late.rounds_run, 10);
+    // Everyone served traffic, and the fleet histogram is exactly the sum
+    // of the per-server ones (merge loses nothing).
+    for o in &r.outcomes {
+        assert!(o.completed > 0, "{} served nothing", o.name);
+    }
+    let total: u64 = r.outcomes.iter().map(|o| o.hist.count()).sum();
+    assert_eq!(r.fleet_hist().count(), total);
+    // The cap timeline tracks the changing fleet width.
+    assert_eq!(r.cap_timeline[0].len(), 2);
+    assert_eq!(r.cap_timeline[4].len(), 3);
+    assert_eq!(r.cap_timeline[9].len(), 2);
+
+    // Churn does not break round-barrier determinism.
+    let d4 = run_service(build(4)).digest();
+    assert_eq!(r.digest(), d4);
+}
+
+/// A fleet that churns down to empty and back keeps running (degenerate
+/// rounds simply grant no caps).
+#[test]
+fn fleet_can_drain_to_empty_and_refill() {
+    let fleet = vec![ServiceServerSpec::small("only", "MID1", 31, 20_000.0)];
+    let mut churn = ChurnSchedule::new();
+    churn.leave(2, "only");
+    churn.join(5, ServiceServerSpec::small("fresh", "MID2", 32, 20_000.0));
+    let cfg = ServiceConfig::new(fleet, 90.0, CapSplit::FastCap)
+        .with_rounds(8)
+        .with_churn(churn);
+    let r = run_service(cfg);
+    assert_eq!(r.outcomes.len(), 2);
+    assert!(r.cap_timeline[3].is_empty());
+    assert_eq!(r.cap_timeline[6].len(), 1);
+    let fresh = r.outcomes.iter().find(|o| o.name == "fresh").unwrap();
+    assert_eq!(fresh.rounds_run, 3);
+    assert!(fresh.completed > 0);
+}

@@ -238,36 +238,46 @@ impl Utilization {
     }
 }
 
-/// A log₂-bucketed histogram over `u64` samples (e.g. latencies in
-/// picoseconds): constant memory, O(1) insert, ~2x-resolution percentile
-/// queries — sufficient for tail-latency reporting.
+/// A log₂-bucketed streaming histogram over `u64` samples (e.g. latencies
+/// in picoseconds): constant memory, O(1) insert, ~2x-resolution percentile
+/// queries — sufficient for tail-latency reporting. Histograms are
+/// mergeable (associative and commutative up to the exact `u64` bucket
+/// counts), so per-server or per-thread histograms can be combined into
+/// fleet-wide ones without losing information.
+///
+/// Shared by the memory simulator (demand-read latencies) and the service
+/// layer (request sojourn times).
 ///
 /// # Example
 ///
 /// ```
-/// use simkernel::stats::LogHistogram;
-/// let mut h = LogHistogram::new();
+/// use simkernel::stats::Histogram;
+/// let mut h = Histogram::new();
 /// for v in [100, 200, 400, 800] { h.record(v); }
 /// assert_eq!(h.count(), 4);
 /// assert!(h.percentile(0.5) >= 100);
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct LogHistogram {
+pub struct Histogram {
     buckets: [u64; 64],
     count: u64,
     sum: u128,
 }
 
-impl Default for LogHistogram {
+/// The histogram's original name; kept as an alias for downstream users of
+/// the pre-extraction API.
+pub type LogHistogram = Histogram;
+
+impl Default for Histogram {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl LogHistogram {
+impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        LogHistogram {
+        Histogram {
             buckets: [0; 64],
             count: 0,
             sum: 0,
@@ -277,6 +287,15 @@ impl LogHistogram {
     #[inline]
     fn bucket_of(v: u64) -> usize {
         (64 - v.leading_zeros()).saturating_sub(1) as usize
+    }
+
+    /// The inclusive `[lo, hi]` value range of the bucket a sample lands
+    /// in. Any percentile that falls on that sample reports a value within
+    /// these bounds.
+    pub fn bucket_bounds(v: u64) -> (u64, u64) {
+        let i = Self::bucket_of(v.max(1));
+        let lo = 1u64 << i;
+        (lo, lo.saturating_mul(2).saturating_sub(1))
     }
 
     /// Records one sample.
@@ -325,8 +344,10 @@ impl LogHistogram {
         u64::MAX
     }
 
-    /// Merges another histogram into this one.
-    pub fn merge(&mut self, other: &LogHistogram) {
+    /// Merges another histogram into this one. Merging is associative and
+    /// commutative: any merge tree over the same histograms produces the
+    /// same buckets, counts and sums.
+    pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
         }
@@ -336,7 +357,7 @@ impl LogHistogram {
 
     /// Clears all samples.
     pub fn reset(&mut self) {
-        *self = LogHistogram::new();
+        *self = Histogram::new();
     }
 }
 

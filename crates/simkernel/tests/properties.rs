@@ -1,7 +1,18 @@
 //! Property-based tests for the simulation kernel.
 
 use proptest::prelude::*;
-use simkernel::{stats::TimeWeighted, EventQueue, Freq, Ps, SimRng};
+use simkernel::{
+    stats::{Histogram, TimeWeighted},
+    EventQueue, Freq, Ps, SimRng,
+};
+
+fn hist_of(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
 
 proptest! {
     /// Events always pop in non-decreasing time order, with FIFO ties.
@@ -98,6 +109,76 @@ proptest! {
         let lo = levels.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = levels.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9, "avg {avg} not in [{lo},{hi}]");
+    }
+
+    /// Histogram merging is commutative: a∪b has exactly the same buckets,
+    /// count and sum as b∪a.
+    #[test]
+    fn histogram_merge_commutes(
+        xs in prop::collection::vec(0u64..1_000_000_000, 0..80),
+        ys in prop::collection::vec(0u64..1_000_000_000, 0..80),
+    ) {
+        let (a, b) = (hist_of(&xs), hist_of(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.count(), (xs.len() + ys.len()) as u64);
+    }
+
+    /// Histogram merging is associative: (a∪b)∪c == a∪(b∪c), and both equal
+    /// the histogram built from the concatenated samples.
+    #[test]
+    fn histogram_merge_associates(
+        xs in prop::collection::vec(0u64..1_000_000_000, 0..50),
+        ys in prop::collection::vec(0u64..1_000_000_000, 0..50),
+        zs in prop::collection::vec(0u64..1_000_000_000, 0..50),
+    ) {
+        let (a, b, c) = (hist_of(&xs), hist_of(&ys), hist_of(&zs));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        let all: Vec<u64> = xs.iter().chain(&ys).chain(&zs).copied().collect();
+        prop_assert_eq!(&left, &hist_of(&all));
+    }
+
+    /// Percentiles are monotone in the quantile: q1 ≤ q2 ⇒ P(q1) ≤ P(q2).
+    #[test]
+    fn histogram_percentile_monotone(
+        xs in prop::collection::vec(1u64..1_000_000_000, 1..120),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        let h = hist_of(&xs);
+        let (lo_q, hi_q) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(h.percentile(lo_q) <= h.percentile(hi_q),
+            "P({lo_q}) = {} > P({hi_q}) = {}", h.percentile(lo_q), h.percentile(hi_q));
+    }
+
+    /// Each percentile lies within the value bounds of the bucket holding
+    /// the sample it targets (the ~2x bucket-resolution guarantee).
+    #[test]
+    fn histogram_percentile_within_bucket_bounds(
+        xs in prop::collection::vec(1u64..1_000_000_000, 1..120),
+        q in 0.0f64..1.0,
+    ) {
+        let h = hist_of(&xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        // The sample the quantile targets (matching the histogram's
+        // ceil-rank convention).
+        let rank = ((sorted.len() as f64) * q).ceil().max(1.0) as usize - 1;
+        let target = sorted[rank];
+        let (lo, hi) = Histogram::bucket_bounds(target);
+        let got = h.percentile(q);
+        prop_assert!(got >= lo && got <= hi,
+            "P({q}) = {got} outside bucket [{lo},{hi}] of sample {target}");
     }
 
     /// Ps::scale_f64 by a ratio a/b then b/a returns close to the original.

@@ -16,6 +16,21 @@
 //!   --seed N            workload seed
 //!   --timeline FILE     write the per-epoch decision timeline as TSV
 //!   --compare           also run the no-DVFS baseline and report savings
+//!
+//! coscale-sim cluster [OPTIONS]     multi-server fleet under one budget
+//!
+//!   --servers LIST      comma-separated name=mix[:cores][@rate] entries
+//!   --cap WATTS         global power budget (default 280)
+//!   --split NAME        uniform|demand-proportional|fastcap|sla-aware
+//!                       (default fastcap; sla-aware needs --serve)
+//!   --threads N         round worker threads (default 4)
+//!   --serve             request-serving mode: open-loop arrivals, queues,
+//!                       p99 SLOs (batch completion mode otherwise)
+//!   --rounds N          serving rounds in --serve mode (default 40)
+//!   --rate HZ           default arrival rate per server (default 30000)
+//!   --p99-target MS     p99 SLO in milliseconds (default 1.0)
+//!   --join R:SPEC       server SPEC joins at round R (--serve only)
+//!   --leave R:NAME      server NAME leaves at round R (--serve only)
 //! ```
 
 use coscale::PowerCapPolicy;
@@ -91,7 +106,303 @@ fn parse_args() -> Args {
     a
 }
 
+// ---------------------------------------------------------------------------
+// `coscale-sim cluster` — fleet runs without the bench harness.
+// ---------------------------------------------------------------------------
+
+struct ClusterArgs {
+    servers: String,
+    cap: f64,
+    split: CapSplit,
+    threads: usize,
+    serve: bool,
+    rounds: usize,
+    rate: f64,
+    p99_target_ms: f64,
+    seed: u64,
+    joins: Vec<String>,
+    leaves: Vec<String>,
+}
+
+fn cluster_usage() -> ! {
+    eprintln!(
+        "usage: coscale-sim cluster [--servers LIST] [--cap WATTS] [--split NAME] \
+         [--threads N] [--serve] [--rounds N] [--rate HZ] [--p99-target MS] \
+         [--seed N] [--join R:SPEC]... [--leave R:NAME]...\n\
+         \x20 LIST entries: name=mix[:cores][@rate], e.g. heavy=MEM2:8@230000\n\
+         \x20 splits: uniform demand-proportional fastcap sla-aware (sla-aware needs --serve)\n\
+         \x20 --join/--leave change the fleet at round boundaries (--serve only)"
+    );
+    std::process::exit(2);
+}
+
+fn cluster_fail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    cluster_usage();
+}
+
+/// Parses one `name=mix[:cores][@rate]` fleet entry.
+fn parse_server_entry(entry: &str, default_rate: f64) -> (String, String, usize, f64) {
+    let (head, rate) = match entry.split_once('@') {
+        Some((head, r)) => {
+            let rate: f64 = r
+                .parse()
+                .unwrap_or_else(|_| cluster_fail(&format!("bad rate in server entry '{entry}'")));
+            (head, rate)
+        }
+        None => (entry, default_rate),
+    };
+    let Some((name, mix_spec)) = head.split_once('=') else {
+        cluster_fail(&format!(
+            "server entry '{entry}' must look like name=mix[:cores][@rate]"
+        ));
+    };
+    let (mix_name, cores) = match mix_spec.split_once(':') {
+        Some((m, c)) => {
+            let cores: usize = c
+                .parse()
+                .unwrap_or_else(|_| cluster_fail(&format!("bad core count in '{entry}'")));
+            (m, cores)
+        }
+        None => (mix_spec, 4),
+    };
+    if mix(mix_name).is_none() {
+        cluster_fail(&format!(
+            "unknown mix '{mix_name}' in server entry '{entry}'"
+        ));
+    }
+    if name.is_empty() {
+        cluster_fail(&format!("empty server name in entry '{entry}'"));
+    }
+    (name.to_string(), mix_name.to_string(), cores, rate)
+}
+
+/// Parses a `--join ROUND:name=mix[:cores][@rate]` or `--leave ROUND:name`
+/// payload into its round and the rest.
+fn parse_round_prefix(s: &str, flag: &str) -> (usize, String) {
+    let Some((round, rest)) = s.split_once(':') else {
+        cluster_fail(&format!("{flag} value '{s}' must look like ROUND:..."));
+    };
+    let round: usize = round
+        .parse()
+        .unwrap_or_else(|_| cluster_fail(&format!("bad round number in {flag} '{s}'")));
+    (round, rest.to_string())
+}
+
+fn parse_cluster_args() -> ClusterArgs {
+    let mut a = ClusterArgs {
+        servers: "heavy=MEM2:8@230000,light0=ILP1,light1=ILP2,light2=MID2".into(),
+        cap: 280.0,
+        split: CapSplit::FastCap,
+        threads: 4,
+        serve: false,
+        rounds: 40,
+        rate: 30_000.0,
+        p99_target_ms: 1.0,
+        seed: 11,
+        joins: Vec::new(),
+        leaves: Vec::new(),
+    };
+    let mut it = std::env::args().skip(2);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| cluster_fail(&format!("missing value for {name}")))
+        };
+        match flag.as_str() {
+            "--servers" => a.servers = val("--servers"),
+            "--cap" => a.cap = val("--cap").parse().unwrap_or_else(|_| cluster_usage()),
+            "--split" => {
+                a.split = match val("--split").as_str() {
+                    "uniform" => CapSplit::Uniform,
+                    "demand-proportional" | "demand" => CapSplit::DemandProportional,
+                    "fastcap" => CapSplit::FastCap,
+                    "sla-aware" | "sla" => CapSplit::SlaAware,
+                    other => cluster_fail(&format!("unknown split '{other}'")),
+                }
+            }
+            "--threads" => a.threads = val("--threads").parse().unwrap_or_else(|_| cluster_usage()),
+            "--serve" => a.serve = true,
+            "--rounds" => a.rounds = val("--rounds").parse().unwrap_or_else(|_| cluster_usage()),
+            "--rate" => a.rate = val("--rate").parse().unwrap_or_else(|_| cluster_usage()),
+            "--p99-target" => {
+                a.p99_target_ms = val("--p99-target")
+                    .parse()
+                    .unwrap_or_else(|_| cluster_usage())
+            }
+            "--seed" => a.seed = val("--seed").parse().unwrap_or_else(|_| cluster_usage()),
+            "--join" => a.joins.push(val("--join")),
+            "--leave" => a.leaves.push(val("--leave")),
+            "--help" | "-h" => cluster_usage(),
+            other => cluster_fail(&format!("unknown flag {other}")),
+        }
+    }
+    if !a.serve && (!a.joins.is_empty() || !a.leaves.is_empty()) {
+        cluster_fail("--join/--leave require --serve (batch fleets run to completion)");
+    }
+    if !a.serve && a.split == CapSplit::SlaAware {
+        eprintln!(
+            "note: sla-aware without --serve has no latency signal; using the fastcap fallback"
+        );
+    }
+    a
+}
+
+fn cluster_batch_main(args: &ClusterArgs) {
+    let mut fleet = Vec::new();
+    for (i, entry) in args.servers.split(',').enumerate() {
+        let (name, mix_name, cores, _rate) = parse_server_entry(entry, args.rate);
+        fleet.push(ServerSpec::small_with_cores(
+            &name,
+            &mix_name,
+            args.seed + i as u64,
+            cores,
+        ));
+    }
+    let cfg = ClusterConfig::new(fleet, args.cap, args.split).with_threads(args.threads);
+    if let Err(e) = cfg.validate() {
+        cluster_fail(&format!("invalid cluster configuration: {e}"));
+    }
+
+    eprintln!(
+        "running {}-server batch fleet / {} @ {} W ...",
+        cfg.servers.len(),
+        args.split,
+        args.cap
+    );
+    let r = run_cluster(cfg);
+
+    println!("split          : {}", r.split);
+    println!("global cap     : {:.1} W", r.global_cap_w);
+    println!("rounds         : {}", r.rounds);
+    println!();
+    println!(
+        "{:<10} {:>12} {:>10} {:>10} {:>12} {:>6}",
+        "server", "makespan", "energy", "mean cap", "throughput", "viol"
+    );
+    for o in &r.outcomes {
+        println!(
+            "{:<10} {:>9.3} ms {:>8.3} J {:>8.1} W {:>6.1} Minst/s {:>6}",
+            o.name,
+            o.result.makespan.as_secs_f64() * 1e3,
+            o.result.total_energy_j(),
+            o.mean_cap_w,
+            o.throughput_ips() / 1e6,
+            o.violation_rounds,
+        );
+    }
+    println!();
+    println!("fleet energy   : {:.3} J", r.total_energy_j());
+    println!(
+        "fleet makespan : {:.3} ms",
+        r.makespan().as_secs_f64() * 1e3
+    );
+    println!(
+        "fairness       : caps {:.3}, perf {:.3} (Jain index)",
+        r.cap_fairness(),
+        r.perf_fairness()
+    );
+    println!("cap violations : {}", r.total_violations());
+}
+
+fn cluster_serve_main(args: &ClusterArgs) {
+    let target_s = args.p99_target_ms * 1e-3;
+    let mut seed = args.seed;
+    let mut spec_of = |entry: &str| -> ServiceServerSpec {
+        let (name, mix_name, cores, rate) = parse_server_entry(entry, args.rate);
+        seed += 1;
+        ServiceServerSpec::small_with_cores(&name, &mix_name, seed, rate, cores)
+            .with_p99_target_s(target_s)
+    };
+
+    let fleet: Vec<ServiceServerSpec> = args.servers.split(',').map(&mut spec_of).collect();
+    let mut churn = ChurnSchedule::new();
+    for j in &args.joins {
+        let (round, rest) = parse_round_prefix(j, "--join");
+        churn.join(round, spec_of(&rest));
+    }
+    for l in &args.leaves {
+        let (round, name) = parse_round_prefix(l, "--leave");
+        churn.leave(round, &name);
+    }
+
+    let cfg = ServiceConfig::new(fleet, args.cap, args.split)
+        .with_rounds(args.rounds)
+        .with_threads(args.threads)
+        .with_churn(churn);
+    if let Err(e) = cfg.validate() {
+        cluster_fail(&format!("invalid service configuration: {e}"));
+    }
+
+    eprintln!(
+        "running {}-server serving fleet / {} @ {} W for {} rounds ...",
+        cfg.servers.len(),
+        args.split,
+        args.cap,
+        args.rounds
+    );
+    let r = run_service(cfg);
+
+    println!("split          : {}", r.split);
+    println!("global cap     : {:.1} W", r.global_cap_w);
+    println!("rounds         : {}", r.rounds);
+    println!();
+    println!(
+        "{:<10} {:>9} {:>9} {:>7} {:>10} {:>10} {:>5} {:>9} {:>5}",
+        "server", "mean cap", "done", "shed", "p50", "p99", "SLO", "energy", "note"
+    );
+    for o in &r.outcomes {
+        println!(
+            "{:<10} {:>7.1} W {:>9} {:>7} {:>7.0} µs {:>7.0} µs {:>5} {:>7.2} J {:>5}",
+            o.name,
+            o.mean_cap_w,
+            o.completed,
+            o.shed,
+            o.percentile_s(0.50) * 1e6,
+            o.p99_s() * 1e6,
+            if o.meets_slo() { "met" } else { "MISS" },
+            o.energy_j,
+            if o.departed { "left" } else { "" },
+        );
+    }
+    println!();
+    println!("fleet energy   : {:.3} J", r.total_energy_j());
+    println!(
+        "fleet p99      : {:.3} ms (target {:.3} ms)",
+        r.fleet_percentile_s(0.99) * 1e3,
+        args.p99_target_ms
+    );
+    println!(
+        "SLO            : {} ({} violation rounds)",
+        if r.all_meet_slo() {
+            "every server meets its p99 target"
+        } else {
+            "MISSED on at least one server"
+        },
+        r.total_violation_rounds()
+    );
+    println!(
+        "requests       : {} completed, {} shed, {} abandoned in queue",
+        r.total_completed(),
+        r.total_shed(),
+        r.outcomes.iter().map(|o| o.abandoned).sum::<u64>()
+    );
+}
+
+fn cluster_main() {
+    let args = parse_cluster_args();
+    if args.serve {
+        cluster_serve_main(&args);
+    } else {
+        cluster_batch_main(&args);
+    }
+}
+
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("cluster") {
+        cluster_main();
+        return;
+    }
     let args = parse_args();
     let Some(m) = mix(&args.mix) else {
         eprintln!(

@@ -14,7 +14,11 @@
 //!   the five comparison policies, and the epoch engine.
 //! * [`cluster`] — N servers under one global power budget, coordinated by
 //!   a cluster-level cap redistributor (uniform / demand-proportional /
-//!   FastCap-style splitting).
+//!   FastCap-style / SLA-aware splitting), with fleet-churn schedules.
+//! * [`service`] — the request-serving layer: open-loop Poisson/MMPP
+//!   arrivals, bounded queues with admission control, fluid request
+//!   draining at the engine's measured throughput, and tail-latency SLOs
+//!   driving the SLA-aware cap splitting.
 //!
 //! # Example
 //!
@@ -35,19 +39,23 @@ pub use coscale;
 pub use cpusim;
 pub use memsim;
 pub use powermodel;
+pub use service;
 pub use simkernel;
 pub use workloads;
 
 /// The most common imports for driving simulations.
 pub mod prelude {
     pub use cluster::{
-        run_cluster, CapSplit, ClusterConfig, ClusterResult, ClusterSim, ServerSpec,
+        run_cluster, CapSplit, ChurnSchedule, ClusterConfig, ClusterResult, ClusterSim, ServerSpec,
     };
     pub use coscale::{
         run_policy, CoScalePolicy, Model, Plan, Policy, PolicyKind, RunResult, Runner, SimConfig,
         System,
     };
     pub use cpusim::{CoreConfig, PipelineMode};
+    pub use service::{
+        run_service, ArrivalKind, ServiceConfig, ServiceResult, ServiceServerSpec, ServiceSim,
+    };
     pub use simkernel::{Freq, Ps};
     pub use workloads::{all_mixes, mix, Mix, MixClass};
 }
