@@ -1,6 +1,7 @@
 //! Cluster-level configuration: the server fleet, the global power budget,
 //! and how the coordinator splits it.
 
+use crate::tree::BudgetTree;
 use coscale::SimConfig;
 
 /// How the coordinator divides the global budget into per-server caps.
@@ -170,8 +171,15 @@ pub struct ClusterConfig {
     pub servers: Vec<ServerSpec>,
     /// Global power budget across all servers, watts.
     pub global_cap_w: f64,
-    /// The budget-splitting discipline.
+    /// The budget-splitting discipline (the root discipline when a
+    /// `topology` tree is also set — flat splitting ignores the tree).
     pub split: CapSplit,
+    /// Optional hierarchical budget topology. When set, each coordination
+    /// round splits the budget down the tree (every interior node applies
+    /// its own discipline over its children's aggregated telemetry)
+    /// instead of flat across the fleet, and `split` is ignored. The
+    /// tree's leaves must match the fleet's server names exactly.
+    pub topology: Option<BudgetTree>,
     /// Coordination period: how many epochs each server runs between
     /// redistributions of the budget.
     pub epochs_per_round: usize,
@@ -192,6 +200,7 @@ impl ClusterConfig {
             servers,
             global_cap_w,
             split,
+            topology: None,
             epochs_per_round: 5,
             threads: 1,
             quantum_w: 1.0,
@@ -202,6 +211,13 @@ impl ClusterConfig {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> ClusterConfig {
         self.threads = threads;
+        self
+    }
+
+    /// Sets a hierarchical budget topology (see [`BudgetTree`]).
+    #[must_use]
+    pub fn with_topology(mut self, topology: BudgetTree) -> ClusterConfig {
+        self.topology = Some(topology);
         self
     }
 
@@ -237,6 +253,10 @@ impl ClusterConfig {
             s.config
                 .validate()
                 .map_err(|e| format!("server {}: {e}", s.name))?;
+        }
+        if let Some(tree) = &self.topology {
+            let names: Vec<&str> = self.servers.iter().map(|s| s.name.as_str()).collect();
+            tree.validate(&names)?;
         }
         Ok(())
     }
@@ -274,6 +294,21 @@ mod tests {
         let mut c = ok;
         c.servers[0].config.gamma = 2.0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_checks_topology_leaves() {
+        let fleet = vec![
+            ServerSpec::small("s0", "MID1", 1),
+            ServerSpec::small("s1", "MID1", 2),
+        ];
+        let mut c = ClusterConfig::new(fleet, 100.0, CapSplit::Uniform);
+        c.topology = Some(BudgetTree::parse("f:uniform[s0,s1]").unwrap());
+        assert!(c.validate().is_ok());
+        c.topology = Some(BudgetTree::parse("f:uniform[s0]").unwrap());
+        assert!(c.validate().is_err(), "s1 missing from the tree");
+        c.topology = Some(BudgetTree::parse("f:uniform[s0,s1,ghost]").unwrap());
+        assert!(c.validate().is_err(), "ghost is not in the fleet");
     }
 
     #[test]

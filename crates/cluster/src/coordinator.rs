@@ -88,8 +88,10 @@ pub fn split_caps(
         }
         CapSplit::FastCap => fastcap_split(global_cap_w, demands, quantum_w),
         // Without latency signals the SLA discipline has nothing to react
-        // to; degrade to plain FastCap (its granting core).
-        CapSplit::SlaAware => fastcap_split(global_cap_w, demands, quantum_w),
+        // to; degrade to its granting core — FastCap ordering, but keeping
+        // the documented "leftover goes unspent" invariant: caps saturate
+        // at demand instead of parking surplus budget on servers.
+        CapSplit::SlaAware => fastcap_core(global_cap_w, demands, quantum_w, false),
     }
 }
 
@@ -226,8 +228,22 @@ fn utility_at(d: &ServerDemand, cap: f64) -> f64 {
     d.demand_w * perf_at(d, cap)
 }
 
-/// The marginal-utility greedy allocation.
+/// The marginal-utility greedy allocation, with FastCap's leftover parking.
 fn fastcap_split(global_cap_w: f64, demands: &[ServerDemand], quantum_w: f64) -> Vec<f64> {
+    fastcap_core(global_cap_w, demands, quantum_w, true)
+}
+
+/// The FastCap granting loop. `park_leftover` selects what happens to
+/// budget left after every active server saturates at its demand: FastCap
+/// proper parks it uniformly as headroom (transient demand spikes between
+/// rounds stay within budget); the SLA-aware degrade path leaves it unspent
+/// so `cap[i] ≤ demand[i]` holds, matching `split_caps_sla`.
+fn fastcap_core(
+    global_cap_w: f64,
+    demands: &[ServerDemand],
+    quantum_w: f64,
+    park_leftover: bool,
+) -> Vec<f64> {
     let mut caps = floors(global_cap_w, demands);
     let mut spare = global_cap_w - caps.iter().sum::<f64>();
     // Grant quanta while any server still gains from them.
@@ -245,16 +261,23 @@ fn fastcap_split(global_cap_w: f64, demands: &[ServerDemand], quantum_w: f64) ->
         }
         match best {
             Some((i, _)) => {
-                caps[i] += q;
-                spare -= q;
+                // The non-parking variant promises `cap ≤ demand`: clip the
+                // final quantum instead of overshooting it.
+                let grant = if park_leftover {
+                    q
+                } else {
+                    q.min(demands[i].demand_w - caps[i])
+                };
+                caps[i] += grant;
+                spare -= grant;
             }
-            // Everyone saturated: park the leftover uniformly as headroom
-            // so transient demand spikes between rounds stay within budget.
             None => {
-                let n_active = demands.iter().filter(|d| d.active).count() as f64;
-                for (cap, d) in caps.iter_mut().zip(demands) {
-                    if d.active {
-                        *cap += spare / n_active;
+                if park_leftover {
+                    let n_active = demands.iter().filter(|d| d.active).count() as f64;
+                    for (cap, d) in caps.iter_mut().zip(demands) {
+                        if d.active {
+                            *cap += spare / n_active;
+                        }
                     }
                 }
                 break;
@@ -414,10 +437,43 @@ mod tests {
 
     #[test]
     fn sla_variant_without_signals_degrades_to_fastcap() {
+        // Below saturation the degraded path is FastCap's granting order.
         let ds = vec![d(200.0, 40.0), d(180.0, 40.0), d(50.0, 40.0)];
         let a = split_caps(CapSplit::SlaAware, 270.0, &ds, 1.0);
         let b = split_caps(CapSplit::FastCap, 270.0, &ds, 1.0);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sla_variant_without_signals_never_parks_leftover() {
+        // Regression: the degraded SlaAware path used to call fastcap_split
+        // verbatim, which parks surplus budget on servers *above* their
+        // demand — violating split_caps_sla's "leftover goes unspent"
+        // invariant and making `--split sla-aware` batch runs draw more
+        // power than serve runs at the same budget.
+        let ds = vec![d(100.0, 30.0), d(60.0, 20.0), d(80.0, 25.0)];
+        for budget in [300.0, 500.0, 1000.0] {
+            let caps = split_caps(CapSplit::SlaAware, budget, &ds, 1.0);
+            assert!(
+                caps.iter().sum::<f64>() <= budget + 1e-6,
+                "budget {budget}: {caps:?}"
+            );
+            for (c, dem) in caps.iter().zip(&ds) {
+                assert!(
+                    *c <= dem.demand_w + 1e-9,
+                    "budget {budget}: cap above demand in {caps:?}"
+                );
+            }
+            // A generous budget saturates everyone exactly at demand.
+            if budget >= 240.0 {
+                for (c, dem) in caps.iter().zip(&ds) {
+                    assert!((c - dem.demand_w).abs() < 1e-9, "{caps:?}");
+                }
+            }
+        }
+        // FastCap proper still parks — the two variants genuinely differ.
+        let parked = split_caps(CapSplit::FastCap, 500.0, &ds, 1.0);
+        assert!(parked.iter().sum::<f64>() > 400.0, "{parked:?}");
     }
 
     #[test]

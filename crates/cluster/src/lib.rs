@@ -26,6 +26,12 @@
 //! `std::thread` scoped workers with **bit-identical results for any
 //! thread count** — see `ClusterResult::digest`.
 //!
+//! Budgets can also be split **hierarchically** (fleet → pod → rack →
+//! server) through a [`BudgetTree`]: each interior node runs its own split
+//! discipline over its children's aggregated telemetry, so a rack can be
+//! SLA-aware internally while pods share the fleet budget uniformly — see
+//! the [`tree`] module.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -50,8 +56,10 @@ mod config;
 pub mod coordinator;
 mod server;
 mod sim;
+pub mod tree;
 
 pub use config::{CapSplit, ChurnAction, ChurnEvent, ChurnSchedule, ClusterConfig, ServerSpec};
 pub use coordinator::{jain_index, split_caps, split_caps_sla, ServerDemand, SlaSignal};
 pub use server::{CappedPolicy, Server, ServerStatus, SharedCap};
 pub use sim::{run_cluster, ClusterResult, ClusterSim, ServerOutcome};
+pub use tree::{BudgetNode, BudgetTree};

@@ -29,9 +29,17 @@ pub struct ServerOutcome {
 
 impl ServerOutcome {
     /// Aggregate instruction throughput: target instructions over the
-    /// server's makespan, instructions per second.
+    /// server's makespan, instructions per second. Zero when the server
+    /// never ran (a churned server that joined and immediately left, or an
+    /// empty workload, has a zero makespan — dividing through it would
+    /// poison fleet aggregates with `inf`/`NaN`).
     pub fn throughput_ips(&self) -> f64 {
-        self.total_target_instrs as f64 / self.result.makespan.as_secs_f64()
+        let secs = self.result.makespan.as_secs_f64();
+        if secs > 0.0 {
+            self.total_target_instrs as f64 / secs
+        } else {
+            0.0
+        }
     }
 }
 
@@ -40,6 +48,8 @@ impl ServerOutcome {
 pub struct ClusterResult {
     /// The splitting discipline that ran.
     pub split: CapSplit,
+    /// The rendered budget topology, when the run was hierarchical.
+    pub topology: Option<String>,
     /// The global budget, watts.
     pub global_cap_w: f64,
     /// Per-server outcomes, in fleet order.
@@ -91,12 +101,20 @@ impl ClusterResult {
 
     /// Jain fairness index over per-server completion speed
     /// (1/makespan) — performance fairness rather than allocation
-    /// fairness.
+    /// fairness. Servers that never ran (zero makespan) contribute a zero
+    /// speed instead of an `inf` that would turn the index into `NaN`.
     pub fn perf_fairness(&self) -> f64 {
         let speeds: Vec<f64> = self
             .outcomes
             .iter()
-            .map(|o| 1.0 / o.result.makespan.as_secs_f64())
+            .map(|o| {
+                let secs = o.result.makespan.as_secs_f64();
+                if secs > 0.0 {
+                    1.0 / secs
+                } else {
+                    0.0
+                }
+            })
             .collect();
         jain_index(&speeds)
     }
@@ -118,8 +136,9 @@ impl ClusterResult {
     pub fn digest(&self) -> String {
         use std::fmt::Write as _;
         let mut s = format!(
-            "split={} cap={:016x}\n",
+            "split={} topo={} cap={:016x}\n",
             self.split,
+            self.topology.as_deref().unwrap_or("flat"),
             self.global_cap_w.to_bits()
         );
         for o in &self.outcomes {
@@ -184,12 +203,28 @@ impl ClusterSim {
             // --- coordinate: telemetry in, caps out ---
             let statuses: Vec<ServerStatus> = self.servers.iter_mut().map(Server::status).collect();
             let demands: Vec<ServerDemand> = statuses.iter().map(|s| s.demand).collect();
-            let caps = split_caps(
-                self.config.split,
-                self.config.global_cap_w,
-                &demands,
-                self.config.quantum_w,
-            );
+            let caps = match &self.config.topology {
+                Some(tree) => {
+                    // Hierarchical: the budget flows down the tree, each
+                    // interior node applying its own discipline. Batch
+                    // runs carry no latency telemetry, so SLA-aware nodes
+                    // use their demand-saturating degrade path.
+                    let names: Vec<&str> = self.servers.iter().map(|s| s.name.as_str()).collect();
+                    tree.split(
+                        self.config.global_cap_w,
+                        &names,
+                        &demands,
+                        None,
+                        self.config.quantum_w,
+                    )
+                }
+                None => split_caps(
+                    self.config.split,
+                    self.config.global_cap_w,
+                    &demands,
+                    self.config.quantum_w,
+                ),
+            };
             for (server, &cap) in self.servers.iter_mut().zip(&caps) {
                 server.set_cap(cap);
             }
@@ -237,6 +272,7 @@ impl ClusterSim {
             .collect();
         ClusterResult {
             split: self.config.split,
+            topology: self.config.topology.as_ref().map(|t| t.to_string()),
             global_cap_w: self.config.global_cap_w,
             outcomes,
             rounds,
@@ -248,4 +284,65 @@ impl ClusterSim {
 /// Convenience: build and run a cluster in one call.
 pub fn run_cluster(config: ClusterConfig) -> ClusterResult {
     ClusterSim::new(config).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coscale::PolicyKind;
+
+    fn outcome(name: &str, makespan: Ps, instrs: u64) -> ServerOutcome {
+        ServerOutcome {
+            name: name.to_string(),
+            result: RunResult {
+                policy: PolicyKind::CoScale,
+                mix: "MID1".to_string(),
+                epochs: 0,
+                completion: Vec::new(),
+                makespan,
+                cpu_energy_j: 0.0,
+                l2_energy_j: 0.0,
+                mem_energy_j: 0.0,
+                rest_energy_j: 0.0,
+                records: Vec::new(),
+                mpki: 0.0,
+                wpki: 0.0,
+                prefetch_accuracy: 0.0,
+                bus_utilization: 0.0,
+                row_hit_rate: 0.0,
+                avg_read_latency_ns: 0.0,
+                mem_sleep_fraction: 0.0,
+                read_lat_p50_ns: 0.0,
+                read_lat_p95_ns: 0.0,
+                read_lat_p99_ns: 0.0,
+            },
+            mean_cap_w: 50.0,
+            final_cap_w: 50.0,
+            violation_rounds: 0,
+            total_target_instrs: instrs,
+        }
+    }
+
+    #[test]
+    fn zero_makespan_yields_finite_aggregates() {
+        // Regression: a server that joined and immediately left (or ran an
+        // empty workload) has a zero makespan; throughput and fleet
+        // fairness used to divide by it, turning the Jain index (and any
+        // digest of it) into inf/NaN.
+        let never_ran = outcome("ghost", Ps::ZERO, 1_000_000);
+        assert_eq!(never_ran.throughput_ips(), 0.0);
+
+        let r = ClusterResult {
+            split: CapSplit::Uniform,
+            topology: None,
+            global_cap_w: 100.0,
+            outcomes: vec![never_ran, outcome("ok", Ps::from_us(500), 1_000_000)],
+            rounds: 1,
+            cap_timeline: vec![vec![50.0, 50.0]],
+        };
+        assert!(r.perf_fairness().is_finite());
+        assert!(r.aggregate_throughput_ips().is_finite());
+        // One of two servers did all the running: Jain index is 1/2.
+        assert!((r.perf_fairness() - 0.5).abs() < 1e-12);
+    }
 }

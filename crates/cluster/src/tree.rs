@@ -1,0 +1,795 @@
+//! Hierarchical power-budget trees: fleet → pod → rack → server.
+//!
+//! Flat splitting treats every server as a direct child of one coordinator.
+//! Real datacenters are trees — a fleet budget divides across pods, a pod's
+//! share across its racks, a rack's share across its servers — and capping
+//! work at scale (Raghavendra et al.'s "No 'Power' Struggles", FastCap)
+//! argues the levels must be coordinated, not independent. A [`BudgetTree`]
+//! expresses exactly that: every interior node runs one of the existing
+//! split disciplines ([`CapSplit`]) over its *children*, where each child is
+//! summarized by its aggregated demand and SLA telemetry, and the chosen
+//! child budgets recurse until leaf servers receive concrete caps.
+//!
+//! Disciplines mix freely per level: a root can split uniformly across pods
+//! for organizational isolation while a rack splits SLA-aware so a bursting
+//! server inside it can borrow watts from its calm neighbours — without
+//! raiding the other pod's share.
+//!
+//! Aggregation rules (what an interior node "sees" of a subtree):
+//!
+//! * **Demand / floor** — the sums over the subtree's *active* leaf servers.
+//! * **Activity** — a subtree is active while any leaf in it is.
+//! * **SLA signal** — the worst violation ratio `p99/target` over the
+//!   subtree's active leaves, normalized to a target of 1.0 (so the existing
+//!   trim curve applies unchanged). A leaf with no samples yet makes the
+//!   whole subtree "unknown", which bids full demand — the conservative
+//!   choice while telemetry warms up.
+//!
+//! Every discipline spends at most its node budget, so by induction the
+//! leaf caps sum to at most the global budget. Splitting is deterministic
+//! (ties break toward the first child), so tree-coordinated rounds keep the
+//! cluster/service layers' bit-exact thread-count invariance.
+
+use crate::coordinator::{split_caps, split_caps_sla, ServerDemand, SlaSignal};
+use crate::CapSplit;
+use std::collections::HashMap;
+
+/// One node of a [`BudgetTree`]: either a leaf server (named, resolved
+/// against the fleet at split time) or an interior group with its own split
+/// discipline and children.
+#[derive(Clone, Debug)]
+pub enum BudgetNode {
+    /// A leaf: one server, referenced by its fleet name.
+    Server {
+        /// The server's display name (must match a fleet member).
+        name: String,
+    },
+    /// An interior node: a pod, rack, or any other aggregation level.
+    Group {
+        /// Display label (used in rendered topologies and error messages).
+        label: String,
+        /// The discipline this node uses to divide its budget across its
+        /// children.
+        split: CapSplit,
+        /// Child nodes, in allocation order (ties break toward the first).
+        children: Vec<BudgetNode>,
+    },
+}
+
+impl BudgetNode {
+    /// A leaf node for the named server.
+    pub fn server(name: &str) -> BudgetNode {
+        BudgetNode::Server {
+            name: name.to_string(),
+        }
+    }
+
+    /// An interior node splitting its budget across `children` with
+    /// `split`.
+    pub fn group(label: &str, split: CapSplit, children: Vec<BudgetNode>) -> BudgetNode {
+        BudgetNode::Group {
+            label: label.to_string(),
+            split,
+            children,
+        }
+    }
+
+    fn push_leaves<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            BudgetNode::Server { name } => out.push(name),
+            BudgetNode::Group { children, .. } => {
+                for c in children {
+                    c.push_leaves(out);
+                }
+            }
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            BudgetNode::Server { .. } => 1,
+            BudgetNode::Group { children, .. } => {
+                1 + children.iter().map(BudgetNode::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Aggregated power telemetry of the subtree: demand and floor summed
+    /// over active leaves, active while any leaf is.
+    fn aggregate_demand(&self, ctx: &SplitCtx<'_>) -> ServerDemand {
+        match self {
+            BudgetNode::Server { name } => ctx.demand_of(name),
+            BudgetNode::Group { children, .. } => {
+                let mut agg = ServerDemand {
+                    demand_w: 0.0,
+                    min_w: 0.0,
+                    active: false,
+                };
+                for d in children.iter().map(|c| c.aggregate_demand(ctx)) {
+                    if d.active {
+                        agg.demand_w += d.demand_w;
+                        agg.min_w += d.min_w;
+                        agg.active = true;
+                    }
+                }
+                agg
+            }
+        }
+    }
+
+    /// Aggregated SLA telemetry of the subtree, normalized to a target of
+    /// 1.0: `p99_s` holds the worst `p99/target` ratio over active leaves,
+    /// or 0 ("unknown": bid full demand) while any active leaf lacks
+    /// samples.
+    fn aggregate_sla(&self, ctx: &SplitCtx<'_>) -> SlaSignal {
+        let mut worst_ratio = f64::NEG_INFINITY;
+        let mut unknown = false;
+        let mut any_active = false;
+        self.for_each_leaf(&mut |name| {
+            let d = ctx.demand_of(name);
+            if !d.active {
+                return;
+            }
+            any_active = true;
+            let s = ctx.sla_of(name);
+            if s.p99_s <= 0.0 || s.target_s <= 0.0 {
+                unknown = true;
+            } else {
+                worst_ratio = worst_ratio.max(s.p99_s / s.target_s);
+            }
+        });
+        let ratio = if unknown || !any_active {
+            0.0
+        } else {
+            worst_ratio
+        };
+        SlaSignal {
+            p99_s: ratio,
+            target_s: 1.0,
+        }
+    }
+
+    fn for_each_leaf<'a>(&'a self, f: &mut impl FnMut(&'a str)) {
+        match self {
+            BudgetNode::Server { name } => f(name),
+            BudgetNode::Group { children, .. } => {
+                for c in children {
+                    c.for_each_leaf(f);
+                }
+            }
+        }
+    }
+
+    /// Divides `budget_w` over the subtree, writing leaf caps into
+    /// `caps` (indexed like the fleet).
+    fn allocate(&self, budget_w: f64, ctx: &SplitCtx<'_>, caps: &mut [f64]) {
+        match self {
+            BudgetNode::Server { name } => {
+                let i = ctx.index_of(name);
+                caps[i] = if ctx.demands[i].active { budget_w } else { 0.0 };
+            }
+            BudgetNode::Group {
+                split, children, ..
+            } => {
+                let ds: Vec<ServerDemand> =
+                    children.iter().map(|c| c.aggregate_demand(ctx)).collect();
+                let shares = match (*split, ctx.sla) {
+                    (CapSplit::SlaAware, Some(_)) => {
+                        let sigs: Vec<SlaSignal> =
+                            children.iter().map(|c| c.aggregate_sla(ctx)).collect();
+                        split_caps_sla(budget_w, &ds, &sigs, ctx.quantum_w)
+                    }
+                    (s, _) => split_caps(s, budget_w, &ds, ctx.quantum_w),
+                };
+                for (child, share) in children.iter().zip(shares) {
+                    child.allocate(share, ctx, caps);
+                }
+            }
+        }
+    }
+
+    fn render(&self, out: &mut String) {
+        match self {
+            BudgetNode::Server { name } => out.push_str(name),
+            BudgetNode::Group {
+                label,
+                split,
+                children,
+            } => {
+                out.push_str(label);
+                out.push(':');
+                out.push_str(&split.to_string());
+                out.push('[');
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    c.render(out);
+                }
+                out.push(']');
+            }
+        }
+    }
+}
+
+/// Per-split context: the fleet's telemetry plus the name → index map.
+struct SplitCtx<'a> {
+    index: &'a HashMap<&'a str, usize>,
+    demands: &'a [ServerDemand],
+    sla: Option<&'a [SlaSignal]>,
+    quantum_w: f64,
+}
+
+impl SplitCtx<'_> {
+    fn index_of(&self, name: &str) -> usize {
+        *self
+            .index
+            .get(name)
+            .unwrap_or_else(|| panic!("budget tree leaf '{name}' not in the fleet"))
+    }
+
+    fn demand_of(&self, name: &str) -> ServerDemand {
+        self.demands[self.index_of(name)]
+    }
+
+    fn sla_of(&self, name: &str) -> SlaSignal {
+        match self.sla {
+            Some(s) => s[self.index_of(name)],
+            None => SlaSignal {
+                p99_s: 0.0,
+                target_s: 1.0,
+            },
+        }
+    }
+}
+
+/// A hierarchical budget topology over a server fleet.
+///
+/// # Example
+///
+/// ```
+/// use cluster::{BudgetNode, BudgetTree, CapSplit};
+///
+/// // Uniform across two racks; SLA-aware inside the hot one.
+/// let tree = BudgetTree::new(BudgetNode::group(
+///     "fleet",
+///     CapSplit::Uniform,
+///     vec![
+///         BudgetNode::group(
+///             "hot-rack",
+///             CapSplit::SlaAware,
+///             vec![BudgetNode::server("h0"), BudgetNode::server("h1")],
+///         ),
+///         BudgetNode::group(
+///             "calm-rack",
+///             CapSplit::FastCap,
+///             vec![BudgetNode::server("c0"), BudgetNode::server("c1")],
+///         ),
+///     ],
+/// ));
+/// assert_eq!(tree.leaves(), vec!["h0", "h1", "c0", "c1"]);
+/// assert_eq!(tree.to_string(), "fleet:uniform[hot-rack:sla-aware[h0,h1],calm-rack:fastcap[c0,c1]]");
+/// assert_eq!(BudgetTree::parse(&tree.to_string()).unwrap().to_string(), tree.to_string());
+/// ```
+#[derive(Clone, Debug)]
+pub struct BudgetTree {
+    root: BudgetNode,
+}
+
+impl BudgetTree {
+    /// A tree with the given root node (normally a [`BudgetNode::Group`]).
+    pub fn new(root: BudgetNode) -> BudgetTree {
+        BudgetTree { root }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &BudgetNode {
+        &self.root
+    }
+
+    /// Leaf server names in allocation (left-to-right) order.
+    pub fn leaves(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.root.push_leaves(&mut out);
+        out
+    }
+
+    /// Number of levels, counting both leaves and interior nodes (a flat
+    /// group over servers has depth 2).
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+
+    /// Checks structural consistency against a fleet: every fleet server
+    /// appears as exactly one leaf, no unknown leaves, no empty groups, and
+    /// group labels are unique (required for [`BudgetTree::attach_server`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first inconsistency found.
+    pub fn validate(&self, fleet: &[&str]) -> Result<(), String> {
+        let mut groups = Vec::new();
+        collect_group_labels(&self.root, &mut groups);
+        for (i, g) in groups.iter().enumerate() {
+            if groups[..i].contains(g) {
+                return Err(format!("budget tree: duplicate group label '{g}'"));
+            }
+        }
+        check_groups_nonempty(&self.root)?;
+        let leaves = self.leaves();
+        for (i, l) in leaves.iter().enumerate() {
+            if leaves[..i].contains(l) {
+                return Err(format!("budget tree: server '{l}' appears twice"));
+            }
+        }
+        for l in &leaves {
+            if !fleet.contains(l) {
+                return Err(format!("budget tree: unknown server '{l}'"));
+            }
+        }
+        for s in fleet {
+            if !leaves.contains(s) {
+                return Err(format!(
+                    "budget tree: fleet server '{s}' missing from the tree"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Splits `global_cap_w` over the fleet through the tree. `names` gives
+    /// the fleet order; `demands` (and `sla`, when present) are indexed the
+    /// same way, as is the returned cap vector. Without SLA signals,
+    /// SLA-aware nodes degrade to the demand-saturating FastCap variant
+    /// (see [`split_caps`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tree leaf names a server absent from `names` — run
+    /// [`BudgetTree::validate`] against the fleet first.
+    pub fn split(
+        &self,
+        global_cap_w: f64,
+        names: &[&str],
+        demands: &[ServerDemand],
+        sla: Option<&[SlaSignal]>,
+        quantum_w: f64,
+    ) -> Vec<f64> {
+        assert_eq!(names.len(), demands.len(), "one demand per server");
+        if let Some(s) = sla {
+            assert_eq!(names.len(), s.len(), "one SLA signal per server");
+        }
+        let index: HashMap<&str, usize> = names.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        let ctx = SplitCtx {
+            index: &index,
+            demands,
+            sla,
+            quantum_w,
+        };
+        let mut caps = vec![0.0; demands.len()];
+        self.root.allocate(global_cap_w, &ctx, &mut caps);
+        caps
+    }
+
+    /// Attaches a new leaf server under the group labelled `group`, or
+    /// under the root when `group` is `None`. Used by churn joins.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the root is a bare leaf or no group carries
+    /// the label.
+    pub fn attach_server(&mut self, name: &str, group: Option<&str>) -> Result<(), String> {
+        fn attach(node: &mut BudgetNode, name: &str, label: &str) -> bool {
+            if let BudgetNode::Group {
+                label: l, children, ..
+            } = node
+            {
+                if l == label {
+                    children.push(BudgetNode::server(name));
+                    return true;
+                }
+                return children.iter_mut().any(|c| attach(c, name, label));
+            }
+            false
+        }
+        match (&mut self.root, group) {
+            (BudgetNode::Server { .. }, _) => {
+                Err("budget tree: cannot attach to a leaf-only tree".into())
+            }
+            (BudgetNode::Group { children, .. }, None) => {
+                children.push(BudgetNode::server(name));
+                Ok(())
+            }
+            (root, Some(label)) => {
+                if attach(root, name, label) {
+                    Ok(())
+                } else {
+                    Err(format!("budget tree: no group labelled '{label}'"))
+                }
+            }
+        }
+    }
+
+    /// Detaches the leaf for `name`, returning whether it was found. Empty
+    /// groups are kept: they simply aggregate to inactive and draw no
+    /// budget, and a later join may repopulate them.
+    pub fn remove_server(&mut self, name: &str) -> bool {
+        fn remove(node: &mut BudgetNode, name: &str) -> bool {
+            if let BudgetNode::Group { children, .. } = node {
+                if let Some(i) = children
+                    .iter()
+                    .position(|c| matches!(c, BudgetNode::Server { name: n } if n == name))
+                {
+                    children.remove(i);
+                    return true;
+                }
+                return children.iter_mut().any(|c| remove(c, name));
+            }
+            false
+        }
+        remove(&mut self.root, name)
+    }
+
+    /// Parses the CLI topology syntax:
+    /// `label:split[child,child,...]` where each child is either a nested
+    /// group or a bare server name, and `split` is one of `uniform`,
+    /// `demand-proportional` (or `demand`), `fastcap`, `sla-aware` (or
+    /// `sla`). Example:
+    /// `fleet:uniform[rack0:sla-aware[h0,h1],pod:fastcap[c0,c1]]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message pointing at the first syntax error.
+    pub fn parse(spec: &str) -> Result<BudgetTree, String> {
+        let mut p = Parser { src: spec, pos: 0 };
+        let root = p.node()?;
+        p.skip_ws();
+        if p.pos != p.src.len() {
+            return Err(format!(
+                "topology: trailing input at byte {}: '{}'",
+                p.pos,
+                &p.src[p.pos..]
+            ));
+        }
+        Ok(BudgetTree::new(root))
+    }
+}
+
+impl std::fmt::Display for BudgetTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = String::new();
+        self.root.render(&mut s);
+        write!(f, "{s}")
+    }
+}
+
+fn collect_group_labels<'a>(node: &'a BudgetNode, out: &mut Vec<&'a str>) {
+    if let BudgetNode::Group {
+        label, children, ..
+    } = node
+    {
+        out.push(label);
+        for c in children {
+            collect_group_labels(c, out);
+        }
+    }
+}
+
+fn check_groups_nonempty(node: &BudgetNode) -> Result<(), String> {
+    if let BudgetNode::Group {
+        label, children, ..
+    } = node
+    {
+        if children.is_empty() {
+            return Err(format!("budget tree: group '{label}' has no children"));
+        }
+        for c in children {
+            check_groups_nonempty(c)?;
+        }
+    }
+    Ok(())
+}
+
+/// Recursive-descent parser over the topology grammar.
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.src[self.pos..].starts_with(' ') {
+            self.pos += 1;
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, String> {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        let end = rest
+            .find(|c: char| !(c.is_alphanumeric() || "-_.".contains(c)))
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(format!(
+                "topology: expected a name at byte {}: '{rest}'",
+                self.pos
+            ));
+        }
+        self.pos += end;
+        Ok(rest[..end].to_string())
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(c) {
+            self.pos += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn node(&mut self) -> Result<BudgetNode, String> {
+        let name = self.ident()?;
+        if !self.eat(':') {
+            return Ok(BudgetNode::server(&name));
+        }
+        let split_name = self.ident()?;
+        let split = match split_name.as_str() {
+            "uniform" => CapSplit::Uniform,
+            "demand-proportional" | "demand" => CapSplit::DemandProportional,
+            "fastcap" => CapSplit::FastCap,
+            "sla-aware" | "sla" => CapSplit::SlaAware,
+            other => {
+                return Err(format!(
+                    "topology: unknown split '{other}' in group '{name}'"
+                ))
+            }
+        };
+        if !self.eat('[') {
+            return Err(format!("topology: group '{name}' needs a [child,...] list"));
+        }
+        let mut children = Vec::new();
+        loop {
+            children.push(self.node()?);
+            if self.eat(',') {
+                continue;
+            }
+            if self.eat(']') {
+                break;
+            }
+            return Err(format!(
+                "topology: expected ',' or ']' at byte {} in group '{name}'",
+                self.pos
+            ));
+        }
+        Ok(BudgetNode::group(&name, split, children))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(demand_w: f64, min_w: f64) -> ServerDemand {
+        ServerDemand {
+            demand_w,
+            min_w,
+            active: true,
+        }
+    }
+
+    fn two_racks() -> BudgetTree {
+        BudgetTree::parse("fleet:uniform[rack0:fastcap[a,b],rack1:fastcap[c,d]]").unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let spec = "fleet:uniform[rack0:sla-aware[h0,h1],pod:fastcap[c0,c1]]";
+        let t = BudgetTree::parse(spec).unwrap();
+        assert_eq!(t.to_string(), spec);
+        assert_eq!(t.leaves(), vec!["h0", "h1", "c0", "c1"]);
+        assert_eq!(t.depth(), 3);
+        // Aliases and whitespace are accepted; display normalizes.
+        let t = BudgetTree::parse("f:demand[ x , r:sla[ y ] ]").unwrap();
+        assert_eq!(t.to_string(), "f:demand-proportional[x,r:sla-aware[y]]");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "",
+            "f:uniform",
+            "f:uniform[",
+            "f:uniform[]",
+            "f:uniform[a,b]x",
+            "f:nosuch[a]",
+            "f:uniform[a;b]",
+        ] {
+            assert!(BudgetTree::parse(bad).is_err(), "accepted '{bad}'");
+        }
+    }
+
+    #[test]
+    fn validate_pins_leaf_fleet_bijection() {
+        let t = two_racks();
+        assert!(t.validate(&["a", "b", "c", "d"]).is_ok());
+        assert!(t.validate(&["a", "b", "c"]).is_err(), "unknown leaf d");
+        assert!(t.validate(&["a", "b", "c", "d", "e"]).is_err(), "missing e");
+        let dup = BudgetTree::parse("f:uniform[a,a]").unwrap();
+        assert!(dup.validate(&["a"]).is_err());
+        let dup_label = BudgetTree::parse("f:uniform[g:fastcap[a],g:fastcap[b]]").unwrap();
+        assert!(dup_label.validate(&["a", "b"]).is_err());
+    }
+
+    #[test]
+    fn uniform_root_isolates_group_budgets() {
+        let t = two_racks();
+        let names = ["a", "b", "c", "d"];
+        // rack0 is enormous, rack1 tiny: a flat split would route nearly
+        // everything to rack0, but the uniform root pins each rack to 100 W.
+        let demands = [d(300.0, 40.0), d(300.0, 40.0), d(30.0, 10.0), d(30.0, 10.0)];
+        let caps = t.split(200.0, &names, &demands, None, 1.0);
+        let rack0: f64 = caps[0] + caps[1];
+        let rack1: f64 = caps[2] + caps[3];
+        assert!(rack0 <= 100.0 + 1e-6, "rack0 {rack0}");
+        assert!(rack1 <= 100.0 + 1e-6, "rack1 {rack1}");
+        assert!(caps.iter().sum::<f64>() <= 200.0 + 1e-6);
+        // rack1's servers saturate at their 30 W demands (fastcap parks the
+        // leftover inside the rack, never outside it).
+        assert!(caps[2] >= 30.0 - 1e-6 && caps[3] >= 30.0 - 1e-6, "{caps:?}");
+    }
+
+    #[test]
+    fn tree_split_matches_flat_for_single_group() {
+        // A one-group tree is exactly the flat coordinator.
+        let t = BudgetTree::parse("fleet:fastcap[a,b,c]").unwrap();
+        let names = ["a", "b", "c"];
+        let demands = [d(150.0, 40.0), d(90.0, 35.0), d(60.0, 30.0)];
+        for budget in [110.0, 160.0, 250.0] {
+            let tree_caps = t.split(budget, &names, &demands, None, 1.0);
+            let flat_caps = split_caps(CapSplit::FastCap, budget, &demands, 1.0);
+            assert_eq!(tree_caps, flat_caps, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn inactive_subtree_returns_its_share_to_siblings() {
+        let t = two_racks();
+        let names = ["a", "b", "c", "d"];
+        let mut demands = [
+            d(100.0, 30.0),
+            d(100.0, 30.0),
+            d(100.0, 30.0),
+            d(100.0, 30.0),
+        ];
+        demands[0].active = false;
+        demands[1].active = false;
+        // rack0 entirely done: the uniform root sees one active child and
+        // hands rack1 the whole budget.
+        let caps = t.split(150.0, &names, &demands, None, 1.0);
+        assert_eq!(caps[0], 0.0);
+        assert_eq!(caps[1], 0.0);
+        assert!(caps[2] + caps[3] > 140.0, "{caps:?}");
+    }
+
+    #[test]
+    fn sla_aware_node_boosts_the_violating_subtree() {
+        let t =
+            BudgetTree::parse("fleet:sla-aware[rack0:fastcap[a,b],rack1:fastcap[c,d]]").unwrap();
+        let names = ["a", "b", "c", "d"];
+        let demands = [
+            d(100.0, 30.0),
+            d(100.0, 30.0),
+            d(100.0, 30.0),
+            d(100.0, 30.0),
+        ];
+        let sla = [
+            SlaSignal {
+                p99_s: 2e-3,
+                target_s: 1e-3,
+            }, // violating
+            SlaSignal {
+                p99_s: 0.9e-3,
+                target_s: 1e-3,
+            },
+            SlaSignal {
+                p99_s: 0.3e-3,
+                target_s: 1e-3,
+            }, // comfortable
+            SlaSignal {
+                p99_s: 0.3e-3,
+                target_s: 1e-3,
+            },
+        ];
+        let caps = t.split(300.0, &names, &demands, Some(&sla), 1.0);
+        let rack0: f64 = caps[0] + caps[1];
+        let rack1: f64 = caps[2] + caps[3];
+        // rack0 contains a violator: it bids its full 200 W demand. rack1
+        // is comfortable (worst ratio 0.3) and is trimmed below demand.
+        assert!((rack0 - 200.0).abs() < 1e-6, "{caps:?}");
+        assert!(rack1 < 200.0 - 1e-6, "{caps:?}");
+        assert!(caps.iter().sum::<f64>() <= 300.0 + 1e-6);
+    }
+
+    #[test]
+    fn sla_aware_node_without_signals_degrades_to_saturating_fastcap() {
+        let t = BudgetTree::parse("fleet:sla-aware[a,b]").unwrap();
+        let names = ["a", "b"];
+        let demands = [d(100.0, 30.0), d(60.0, 20.0)];
+        let caps = t.split(400.0, &names, &demands, None, 1.0);
+        // Saturates at demand, leftover unspent (no parking).
+        assert!((caps[0] - 100.0).abs() < 1e-9, "{caps:?}");
+        assert!((caps[1] - 60.0).abs() < 1e-9, "{caps:?}");
+    }
+
+    #[test]
+    fn unknown_latency_in_a_subtree_bids_full_demand() {
+        let t = BudgetTree::parse("fleet:sla-aware[rack0:fastcap[a,b],rack1:fastcap[c]]").unwrap();
+        let names = ["a", "b", "c"];
+        let demands = [d(100.0, 30.0), d(100.0, 30.0), d(100.0, 30.0)];
+        let sla = [
+            SlaSignal {
+                p99_s: 0.2e-3,
+                target_s: 1e-3,
+            },
+            SlaSignal {
+                p99_s: 0.0,
+                target_s: 1e-3,
+            }, // warming up
+            SlaSignal {
+                p99_s: 0.2e-3,
+                target_s: 1e-3,
+            },
+        ];
+        let caps = t.split(500.0, &names, &demands, Some(&sla), 1.0);
+        // rack0 has an unknown leaf → the whole rack bids full demand.
+        assert!((caps[0] + caps[1] - 200.0).abs() < 1e-6, "{caps:?}");
+        // rack1 is comfortable → trimmed below its 100 W demand.
+        assert!(caps[2] < 100.0 - 1e-6, "{caps:?}");
+    }
+
+    #[test]
+    fn churn_attach_and_remove_keep_the_tree_consistent() {
+        let mut t = two_racks();
+        assert!(t.attach_server("e", Some("rack1")).is_ok());
+        assert_eq!(t.leaves(), vec!["a", "b", "c", "d", "e"]);
+        assert!(t.attach_server("f", None).is_ok());
+        assert_eq!(
+            t.to_string(),
+            "fleet:uniform[rack0:fastcap[a,b],rack1:fastcap[c,d,e],f]"
+        );
+        assert!(t.attach_server("g", Some("nosuch")).is_err());
+        assert!(t.remove_server("c"));
+        assert!(!t.remove_server("c"));
+        assert_eq!(t.leaves(), vec!["a", "b", "d", "e", "f"]);
+        // Draining a rack empty keeps the (inactive) group in place.
+        assert!(t.remove_server("a"));
+        assert!(t.remove_server("b"));
+        assert!(t.to_string().contains("rack0:fastcap[]"));
+    }
+
+    #[test]
+    fn nested_tree_never_exceeds_budget() {
+        let t = BudgetTree::parse(
+            "dc:demand-proportional[pod0:uniform[r0:fastcap[a,b],r1:sla-aware[c,d]],pod1:fastcap[e,f]]",
+        )
+        .unwrap();
+        let names = ["a", "b", "c", "d", "e", "f"];
+        let demands = [
+            d(120.0, 40.0),
+            d(80.0, 35.0),
+            d(200.0, 50.0),
+            d(60.0, 30.0),
+            d(90.0, 25.0),
+            d(150.0, 45.0),
+        ];
+        for budget in [100.0, 226.0, 400.0, 900.0] {
+            let caps = t.split(budget, &names, &demands, None, 1.0);
+            assert!(
+                caps.iter().sum::<f64>() <= budget + 1e-6,
+                "budget {budget}: {caps:?}"
+            );
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //! property — coordinated (FastCap-style) splitting beats uniform splitting
 //! on aggregate performance at the same global budget.
 
-use cluster::{run_cluster, CapSplit, ClusterConfig, ClusterResult, ServerSpec};
+use cluster::{run_cluster, BudgetTree, CapSplit, ClusterConfig, ClusterResult, ServerSpec};
 use coscale::{PolicyKind, PowerCapPolicy, Runner};
 
 /// A small heterogeneous fleet: two big memory-bound servers and two small
@@ -122,6 +122,54 @@ fn fastcap_matches_or_beats_uniform_aggregate_performance() {
         fastcap.makespan(),
         uniform.makespan()
     );
+}
+
+/// Tentpole: a two-level budget tree (uniform across racks, FastCap inside
+/// each) stays within the global budget every round and is bit-identical
+/// for 1/2/4/8 worker threads — the tree recursion runs entirely at the
+/// round barrier, so it must not disturb the determinism contract.
+#[test]
+fn two_level_topology_respects_budget_and_thread_determinism() {
+    let tree = BudgetTree::parse(
+        "fleet:uniform[mem-rack:fastcap[mem-a,mem-b],ilp-rack:fastcap[ilp-a,ilp-b]]",
+    )
+    .unwrap();
+    let run = |threads: usize| {
+        run_cluster(
+            ClusterConfig::new(hetero_fleet(), 250.0, CapSplit::Uniform)
+                .with_topology(tree.clone())
+                .with_epochs_per_round(2)
+                .with_threads(threads),
+        )
+    };
+    let r1 = run(1);
+    assert!(r1.rounds >= 2);
+    for (round, caps) in r1.cap_timeline.iter().enumerate() {
+        let total: f64 = caps.iter().sum();
+        assert!(
+            total <= 250.0 + 1e-6,
+            "round {round}: caps sum {total} > budget"
+        );
+        // While both racks are active, the uniform root pins each to half
+        // the budget (servers are fleet-ordered rack by rack).
+        if caps.iter().all(|&c| c > 0.0) {
+            assert!(caps[0] + caps[1] <= 125.0 + 1e-6, "mem rack over its share");
+            assert!(caps[2] + caps[3] <= 125.0 + 1e-6, "ilp rack over its share");
+        }
+    }
+    // The digest records the topology, distinguishing it from a flat run.
+    assert!(
+        r1.digest().contains("topo=fleet:uniform["),
+        "{}",
+        r1.digest()
+    );
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            r1.digest(),
+            run(threads).digest(),
+            "digest differs between 1 and {threads} threads"
+        );
+    }
 }
 
 /// Fairness bookkeeping sanity: uniform allocation is perfectly fair by

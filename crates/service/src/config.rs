@@ -2,7 +2,7 @@
 //! configuration.
 
 use crate::arrivals::ArrivalKind;
-use cluster::{CapSplit, ChurnSchedule};
+use cluster::{BudgetTree, CapSplit, ChurnSchedule};
 use coscale::SimConfig;
 use simkernel::Ps;
 
@@ -102,8 +102,16 @@ pub struct ServiceConfig {
     /// Global power budget, watts.
     pub global_cap_w: f64,
     /// The budget-splitting discipline. [`CapSplit::SlaAware`] uses the
-    /// servers' windowed p99 signals; the others ignore latency.
+    /// servers' windowed p99 signals; the others ignore latency. Ignored
+    /// when a `topology` tree is set.
     pub split: CapSplit,
+    /// Optional hierarchical budget topology. When set, every round splits
+    /// the budget down the tree — interior nodes apply their own
+    /// disciplines over their children's aggregated power *and* latency
+    /// telemetry — instead of flat across the fleet. The tree's leaves
+    /// must match the initial fleet; churn joiners attach under the root
+    /// and leavers' leaves are pruned as the run progresses.
+    pub topology: Option<BudgetTree>,
     /// Coordination rounds to run (the serving horizon).
     pub rounds: usize,
     /// Engine epochs per round.
@@ -131,6 +139,7 @@ impl ServiceConfig {
             servers,
             global_cap_w,
             split,
+            topology: None,
             rounds: 40,
             epochs_per_round: 4,
             threads: 1,
@@ -158,6 +167,13 @@ impl ServiceConfig {
     #[must_use]
     pub fn with_churn(mut self, churn: ChurnSchedule<ServiceServerSpec>) -> ServiceConfig {
         self.churn = churn;
+        self
+    }
+
+    /// Sets a hierarchical budget topology (see [`BudgetTree`]).
+    #[must_use]
+    pub fn with_topology(mut self, topology: BudgetTree) -> ServiceConfig {
+        self.topology = Some(topology);
         self
     }
 
@@ -196,6 +212,10 @@ impl ServiceConfig {
                     s.name, s.config.max_epochs
                 ));
             }
+        }
+        if let Some(tree) = &self.topology {
+            let names: Vec<&str> = self.servers.iter().map(|s| s.name.as_str()).collect();
+            tree.validate(&names)?;
         }
         Ok(())
     }

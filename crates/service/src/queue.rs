@@ -75,12 +75,19 @@ impl RequestQueue {
     }
 
     /// Advances the fluid server over the window `[from, to)`: admits
-    /// `arrivals` (time-ordered, all within the window) as their arrival
-    /// times pass, drains the queue head at `rate_ips` instructions per
-    /// second, and records each completion's sojourn time in picoseconds
-    /// into `hist`. Requests unfinished at `to` carry their remaining
-    /// instruction demand into the next window (where the rate may
-    /// differ — that is how a power cap stretches the tail).
+    /// `arrivals` (time-ordered, all strictly inside the half-open window)
+    /// as their arrival times pass, drains the queue head at `rate_ips`
+    /// instructions per second, and records each completion's sojourn time
+    /// in picoseconds into `hist`. Requests unfinished at `to` carry their
+    /// remaining instruction demand into the next window (where the rate
+    /// may differ — that is how a power cap stretches the tail).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when an arrival lands at or beyond `to`:
+    /// such a request belongs to the *next* window (the generator's
+    /// `arrivals_until(to)` contract), and admitting it here as well would
+    /// double-count it at the window boundary.
     pub fn advance(
         &mut self,
         from: Ps,
@@ -90,6 +97,10 @@ impl RequestQueue {
         hist: &mut Histogram,
     ) {
         debug_assert!(arrivals.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        debug_assert!(
+            arrivals.iter().all(|r| r.arrival < to),
+            "arrival at or past the window end belongs to the next window"
+        );
         let mut t = from;
         let mut next = 0usize;
         loop {
@@ -205,6 +216,17 @@ mod tests {
         assert_eq!(q.completed(), 0);
         assert_eq!(q.abandon_all(), 2);
         assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "next window")]
+    fn boundary_arrival_is_rejected_in_debug() {
+        // Regression: an arrival exactly at the window end used to be
+        // admitted inside `[from, to)` — the next window (whose generator
+        // contract hands it the same request) would then admit it again.
+        let mut q = RequestQueue::new(4);
+        let mut h = Histogram::new();
+        q.advance(Ps::ZERO, Ps::from_us(1), 1e9, &[req(1_000, 100.0)], &mut h);
     }
 
     #[test]

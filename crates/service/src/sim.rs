@@ -61,6 +61,9 @@ impl ServiceOutcome {
 pub struct ServiceResult {
     /// The splitting discipline that ran.
     pub split: CapSplit,
+    /// The rendered budget topology the run started with, when
+    /// hierarchical (churn may have reshaped it along the way).
+    pub topology: Option<String>,
     /// The global budget, watts.
     pub global_cap_w: f64,
     /// Per-server outcomes: churn departures first (in departure order),
@@ -119,8 +122,9 @@ impl ServiceResult {
     pub fn digest(&self) -> String {
         use std::fmt::Write as _;
         let mut s = format!(
-            "split={} cap={:016x} rounds={}\n",
+            "split={} topo={} cap={:016x} rounds={}\n",
             self.split,
+            self.topology.as_deref().unwrap_or("flat"),
             self.global_cap_w.to_bits(),
             self.rounds
         );
@@ -214,6 +218,8 @@ impl ServiceSim {
     /// remaining epochs exceed its `max_epochs`.
     pub fn run(mut self) -> ServiceResult {
         let mut churn = self.config.churn.clone();
+        let mut topology = self.config.topology.clone();
+        let topology_spec = topology.as_ref().map(|t| t.to_string());
         let mut departures: Vec<ServiceOutcome> = Vec::new();
         let mut cap_timeline: Vec<Vec<f64>> = Vec::new();
         for round in 0..self.config.rounds {
@@ -230,8 +236,15 @@ impl ServiceSim {
                             "churn join {}: {left} remaining epochs exceed max_epochs",
                             spec.name
                         );
-                        // Joiners start with no budget; the next split
-                        // grants them their share.
+                        // Joiners enter with a zero cap but participate in
+                        // this same round's split, which grants their
+                        // share immediately. Under a topology they attach
+                        // as direct children of the root group.
+                        if let Some(tree) = &mut topology {
+                            if let Err(e) = tree.attach_server(&spec.name, None) {
+                                panic!("churn join {}: {e}", spec.name);
+                            }
+                        }
                         self.servers.push(ServiceServer::new(
                             &spec,
                             0.0,
@@ -242,6 +255,9 @@ impl ServiceSim {
                         if let Some(i) = self.servers.iter().position(|s| s.name == name) {
                             let server = self.servers.remove(i);
                             departures.push(Self::outcome(server, true));
+                            if let Some(tree) = &mut topology {
+                                tree.remove_server(&name);
+                            }
                         }
                     }
                 }
@@ -254,8 +270,24 @@ impl ServiceSim {
             // --- coordinate: telemetry in, caps out ---
             let demands: Vec<ServerDemand> =
                 self.servers.iter_mut().map(ServiceServer::demand).collect();
-            let caps = match self.config.split {
-                CapSplit::SlaAware => {
+            let caps = match (&topology, self.config.split) {
+                (Some(tree), _) => {
+                    // Hierarchical: the budget flows down the tree with
+                    // both power and latency telemetry, so SLA-aware
+                    // interior nodes react to their subtree's worst
+                    // violation ratio.
+                    let names: Vec<&str> = self.servers.iter().map(|s| s.name.as_str()).collect();
+                    let signals: Vec<SlaSignal> =
+                        self.servers.iter().map(ServiceServer::sla_signal).collect();
+                    tree.split(
+                        self.config.global_cap_w,
+                        &names,
+                        &demands,
+                        Some(&signals),
+                        self.config.quantum_w,
+                    )
+                }
+                (None, CapSplit::SlaAware) => {
                     let signals: Vec<SlaSignal> =
                         self.servers.iter().map(ServiceServer::sla_signal).collect();
                     split_caps_sla(
@@ -265,7 +297,7 @@ impl ServiceSim {
                         self.config.quantum_w,
                     )
                 }
-                split => split_caps(
+                (None, split) => split_caps(
                     split,
                     self.config.global_cap_w,
                     &demands,
@@ -301,6 +333,7 @@ impl ServiceSim {
         outcomes.extend(self.servers.into_iter().map(|s| Self::outcome(s, false)));
         ServiceResult {
             split: self.config.split,
+            topology: topology_spec,
             global_cap_w: self.config.global_cap_w,
             outcomes,
             rounds: self.config.rounds,

@@ -2,7 +2,7 @@
 //! SLA-aware discipline's headline behaviour, and churn.
 
 use service::{
-    run_service, ArrivalKind, CapSplit, ChurnSchedule, ServiceConfig, ServiceServerSpec,
+    run_service, ArrivalKind, BudgetTree, CapSplit, ChurnSchedule, ServiceConfig, ServiceServerSpec,
 };
 use simkernel::Ps;
 
@@ -139,6 +139,58 @@ fn churn_mid_run_keeps_metrics_sane_and_deterministic() {
     // Churn does not break round-barrier determinism.
     let d4 = run_service(build(4)).digest();
     assert_eq!(r.digest(), d4);
+}
+
+/// A serving run under a two-level topology (uniform across a rack and a
+/// pod, SLA-aware inside the rack) stays within budget, respects the root's
+/// per-group shares, survives churn (joiners attach under the root,
+/// leavers are pruned from their rack), and stays thread-deterministic.
+#[test]
+fn topology_serve_run_is_deterministic_and_respects_group_shares() {
+    let build = |threads: usize| {
+        let fleet = vec![
+            ServiceServerSpec::small("r0", "MEM1", 41, 40_000.0),
+            ServiceServerSpec::small("r1", "MID1", 42, 40_000.0),
+            ServiceServerSpec::small("p0", "ILP1", 43, 25_000.0),
+            ServiceServerSpec::small("p1", "ILP2", 44, 25_000.0),
+        ];
+        let tree =
+            BudgetTree::parse("fleet:uniform[rack:sla-aware[r0,r1],pod:fastcap[p0,p1]]").unwrap();
+        let mut churn = ChurnSchedule::new();
+        churn.join(5, ServiceServerSpec::small("late", "MID2", 45, 20_000.0));
+        churn.leave(9, "r1");
+        ServiceConfig::new(fleet, 240.0, CapSplit::Uniform)
+            .with_topology(tree)
+            .with_rounds(14)
+            .with_churn(churn)
+            .with_threads(threads)
+    };
+
+    let r = run_service(build(1));
+    assert_eq!(r.outcomes.len(), 5);
+    assert!(r.topology.as_deref().unwrap().starts_with("fleet:uniform["));
+    for (round, caps) in r.cap_timeline.iter().enumerate() {
+        let total: f64 = caps.iter().sum();
+        assert!(total <= 240.0 + 1e-6, "round {round}: {total} > budget");
+    }
+    // Before churn the uniform root gives each of the two groups 120 W
+    // (fleet order is rack servers then pod servers).
+    for caps in &r.cap_timeline[..5] {
+        assert_eq!(caps.len(), 4);
+        assert!(caps[0] + caps[1] <= 120.0 + 1e-6, "rack over its share");
+        assert!(caps[2] + caps[3] <= 120.0 + 1e-6, "pod over its share");
+    }
+    // After the join the root has three children: 80 W each.
+    assert_eq!(r.cap_timeline[5].len(), 5);
+    assert!(r.cap_timeline[5][4] <= 80.0 + 1e-6, "joiner over its share");
+    // The departed server drops out of the split.
+    assert_eq!(r.cap_timeline[9].len(), 4);
+    for o in &r.outcomes {
+        assert!(o.completed > 0, "{} served nothing", o.name);
+    }
+
+    let d4 = run_service(build(4)).digest();
+    assert_eq!(r.digest(), d4, "topology run not thread-deterministic");
 }
 
 /// A fleet that churns down to empty and back keeps running (degenerate

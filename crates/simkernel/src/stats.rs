@@ -111,6 +111,7 @@ pub struct TimeWeighted {
     integral: f64,
     level: f64,
     last_change: Ps,
+    window_start: Ps,
     started: bool,
 }
 
@@ -130,6 +131,8 @@ impl TimeWeighted {
             debug_assert!(now >= self.last_change, "time moved backwards");
             let dt = (now - self.last_change).as_secs_f64();
             self.integral += self.level * dt;
+        } else {
+            self.window_start = now;
         }
         self.level = level;
         self.last_change = now;
@@ -147,19 +150,28 @@ impl TimeWeighted {
         self.level
     }
 
-    /// The time-weighted average over `[first change, end]`; `0.0` if the
-    /// signal never changed or the window is empty.
+    /// The time-weighted average over the current observation window —
+    /// `[window start, end]`, where the window starts at the first `set`
+    /// or the most recent [`TimeWeighted::reset`]; `0.0` if the signal
+    /// never changed. When `end` does not extend past the last change
+    /// (a degenerate window), reports the raw mean accumulated so far —
+    /// `integral / (last change − window start)` — or zero if no time has
+    /// accumulated.
     pub fn average(&self, end: Ps) -> f64 {
-        if !self.started || end <= self.last_change {
-            // Degenerate window: report the raw mean so far if any time has
-            // accumulated, else zero.
+        if !self.started {
             return 0.0;
+        }
+        if end <= self.last_change {
+            // Degenerate window: report the raw mean so far if any time
+            // has accumulated, else zero.
+            let span = (self.last_change - self.window_start).as_secs_f64();
+            if span == 0.0 {
+                return 0.0;
+            }
+            return self.integral / span;
         }
         let tail = (end - self.last_change).as_secs_f64();
-        let total = end.as_secs_f64();
-        if total == 0.0 {
-            return 0.0;
-        }
+        let total = (end - self.window_start).as_secs_f64();
         (self.integral + self.level * tail) / total
     }
 
@@ -169,6 +181,7 @@ impl TimeWeighted {
     pub fn reset(&mut self, now: Ps) {
         self.integral = 0.0;
         self.last_change = now;
+        self.window_start = now;
         self.started = true;
     }
 
@@ -467,6 +480,44 @@ mod tests {
     #[test]
     fn time_weighted_empty_window() {
         let t = TimeWeighted::new();
+        assert_eq!(t.average(Ps::from_ns(5)), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_average_after_reset_at_nonzero_time() {
+        // Regression: `average` used to divide by `end` as if the window
+        // began at t=0, so after a `reset` at non-zero time it silently
+        // under-reported — here a constant level 4.0 came out as 2.0.
+        let mut t = TimeWeighted::new();
+        t.set(Ps::ZERO, 4.0);
+        t.reset(Ps::from_ns(100));
+        assert!((t.average(Ps::from_ns(200)) - 4.0).abs() < 1e-12);
+        // Same when the signal first appears at non-zero time.
+        let mut t = TimeWeighted::new();
+        t.set(Ps::from_ns(100), 4.0);
+        assert!((t.average(Ps::from_ns(200)) - 4.0).abs() < 1e-12);
+        // And `average` now agrees with the explicit-window variant.
+        let mut t = TimeWeighted::new();
+        t.set(Ps::from_ns(100), 1.0);
+        t.set(Ps::from_ns(150), 3.0);
+        let a = t.average(Ps::from_ns(200));
+        let b = t.average_since(Ps::from_ns(100), Ps::from_ns(200));
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn time_weighted_degenerate_window_reports_raw_mean() {
+        // The documented fallback: when `end` does not extend past the
+        // last change, report the mean accumulated so far.
+        let mut t = TimeWeighted::new();
+        t.set(Ps::ZERO, 2.0);
+        t.set(Ps::from_ns(50), 6.0);
+        // Window so far is [0, 50ns] entirely at level 2.0.
+        assert!((t.average(Ps::from_ns(50)) - 2.0).abs() < 1e-12);
+        assert!((t.average(Ps::from_ns(10)) - 2.0).abs() < 1e-12);
+        // No time accumulated at all: zero.
+        let mut t = TimeWeighted::new();
+        t.set(Ps::from_ns(5), 7.0);
         assert_eq!(t.average(Ps::from_ns(5)), 0.0);
     }
 

@@ -23,6 +23,9 @@
 //!   --cap WATTS         global power budget (default 280)
 //!   --split NAME        uniform|demand-proportional|fastcap|sla-aware
 //!                       (default fastcap; sla-aware needs --serve)
+//!   --topology SPEC     hierarchical budget tree, e.g.
+//!                       dc:uniform[rack:sla-aware[a,b],pod:fastcap[c,d]]
+//!                       (flat splitting by --split is the default)
 //!   --threads N         round worker threads (default 4)
 //!   --serve             request-serving mode: open-loop arrivals, queues,
 //!                       p99 SLOs (batch completion mode otherwise)
@@ -114,6 +117,7 @@ struct ClusterArgs {
     servers: String,
     cap: f64,
     split: CapSplit,
+    topology: Option<BudgetTree>,
     threads: usize,
     serve: bool,
     rounds: usize,
@@ -127,10 +131,12 @@ struct ClusterArgs {
 fn cluster_usage() -> ! {
     eprintln!(
         "usage: coscale-sim cluster [--servers LIST] [--cap WATTS] [--split NAME] \
-         [--threads N] [--serve] [--rounds N] [--rate HZ] [--p99-target MS] \
-         [--seed N] [--join R:SPEC]... [--leave R:NAME]...\n\
+         [--topology SPEC] [--threads N] [--serve] [--rounds N] [--rate HZ] \
+         [--p99-target MS] [--seed N] [--join R:SPEC]... [--leave R:NAME]...\n\
          \x20 LIST entries: name=mix[:cores][@rate], e.g. heavy=MEM2:8@230000\n\
          \x20 splits: uniform demand-proportional fastcap sla-aware (sla-aware needs --serve)\n\
+         \x20 --topology splits the budget down a tree instead of flat, e.g.\n\
+         \x20   dc:uniform[rack:sla-aware[heavy,light0],pod:fastcap[light1,light2]]\n\
          \x20 --join/--leave change the fleet at round boundaries (--serve only)"
     );
     std::process::exit(2);
@@ -194,6 +200,7 @@ fn parse_cluster_args() -> ClusterArgs {
         servers: "heavy=MEM2:8@230000,light0=ILP1,light1=ILP2,light2=MID2".into(),
         cap: 280.0,
         split: CapSplit::FastCap,
+        topology: None,
         threads: 4,
         serve: false,
         rounds: 40,
@@ -220,6 +227,10 @@ fn parse_cluster_args() -> ClusterArgs {
                     "sla-aware" | "sla" => CapSplit::SlaAware,
                     other => cluster_fail(&format!("unknown split '{other}'")),
                 }
+            }
+            "--topology" => {
+                let spec = val("--topology");
+                a.topology = Some(BudgetTree::parse(&spec).unwrap_or_else(|e| cluster_fail(&e)));
             }
             "--threads" => a.threads = val("--threads").parse().unwrap_or_else(|_| cluster_usage()),
             "--serve" => a.serve = true,
@@ -259,7 +270,8 @@ fn cluster_batch_main(args: &ClusterArgs) {
             cores,
         ));
     }
-    let cfg = ClusterConfig::new(fleet, args.cap, args.split).with_threads(args.threads);
+    let mut cfg = ClusterConfig::new(fleet, args.cap, args.split).with_threads(args.threads);
+    cfg.topology = args.topology.clone();
     if let Err(e) = cfg.validate() {
         cluster_fail(&format!("invalid cluster configuration: {e}"));
     }
@@ -273,6 +285,9 @@ fn cluster_batch_main(args: &ClusterArgs) {
     let r = run_cluster(cfg);
 
     println!("split          : {}", r.split);
+    if let Some(t) = &r.topology {
+        println!("topology       : {t}");
+    }
     println!("global cap     : {:.1} W", r.global_cap_w);
     println!("rounds         : {}", r.rounds);
     println!();
@@ -326,10 +341,11 @@ fn cluster_serve_main(args: &ClusterArgs) {
         churn.leave(round, &name);
     }
 
-    let cfg = ServiceConfig::new(fleet, args.cap, args.split)
+    let mut cfg = ServiceConfig::new(fleet, args.cap, args.split)
         .with_rounds(args.rounds)
         .with_threads(args.threads)
         .with_churn(churn);
+    cfg.topology = args.topology.clone();
     if let Err(e) = cfg.validate() {
         cluster_fail(&format!("invalid service configuration: {e}"));
     }
@@ -344,6 +360,9 @@ fn cluster_serve_main(args: &ClusterArgs) {
     let r = run_service(cfg);
 
     println!("split          : {}", r.split);
+    if let Some(t) = &r.topology {
+        println!("topology       : {t}");
+    }
     println!("global cap     : {:.1} W", r.global_cap_w);
     println!("rounds         : {}", r.rounds);
     println!();

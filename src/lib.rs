@@ -14,7 +14,9 @@
 //!   the five comparison policies, and the epoch engine.
 //! * [`cluster`] — N servers under one global power budget, coordinated by
 //!   a cluster-level cap redistributor (uniform / demand-proportional /
-//!   FastCap-style / SLA-aware splitting), with fleet-churn schedules.
+//!   FastCap-style / SLA-aware splitting), with fleet-churn schedules and
+//!   hierarchical fleet → pod → rack budget trees mixing disciplines per
+//!   level.
 //! * [`service`] — the request-serving layer: open-loop Poisson/MMPP
 //!   arrivals, bounded queues with admission control, fluid request
 //!   draining at the engine's measured throughput, and tail-latency SLOs
@@ -46,7 +48,8 @@ pub use workloads;
 /// The most common imports for driving simulations.
 pub mod prelude {
     pub use cluster::{
-        run_cluster, CapSplit, ChurnSchedule, ClusterConfig, ClusterResult, ClusterSim, ServerSpec,
+        run_cluster, BudgetNode, BudgetTree, CapSplit, ChurnSchedule, ClusterConfig, ClusterResult,
+        ClusterSim, ServerSpec,
     };
     pub use coscale::{
         run_policy, CoScalePolicy, Model, Plan, Policy, PolicyKind, RunResult, Runner, SimConfig,
