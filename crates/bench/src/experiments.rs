@@ -1123,6 +1123,82 @@ pub fn hierarchical_capping(ctx: &mut Ctx) {
     ctx.emit(&t, "hierarchical_capping.tsv");
 }
 
+/// Closed-loop clients behind a front-end load balancer (after the
+/// client-server setups in interactive-service studies): a seeded
+/// population of clients cycles request → response → exponential think
+/// across a fleet of one big memory-bound server and three fast small
+/// ones, under a global budget whose uniform split throttles the big
+/// server near its power floor. Round-robin keeps handing the capped
+/// server a quarter of the traffic — its backlog carries across rounds
+/// and the fleet p99 blows through the target. The power-headroom
+/// balancer reads the same caps the coordinator just granted and steers
+/// by each server's utility under its cap, meeting the p99 target at the
+/// identical budget; least-queue gets there reactively once backlog
+/// appears.
+pub fn closed_loop_balancing(ctx: &mut Ctx) {
+    use cluster::BalancePolicy;
+    use service::{run_service, CapSplit, ClosedLoopConfig, ServiceConfig, ServiceServerSpec};
+    use simkernel::Ps;
+
+    let global_cap_w = 200.0;
+    let clients = 320;
+    let think = Ps::from_us(100);
+    let fleet = || -> Vec<ServiceServerSpec> {
+        vec![
+            ServiceServerSpec::small_with_cores("big", "MEM2", 11, 0.0, 8).with_p99_target_s(2e-3),
+            ServiceServerSpec::small("small0", "ILP1", 12, 0.0).with_p99_target_s(2e-3),
+            ServiceServerSpec::small("small1", "ILP2", 13, 0.0).with_p99_target_s(2e-3),
+            ServiceServerSpec::small("small2", "ILP1", 14, 0.0).with_p99_target_s(2e-3),
+        ]
+    };
+    let rounds = if ctx.opts.quick { 16 } else { 40 };
+    let mut t = Table::new(
+        &format!(
+            "Closed-loop balancing — {clients} clients, {global_cap_w} W budget, 2 ms p99 target"
+        ),
+        &[
+            "balancer",
+            "generated",
+            "completed",
+            "fleet p99 (ms)",
+            "big p99 (ms)",
+            "big share",
+            "SLO met",
+            "energy (J)",
+        ],
+    );
+    for balance in [
+        BalancePolicy::RoundRobin,
+        BalancePolicy::LeastQueue,
+        BalancePolicy::PowerHeadroom,
+    ] {
+        eprintln!("  running closed-loop [{balance}] ...");
+        let r = run_service(
+            ServiceConfig::new(fleet(), global_cap_w, CapSplit::Uniform)
+                .with_rounds(rounds)
+                .with_threads(4)
+                .with_closed_loop(
+                    ClosedLoopConfig::new(clients, think, balance)
+                        .with_mean_request_instrs(120_000.0),
+                ),
+        );
+        let cl = r.closed_loop.as_ref().expect("closed-loop run");
+        let big = r.outcomes.iter().find(|o| o.name == "big").expect("big");
+        let met = r.outcomes.iter().filter(|o| o.meets_slo()).count();
+        t.row(vec![
+            balance.to_string(),
+            format!("{}", cl.generated),
+            format!("{}", r.total_completed()),
+            format!("{:.3}", r.fleet_percentile_s(0.99) * 1e3),
+            format!("{:.3}", big.p99_s() * 1e3),
+            format!("{:.3}", big.arrived as f64 / cl.generated.max(1) as f64),
+            format!("{met}/{}", r.outcomes.len()),
+            format!("{:.2}", r.total_energy_j()),
+        ]);
+    }
+    ctx.emit(&t, "closed_loop_balancing.tsv");
+}
+
 /// Runs every experiment in paper order.
 pub fn all(ctx: &mut Ctx) {
     table1(ctx);
@@ -1146,4 +1222,5 @@ pub fn all(ctx: &mut Ctx) {
     cluster_capping(ctx);
     service_sla(ctx);
     hierarchical_capping(ctx);
+    closed_loop_balancing(ctx);
 }

@@ -1,0 +1,271 @@
+//! Front-end load balancing: assigning closed-loop requests to servers.
+//!
+//! A capped fleet only saves cluster-level power if load can actually
+//! *move* — PowerTracer's request steering is where its savings come from,
+//! and FastCap's fairness framing presumes a front end that could send work
+//! elsewhere. This module is that front end: a [`LoadBalancer`] takes the
+//! batch of requests generated at a round barrier and assigns each to a
+//! server by policy. All three policies are deterministic (no RNG; ties
+//! break toward the lowest server index), so balanced runs keep the
+//! round-barrier thread-count invariance the cluster and service layers
+//! pin with digests.
+//!
+//! * [`BalancePolicy::RoundRobin`] — cycle through the fleet, oblivious to
+//!   both queues and caps; the classic baseline that keeps feeding a
+//!   throttled server its full share of traffic.
+//! * [`BalancePolicy::LeastQueue`] — join the shortest queue, counting the
+//!   assignments already made this round; backlog-aware but cap-blind.
+//! * [`BalancePolicy::PowerHeadroom`] — weight servers by their predicted
+//!   absolute performance under their *current cap* (the coordinator's own
+//!   concave utility curve) and split the batch proportionally by highest
+//!   averages (D'Hondt), steering traffic toward servers with watts of
+//!   slack and away from ones pinned near their floors.
+
+use crate::coordinator::{utility_at, ServerDemand};
+
+/// How the front end assigns each generated request to a server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BalancePolicy {
+    /// Cycle through the servers in fleet order, one request each.
+    RoundRobin,
+    /// Send each request to the server with the fewest queued requests
+    /// (counting this round's provisional assignments).
+    LeastQueue,
+    /// Split the batch proportionally to each server's predicted
+    /// performance under its current power cap.
+    PowerHeadroom,
+}
+
+impl std::fmt::Display for BalancePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BalancePolicy::RoundRobin => "round-robin",
+            BalancePolicy::LeastQueue => "least-queue",
+            BalancePolicy::PowerHeadroom => "power-headroom",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl std::str::FromStr for BalancePolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<BalancePolicy, String> {
+        match s {
+            "round-robin" | "rr" => Ok(BalancePolicy::RoundRobin),
+            "least-queue" | "lq" => Ok(BalancePolicy::LeastQueue),
+            "power-headroom" | "headroom" => Ok(BalancePolicy::PowerHeadroom),
+            other => Err(format!(
+                "unknown balance policy '{other}' \
+                 (known: round-robin, least-queue, power-headroom)"
+            )),
+        }
+    }
+}
+
+/// One server's state as the front end sees it at a round barrier.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerLoad {
+    /// The server's power telemetry (predicted demand, floor, activity).
+    pub demand: ServerDemand,
+    /// The cap the coordinator granted for the coming round, watts.
+    pub cap_w: f64,
+    /// Requests already queued on the server.
+    pub queue_depth: usize,
+}
+
+/// The front-end request router. Holds the (deterministic) cross-round
+/// state a policy needs — currently just the round-robin cursor.
+#[derive(Clone, Debug)]
+pub struct LoadBalancer {
+    policy: BalancePolicy,
+    rr_next: usize,
+}
+
+impl LoadBalancer {
+    /// A balancer running `policy`, with its cursor at the first server.
+    pub fn new(policy: BalancePolicy) -> LoadBalancer {
+        LoadBalancer { policy, rr_next: 0 }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> BalancePolicy {
+        self.policy
+    }
+
+    /// Assigns a batch of `count` requests to the servers described by
+    /// `loads`, returning one server index per request (in request order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads` is empty while `count` is not — an empty fleet
+    /// cannot absorb requests (the caller skips issuing in that case).
+    pub fn assign_batch(&mut self, count: usize, loads: &[ServerLoad]) -> Vec<usize> {
+        if count == 0 {
+            return Vec::new();
+        }
+        assert!(!loads.is_empty(), "cannot balance over an empty fleet");
+        match self.policy {
+            BalancePolicy::RoundRobin => (0..count)
+                .map(|_| {
+                    let i = self.rr_next % loads.len();
+                    self.rr_next = (i + 1) % loads.len();
+                    i
+                })
+                .collect(),
+            BalancePolicy::LeastQueue => {
+                let mut depth: Vec<usize> = loads.iter().map(|l| l.queue_depth).collect();
+                (0..count)
+                    .map(|_| {
+                        let i = argmin(&depth);
+                        depth[i] += 1;
+                        i
+                    })
+                    .collect()
+            }
+            BalancePolicy::PowerHeadroom => {
+                // Weight each server by its predicted absolute performance
+                // under the cap it was just granted — the same concave
+                // curve the coordinator allocates by. A fleet with no
+                // telemetry yet (all weights zero, e.g. the first round)
+                // degrades to an even split.
+                let mut weights: Vec<f64> = loads
+                    .iter()
+                    .map(|l| utility_at(&l.demand, l.cap_w).max(0.0))
+                    .collect();
+                if weights.iter().all(|&w| w <= 0.0) {
+                    weights.iter_mut().for_each(|w| *w = 1.0);
+                }
+                // Highest-averages (D'Hondt) apportionment: request j goes
+                // to the server maximizing weight / (already assigned + 1).
+                let mut assigned = vec![0usize; loads.len()];
+                (0..count)
+                    .map(|_| {
+                        let mut best = 0usize;
+                        let mut best_avg = f64::NEG_INFINITY;
+                        for (i, (&w, &n)) in weights.iter().zip(&assigned).enumerate() {
+                            let avg = w / (n + 1) as f64;
+                            if avg > best_avg {
+                                best = i;
+                                best_avg = avg;
+                            }
+                        }
+                        assigned[best] += 1;
+                        best
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Index of the smallest element, ties toward the lowest index.
+fn argmin(xs: &[usize]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x < xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(demand_w: f64, min_w: f64, cap_w: f64, queue_depth: usize) -> ServerLoad {
+        ServerLoad {
+            demand: ServerDemand {
+                demand_w,
+                min_w,
+                active: true,
+            },
+            cap_w,
+            queue_depth,
+        }
+    }
+
+    #[test]
+    fn policy_parse_display_round_trip() {
+        for p in [
+            BalancePolicy::RoundRobin,
+            BalancePolicy::LeastQueue,
+            BalancePolicy::PowerHeadroom,
+        ] {
+            assert_eq!(p.to_string().parse::<BalancePolicy>().unwrap(), p);
+        }
+        assert_eq!(
+            "rr".parse::<BalancePolicy>().unwrap(),
+            BalancePolicy::RoundRobin
+        );
+        assert_eq!(
+            "headroom".parse::<BalancePolicy>().unwrap(),
+            BalancePolicy::PowerHeadroom
+        );
+        assert!("nosuch".parse::<BalancePolicy>().is_err());
+    }
+
+    #[test]
+    fn round_robin_cycles_across_batches() {
+        let loads = vec![load(50.0, 20.0, 50.0, 0); 3];
+        let mut lb = LoadBalancer::new(BalancePolicy::RoundRobin);
+        assert_eq!(lb.assign_batch(4, &loads), vec![0, 1, 2, 0]);
+        // The cursor survives the barrier: the next batch resumes at 1.
+        assert_eq!(lb.assign_batch(2, &loads), vec![1, 2]);
+    }
+
+    #[test]
+    fn least_queue_counts_provisional_assignments() {
+        let loads = vec![
+            load(50.0, 20.0, 50.0, 5),
+            load(50.0, 20.0, 50.0, 0),
+            load(50.0, 20.0, 50.0, 2),
+        ];
+        let mut lb = LoadBalancer::new(BalancePolicy::LeastQueue);
+        // Depths 5/0/2: requests fill server 1 up to 2, then alternate 1
+        // and 2 (ties toward the lower index) until they reach 5.
+        assert_eq!(lb.assign_batch(6, &loads), vec![1, 1, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn power_headroom_steers_away_from_capped_servers() {
+        // Server 0 is pinned at its floor (no watts above min → zero
+        // predicted performance); servers 1 and 2 run at full demand.
+        let loads = vec![
+            load(100.0, 40.0, 40.0, 0),
+            load(100.0, 40.0, 100.0, 0),
+            load(100.0, 40.0, 100.0, 0),
+        ];
+        let mut lb = LoadBalancer::new(BalancePolicy::PowerHeadroom);
+        let assign = lb.assign_batch(10, &loads);
+        assert!(assign.iter().all(|&i| i != 0), "{assign:?}");
+        let to_1 = assign.iter().filter(|&&i| i == 1).count();
+        assert_eq!(to_1, 5, "equal weights must split evenly: {assign:?}");
+    }
+
+    #[test]
+    fn power_headroom_without_telemetry_splits_evenly() {
+        // First round: every demand is still zero. The fallback must not
+        // dump the whole batch on server 0.
+        let loads = vec![load(0.0, 0.0, 70.0, 0); 4];
+        let mut lb = LoadBalancer::new(BalancePolicy::PowerHeadroom);
+        let assign = lb.assign_batch(8, &loads);
+        for i in 0..4 {
+            assert_eq!(assign.iter().filter(|&&s| s == i).count(), 2, "{assign:?}");
+        }
+    }
+
+    #[test]
+    fn headroom_weights_follow_granted_watts() {
+        // Same demand curve, different caps: the server with twice the
+        // headroom fill gets measurably more of the batch.
+        let loads = vec![load(100.0, 40.0, 55.0, 0), load(100.0, 40.0, 100.0, 0)];
+        let mut lb = LoadBalancer::new(BalancePolicy::PowerHeadroom);
+        let assign = lb.assign_batch(12, &loads);
+        let to_0 = assign.iter().filter(|&&i| i == 0).count();
+        let to_1 = assign.iter().filter(|&&i| i == 1).count();
+        assert!(to_1 > to_0, "{assign:?}");
+        assert!(to_0 > 0, "a throttled-but-alive server still gets traffic");
+    }
+}

@@ -224,7 +224,7 @@ fn perf_at(d: &ServerDemand, cap: f64) -> f64 {
 /// small-headroom servers the most watts above their floors (their
 /// *relative* curves are steepest) and starve the servers whose watts buy
 /// the most instructions.
-fn utility_at(d: &ServerDemand, cap: f64) -> f64 {
+pub(crate) fn utility_at(d: &ServerDemand, cap: f64) -> f64 {
     d.demand_w * perf_at(d, cap)
 }
 

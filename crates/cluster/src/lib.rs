@@ -52,14 +52,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod balance;
 mod config;
 pub mod coordinator;
 mod server;
 mod sim;
 pub mod tree;
 
+pub use balance::{BalancePolicy, LoadBalancer, ServerLoad};
 pub use config::{CapSplit, ChurnAction, ChurnEvent, ChurnSchedule, ClusterConfig, ServerSpec};
 pub use coordinator::{jain_index, split_caps, split_caps_sla, ServerDemand, SlaSignal};
 pub use server::{CappedPolicy, Server, ServerStatus, SharedCap};
 pub use sim::{run_cluster, ClusterResult, ClusterSim, ServerOutcome};
-pub use tree::{BudgetNode, BudgetTree};
+pub use tree::{BudgetNode, BudgetTree, GroupShare};

@@ -161,16 +161,34 @@ impl BudgetNode {
     }
 
     /// Divides `budget_w` over the subtree, writing leaf caps into
-    /// `caps` (indexed like the fleet).
-    fn allocate(&self, budget_w: f64, ctx: &SplitCtx<'_>, caps: &mut [f64]) {
+    /// `caps` (indexed like the fleet). When `trace` is given, every
+    /// interior node records the share it was granted (pre-order).
+    fn allocate(
+        &self,
+        budget_w: f64,
+        ctx: &SplitCtx<'_>,
+        caps: &mut [f64],
+        mut trace: Option<&mut Vec<GroupShare>>,
+    ) {
         match self {
             BudgetNode::Server { name } => {
                 let i = ctx.index_of(name);
                 caps[i] = if ctx.demands[i].active { budget_w } else { 0.0 };
             }
             BudgetNode::Group {
-                split, children, ..
+                label,
+                split,
+                children,
             } => {
+                if let Some(t) = trace.as_deref_mut() {
+                    let mut leaves = Vec::new();
+                    self.push_leaves(&mut leaves);
+                    t.push(GroupShare {
+                        label: label.clone(),
+                        budget_w,
+                        leaves: leaves.into_iter().map(str::to_string).collect(),
+                    });
+                }
                 let ds: Vec<ServerDemand> =
                     children.iter().map(|c| c.aggregate_demand(ctx)).collect();
                 let shares = match (*split, ctx.sla) {
@@ -182,7 +200,7 @@ impl BudgetNode {
                     (s, _) => split_caps(s, budget_w, &ds, ctx.quantum_w),
                 };
                 for (child, share) in children.iter().zip(shares) {
-                    child.allocate(share, ctx, caps);
+                    child.allocate(share, ctx, caps, trace.as_deref_mut());
                 }
             }
         }
@@ -210,6 +228,18 @@ impl BudgetNode {
             }
         }
     }
+}
+
+/// One interior node's granted share during a [`BudgetTree::split_trace`],
+/// in pre-order (a group always precedes its descendants).
+#[derive(Clone, Debug)]
+pub struct GroupShare {
+    /// The group's label.
+    pub label: String,
+    /// The budget the group was granted, watts.
+    pub budget_w: f64,
+    /// The subtree's leaf servers, in allocation order.
+    pub leaves: Vec<String>,
 }
 
 /// Per-split context: the fleet's telemetry plus the name → index map.
@@ -367,8 +397,42 @@ impl BudgetTree {
             quantum_w,
         };
         let mut caps = vec![0.0; demands.len()];
-        self.root.allocate(global_cap_w, &ctx, &mut caps);
+        self.root.allocate(global_cap_w, &ctx, &mut caps, None);
         caps
+    }
+
+    /// Like [`BudgetTree::split`], but also returns the share every
+    /// interior node was granted on the way down (pre-order). This is the
+    /// budget-bound audit trail: for every [`GroupShare`] the caps of its
+    /// `leaves` must sum to at most its `budget_w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`BudgetTree::split`].
+    pub fn split_trace(
+        &self,
+        global_cap_w: f64,
+        names: &[&str],
+        demands: &[ServerDemand],
+        sla: Option<&[SlaSignal]>,
+        quantum_w: f64,
+    ) -> (Vec<f64>, Vec<GroupShare>) {
+        assert_eq!(names.len(), demands.len(), "one demand per server");
+        if let Some(s) = sla {
+            assert_eq!(names.len(), s.len(), "one SLA signal per server");
+        }
+        let index: HashMap<&str, usize> = names.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        let ctx = SplitCtx {
+            index: &index,
+            demands,
+            sla,
+            quantum_w,
+        };
+        let mut caps = vec![0.0; demands.len()];
+        let mut trace = Vec::new();
+        self.root
+            .allocate(global_cap_w, &ctx, &mut caps, Some(&mut trace));
+        (caps, trace)
     }
 
     /// Attaches a new leaf server under the group labelled `group`, or
@@ -767,6 +831,31 @@ mod tests {
         assert!(t.remove_server("a"));
         assert!(t.remove_server("b"));
         assert!(t.to_string().contains("rack0:fastcap[]"));
+    }
+
+    #[test]
+    fn split_trace_agrees_with_split_and_bounds_every_group() {
+        let t = two_racks();
+        let names = ["a", "b", "c", "d"];
+        let demands = [d(300.0, 40.0), d(300.0, 40.0), d(30.0, 10.0), d(30.0, 10.0)];
+        let (caps, trace) = t.split_trace(200.0, &names, &demands, None, 1.0);
+        assert_eq!(caps, t.split(200.0, &names, &demands, None, 1.0));
+        // Pre-order: the root first, carrying the whole budget and fleet.
+        assert_eq!(trace[0].label, "fleet");
+        assert_eq!(trace[0].budget_w, 200.0);
+        assert_eq!(trace[0].leaves, vec!["a", "b", "c", "d"]);
+        assert_eq!(trace.len(), 3, "one entry per interior node");
+        // Every group's leaf caps sum to at most its granted share.
+        let idx = |n: &str| names.iter().position(|x| *x == n).unwrap();
+        for g in &trace {
+            let sum: f64 = g.leaves.iter().map(|l| caps[idx(l)]).sum();
+            assert!(
+                sum <= g.budget_w + 1e-6,
+                "{}: {sum} > {}",
+                g.label,
+                g.budget_w
+            );
+        }
     }
 
     #[test]

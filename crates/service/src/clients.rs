@@ -1,0 +1,237 @@
+//! Closed-loop clients: the interactive request → response → think cycle.
+//!
+//! The open-loop arrival processes in [`crate::arrivals`] keep offering
+//! load no matter how slowly the fleet serves — a capped hot server just
+//! sheds. Real interactive load is *closed-loop*: a finite population of
+//! clients each keeps at most one request outstanding, waits for the
+//! response, thinks for an exponentially distributed while, and only then
+//! issues again. Offered load therefore self-throttles when servers slow
+//! down, and the in-flight request count is bounded by the population —
+//! the classic machine-repairman model.
+//!
+//! Clients interact with the fleet only at round barriers: every response
+//! (or shed, or abandonment) is delivered to its client at the barrier
+//! closing the round, and the batch of requests that became ready during
+//! the next round's window is issued — and balanced across servers — at
+//! the barrier opening it. Each client draws think times and request sizes
+//! from its own forked RNG stream, so the outcome is independent of the
+//! order responses arrive in and of which server served the request:
+//! closed-loop runs stay bit-identical for any worker thread count.
+
+use crate::config::ClosedLoopConfig;
+use crate::queue::Request;
+use simkernel::{Ps, SimRng};
+
+/// One client: its private RNG stream and where it is in the cycle.
+#[derive(Clone, Debug)]
+struct Client {
+    rng: SimRng,
+    /// `Some(t)` — thinking, ready to issue at `t`. `None` — a request is
+    /// in flight (issued but not yet resolved back to the client).
+    ready_at: Option<Ps>,
+}
+
+/// A seeded population of closed-loop clients.
+#[derive(Clone, Debug)]
+pub struct ClientPool {
+    clients: Vec<Client>,
+    mean_think: Ps,
+    mean_request_instrs: f64,
+    generated: u64,
+    responses: u64,
+}
+
+impl ClientPool {
+    /// A population per `cfg`, every client ready to issue immediately.
+    pub fn new(cfg: &ClosedLoopConfig) -> ClientPool {
+        let mut root = SimRng::new(cfg.seed);
+        let clients = (0..cfg.clients)
+            .map(|i| Client {
+                rng: root.fork(i as u64),
+                ready_at: Some(Ps::ZERO),
+            })
+            .collect();
+        ClientPool {
+            clients,
+            mean_think: cfg.mean_think,
+            mean_request_instrs: cfg.mean_request_instrs,
+            generated: 0,
+            responses: 0,
+        }
+    }
+
+    /// Population size.
+    pub fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+
+    /// Requests issued so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Responses (completions, sheds and abandonments) delivered so far.
+    pub fn responses(&self) -> u64 {
+        self.responses
+    }
+
+    /// Clients currently thinking (or ready to issue).
+    pub fn thinking(&self) -> usize {
+        self.clients.iter().filter(|c| c.ready_at.is_some()).count()
+    }
+
+    /// Clients with a request in flight.
+    pub fn waiting(&self) -> usize {
+        self.clients.len() - self.thinking()
+    }
+
+    /// Delivers a response to `client` at time `at`: the client starts an
+    /// exponential think and becomes ready at `at + think`. Shed and
+    /// abandoned requests are delivered the same way — the client simply
+    /// tries again after thinking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client has no request in flight (a double delivery
+    /// would break conservation).
+    pub fn deliver(&mut self, client: u32, at: Ps) {
+        let c = &mut self.clients[client as usize];
+        assert!(
+            c.ready_at.is_none(),
+            "client {client}: response delivered while thinking"
+        );
+        let think = exp_think(&mut c.rng, self.mean_think);
+        c.ready_at = Some(at + think);
+        self.responses += 1;
+    }
+
+    /// Issues the requests whose ready times fall before `to`, stamping
+    /// arrivals into `[from, to)` (a client ready before the window start
+    /// issues at `from` — it was waiting for the barrier). Request sizes
+    /// are uniform in `[0.5, 1.5] ×` the configured mean, drawn from the
+    /// issuing client's stream. Returns the batch sorted by arrival time
+    /// (ties toward the lower client index).
+    pub fn issue(&mut self, from: Ps, to: Ps) -> Vec<Request> {
+        let mut batch = Vec::new();
+        for (i, c) in self.clients.iter_mut().enumerate() {
+            let Some(at) = c.ready_at else { continue };
+            if at >= to {
+                continue;
+            }
+            let size = self.mean_request_instrs * (0.5 + c.rng.f64());
+            c.ready_at = None;
+            self.generated += 1;
+            batch.push(Request {
+                arrival: at.max(from),
+                remaining_instrs: size,
+                client: Some(i as u32),
+            });
+        }
+        batch.sort_by_key(|r| (r.arrival, r.client));
+        batch
+    }
+}
+
+/// An exponential think time with the given mean (zero mean → zero think).
+fn exp_think(rng: &mut SimRng, mean: Ps) -> Ps {
+    if mean == Ps::ZERO {
+        return Ps::ZERO;
+    }
+    // -ln(1-u) with u in [0,1): finite, since 1-u is in (0,1].
+    let e = -(1.0 - rng.f64()).ln();
+    Ps::from_secs_f64(mean.as_secs_f64() * e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClosedLoopConfig;
+    use cluster::BalancePolicy;
+
+    fn pool(clients: usize, think_us: u64) -> ClientPool {
+        ClientPool::new(
+            &ClosedLoopConfig::new(clients, Ps::from_us(think_us), BalancePolicy::RoundRobin)
+                .with_seed(7),
+        )
+    }
+
+    #[test]
+    fn population_bounds_outstanding_requests() {
+        let mut p = pool(5, 0);
+        let batch = p.issue(Ps::ZERO, Ps::from_ms(1));
+        assert_eq!(batch.len(), 5, "everyone starts ready");
+        assert_eq!(p.waiting(), 5);
+        // Nobody can issue again until a response lands.
+        assert!(p.issue(Ps::from_ms(1), Ps::from_ms(2)).is_empty());
+        p.deliver(2, Ps::from_ms(1));
+        let again = p.issue(Ps::from_ms(1), Ps::from_ms(2));
+        assert_eq!(again.len(), 1);
+        assert_eq!(again[0].client, Some(2));
+        assert_eq!(p.generated(), 6);
+        assert_eq!(p.responses(), 1);
+    }
+
+    #[test]
+    fn zero_think_reissues_at_the_window_start() {
+        let mut p = pool(1, 0);
+        p.issue(Ps::ZERO, Ps::from_ms(1));
+        p.deliver(0, Ps::from_us(300));
+        let batch = p.issue(Ps::from_ms(1), Ps::from_ms(2));
+        // Became ready at 300 µs, but the barrier holds it until 1 ms.
+        assert_eq!(batch[0].arrival, Ps::from_ms(1));
+    }
+
+    #[test]
+    fn think_times_are_exponential_with_the_configured_mean() {
+        let mut rng = SimRng::new(42);
+        let mean = Ps::from_us(500);
+        let n = 20_000;
+        let total: f64 = (0..n)
+            .map(|_| exp_think(&mut rng, mean).as_secs_f64())
+            .sum();
+        let sample_mean_us = total / n as f64 * 1e6;
+        assert!(
+            (sample_mean_us - 500.0).abs() < 15.0,
+            "mean {sample_mean_us} µs"
+        );
+    }
+
+    #[test]
+    fn delivery_order_does_not_change_a_clients_future() {
+        // Two pools, same seed; deliver responses to clients 0 and 1 in
+        // opposite orders. Each client's next think/size draws must match.
+        let mut a = pool(2, 100);
+        let mut b = pool(2, 100);
+        a.issue(Ps::ZERO, Ps::from_ms(1));
+        b.issue(Ps::ZERO, Ps::from_ms(1));
+        a.deliver(0, Ps::from_us(10));
+        a.deliver(1, Ps::from_us(20));
+        b.deliver(1, Ps::from_us(20));
+        b.deliver(0, Ps::from_us(10));
+        let ba = a.issue(Ps::from_ms(1), Ps::from_ms(2));
+        let bb = b.issue(Ps::from_ms(1), Ps::from_ms(2));
+        assert_eq!(ba.len(), bb.len());
+        for (x, y) in ba.iter().zip(&bb) {
+            assert_eq!(x.client, y.client);
+            assert_eq!(x.arrival, y.arrival);
+            assert_eq!(x.remaining_instrs.to_bits(), y.remaining_instrs.to_bits());
+        }
+    }
+
+    #[test]
+    fn thinking_clients_hold_their_requests_past_the_window() {
+        let mut p = pool(1, 0);
+        p.issue(Ps::ZERO, Ps::from_ms(1));
+        // Response lands late; the client is ready only at 5 ms.
+        p.deliver(0, Ps::from_ms(5));
+        assert!(p.issue(Ps::from_ms(1), Ps::from_ms(2)).is_empty());
+        let batch = p.issue(Ps::from_ms(5), Ps::from_ms(6));
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].arrival, Ps::from_ms(5));
+    }
+}

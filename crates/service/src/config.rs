@@ -2,7 +2,7 @@
 //! configuration.
 
 use crate::arrivals::ArrivalKind;
-use cluster::{BudgetTree, CapSplit, ChurnSchedule};
+use cluster::{BalancePolicy, BudgetTree, CapSplit, ChurnSchedule};
 use coscale::SimConfig;
 use simkernel::Ps;
 
@@ -94,6 +94,54 @@ impl ServiceServerSpec {
     }
 }
 
+/// Closed-loop workload: a seeded client population replaces the
+/// per-server open-loop arrival streams, and a front-end
+/// [`LoadBalancer`](cluster::LoadBalancer) routes each generated request
+/// to a server by [`BalancePolicy`].
+#[derive(Clone, Debug)]
+pub struct ClosedLoopConfig {
+    /// Population size — the hard bound on in-flight requests.
+    pub clients: usize,
+    /// Mean exponential think time between response and the next request.
+    pub mean_think: Ps,
+    /// How the front end assigns requests to servers.
+    pub balance: BalancePolicy,
+    /// Mean instructions a request costs; actual sizes are uniform in
+    /// `[0.5, 1.5] ×` this, drawn from the issuing client's stream.
+    pub mean_request_instrs: f64,
+    /// Seed of the client population's think/size streams.
+    pub seed: u64,
+}
+
+impl ClosedLoopConfig {
+    /// A population of `clients` thinking for `mean_think` on average,
+    /// balanced by `balance`, with the serving layer's default 40 k
+    /// instructions per request and a fixed default seed.
+    pub fn new(clients: usize, mean_think: Ps, balance: BalancePolicy) -> ClosedLoopConfig {
+        ClosedLoopConfig {
+            clients,
+            mean_think,
+            balance,
+            mean_request_instrs: 40_000.0,
+            seed: 0xc11e_57a9,
+        }
+    }
+
+    /// Sets the client-stream seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> ClosedLoopConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the mean request size in instructions.
+    #[must_use]
+    pub fn with_mean_request_instrs(mut self, instrs: f64) -> ClosedLoopConfig {
+        self.mean_request_instrs = instrs;
+        self
+    }
+}
+
 /// Configuration of one serving-fleet simulation.
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
@@ -124,6 +172,10 @@ pub struct ServiceConfig {
     pub sla_window_rounds: usize,
     /// Scheduled fleet changes.
     pub churn: ChurnSchedule<ServiceServerSpec>,
+    /// Closed-loop workload, replacing the per-server open-loop arrival
+    /// streams when set: a client population issues requests at round
+    /// barriers and a front-end balancer routes them across the fleet.
+    pub closed_loop: Option<ClosedLoopConfig>,
 }
 
 impl ServiceConfig {
@@ -146,7 +198,16 @@ impl ServiceConfig {
             quantum_w: 1.0,
             sla_window_rounds: 4,
             churn: ChurnSchedule::new(),
+            closed_loop: None,
         }
+    }
+
+    /// Switches the fleet to a closed-loop workload (see
+    /// [`ClosedLoopConfig`]); per-server arrival processes are ignored.
+    #[must_use]
+    pub fn with_closed_loop(mut self, closed_loop: ClosedLoopConfig) -> ServiceConfig {
+        self.closed_loop = Some(closed_loop);
+        self
     }
 
     /// Sets the round count.
@@ -217,6 +278,28 @@ impl ServiceConfig {
             let names: Vec<&str> = self.servers.iter().map(|s| s.name.as_str()).collect();
             tree.validate(&names)?;
         }
+        if let Some(cl) = &self.closed_loop {
+            if cl.clients == 0 {
+                return Err("closed loop: client population must be positive".into());
+            }
+            if !cl.mean_request_instrs.is_finite() || cl.mean_request_instrs <= 0.0 {
+                return Err("closed loop: request size must be positive".into());
+            }
+            // The client clock is fleet-global: rounds must span the same
+            // simulated time on every server, so epochs must agree.
+            let Some(first) = self.servers.first() else {
+                return Err("closed loop: the initial fleet cannot be empty".into());
+            };
+            for s in &self.servers {
+                if s.config.epoch != first.config.epoch {
+                    return Err(format!(
+                        "closed loop: server {} epoch {} differs from {} epoch {} \
+                         (the fleet-global clock needs uniform rounds)",
+                        s.name, s.config.epoch, first.name, first.config.epoch
+                    ));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -274,5 +357,36 @@ mod tests {
         let mut c = ok;
         c.rounds = 2_000_000;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn closed_loop_validation_pins_population_and_uniform_epochs() {
+        use cluster::BalancePolicy;
+        let base = || {
+            ServiceConfig::new(
+                vec![
+                    ServiceServerSpec::small("s0", "MID1", 1, 1000.0),
+                    ServiceServerSpec::small("s1", "ILP1", 2, 1000.0),
+                ],
+                100.0,
+                CapSplit::Uniform,
+            )
+        };
+        let cl = ClosedLoopConfig::new(8, Ps::from_us(200), BalancePolicy::PowerHeadroom);
+        assert!(base().with_closed_loop(cl.clone()).validate().is_ok());
+
+        let mut empty = ClosedLoopConfig::new(0, Ps::ZERO, BalancePolicy::RoundRobin);
+        assert!(base().with_closed_loop(empty.clone()).validate().is_err());
+        empty.clients = 4;
+        empty.mean_request_instrs = 0.0;
+        assert!(base().with_closed_loop(empty).validate().is_err());
+
+        let mut skewed = base().with_closed_loop(cl.clone());
+        skewed.servers[1].config.epoch = Ps::from_us(125);
+        assert!(skewed.validate().is_err(), "mismatched epochs must fail");
+
+        let mut no_fleet = base().with_closed_loop(cl);
+        no_fleet.servers.clear();
+        assert!(no_fleet.validate().is_err());
     }
 }

@@ -8,6 +8,11 @@
 //! demand — queueing delay plus service time under whatever DVFS plan the
 //! power cap forced. Admission control is a hard bound on queue depth:
 //! arrivals beyond it are shed and counted.
+//!
+//! The queue's accounting invariants (the half-open arrival window and
+//! request conservation) are checked on *every* [`RequestQueue::advance`]
+//! call, debug and release builds alike — a violation returns an error
+//! rather than silently drifting the bench numbers.
 
 use simkernel::{stats::Histogram, Ps};
 use std::collections::VecDeque;
@@ -19,6 +24,32 @@ pub struct Request {
     pub arrival: Ps,
     /// Instructions still to be executed on its behalf.
     pub remaining_instrs: f64,
+    /// The closed-loop client that issued the request, if any (open-loop
+    /// streams leave this `None`).
+    pub client: Option<u32>,
+}
+
+/// How a closed-loop request reached its terminal state within one
+/// [`RequestQueue::advance`] window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Resolution {
+    /// The fluid server finished the request's instruction demand.
+    Completed,
+    /// Admission control shed the request at arrival (queue full).
+    Shed,
+}
+
+/// A closed-loop request's terminal event, reported back to its client so
+/// it can start thinking. Only requests carrying a client id produce
+/// events.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientEvent {
+    /// The issuing client.
+    pub client: u32,
+    /// When the request completed (or was shed — its arrival instant).
+    pub at: Ps,
+    /// What happened to it.
+    pub resolution: Resolution,
 }
 
 /// A bounded FIFO queue drained by the fluid server.
@@ -26,8 +57,10 @@ pub struct Request {
 pub struct RequestQueue {
     waiting: VecDeque<Request>,
     capacity: usize,
+    arrived: u64,
     shed: u64,
     completed: u64,
+    abandoned: u64,
 }
 
 impl RequestQueue {
@@ -38,14 +71,21 @@ impl RequestQueue {
         RequestQueue {
             waiting: VecDeque::new(),
             capacity,
+            arrived: 0,
             shed: 0,
             completed: 0,
+            abandoned: 0,
         }
     }
 
     /// Requests currently queued (including the one in service).
     pub fn depth(&self) -> usize {
         self.waiting.len()
+    }
+
+    /// Requests handed to the queue so far (admitted or shed).
+    pub fn arrived(&self) -> u64 {
+        self.arrived
     }
 
     /// Requests shed by admission control so far.
@@ -58,20 +98,33 @@ impl RequestQueue {
         self.completed
     }
 
-    fn admit(&mut self, r: Request) {
+    /// Requests abandoned in-queue so far (see
+    /// [`RequestQueue::abandon_all`]).
+    pub fn abandoned(&self) -> u64 {
+        self.abandoned
+    }
+
+    fn admit(&mut self, r: Request, events: &mut Vec<ClientEvent>) {
         if self.waiting.len() >= self.capacity {
             self.shed += 1;
+            if let Some(client) = r.client {
+                events.push(ClientEvent {
+                    client,
+                    at: r.arrival,
+                    resolution: Resolution::Shed,
+                });
+            }
         } else {
             self.waiting.push_back(r);
         }
     }
 
-    /// Drops everything still queued (server leaving the fleet), returning
-    /// how many requests were abandoned.
-    pub fn abandon_all(&mut self) -> u64 {
-        let n = self.waiting.len() as u64;
-        self.waiting.clear();
-        n
+    /// Drops everything still queued (server leaving the fleet, or the
+    /// horizon ending), returning the abandoned requests so closed-loop
+    /// callers can release their clients.
+    pub fn abandon_all(&mut self) -> Vec<Request> {
+        self.abandoned += self.waiting.len() as u64;
+        self.waiting.drain(..).collect()
     }
 
     /// Advances the fluid server over the window `[from, to)`: admits
@@ -80,14 +133,19 @@ impl RequestQueue {
     /// instructions per second, and records each completion's sojourn time
     /// in picoseconds into `hist`. Requests unfinished at `to` carry their
     /// remaining instruction demand into the next window (where the rate
-    /// may differ — that is how a power cap stretches the tail).
+    /// may differ — that is how a power cap stretches the tail). Returns
+    /// the terminal events of every client-tagged request resolved in the
+    /// window, in resolution order.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics in debug builds when an arrival lands at or beyond `to`:
-    /// such a request belongs to the *next* window (the generator's
-    /// `arrivals_until(to)` contract), and admitting it here as well would
-    /// double-count it at the window boundary.
+    /// Returns an error — in debug *and* release builds, before touching
+    /// any state — when `arrivals` is not time-ordered or an arrival lands
+    /// at or beyond `to` (such a request belongs to the *next* window: the
+    /// generator's `arrivals_until(to)` contract, and admitting it here as
+    /// well would double-count it at the window boundary), and after the
+    /// drain when the conservation law `arrived = completed + shed +
+    /// abandoned + queued` stops holding.
     pub fn advance(
         &mut self,
         from: Ps,
@@ -95,18 +153,25 @@ impl RequestQueue {
         rate_ips: f64,
         arrivals: &[Request],
         hist: &mut Histogram,
-    ) {
-        debug_assert!(arrivals.windows(2).all(|w| w[0].arrival <= w[1].arrival));
-        debug_assert!(
-            arrivals.iter().all(|r| r.arrival < to),
-            "arrival at or past the window end belongs to the next window"
-        );
+    ) -> Result<Vec<ClientEvent>, String> {
+        if !arrivals.windows(2).all(|w| w[0].arrival <= w[1].arrival) {
+            return Err("queue invariant: arrivals not time-ordered".into());
+        }
+        if let Some(r) = arrivals.iter().find(|r| r.arrival >= to) {
+            return Err(format!(
+                "queue invariant: arrival at {} is at or past the window end {} \
+                 and belongs to the next window",
+                r.arrival, to
+            ));
+        }
+        self.arrived += arrivals.len() as u64;
+        let mut events = Vec::new();
         let mut t = from;
         let mut next = 0usize;
         loop {
             // Admit everything that has arrived by now.
             while next < arrivals.len() && arrivals[next].arrival <= t {
-                self.admit(arrivals[next]);
+                self.admit(arrivals[next], &mut events);
                 next += 1;
             }
             if t >= to {
@@ -133,6 +198,13 @@ impl RequestQueue {
             if finish <= horizon {
                 let sojourn = finish - head.arrival;
                 hist.record(sojourn.as_ps().max(1));
+                if let Some(client) = head.client {
+                    events.push(ClientEvent {
+                        client,
+                        at: finish,
+                        resolution: Resolution::Completed,
+                    });
+                }
                 self.waiting.pop_front();
                 self.completed += 1;
                 t = finish;
@@ -142,6 +214,19 @@ impl RequestQueue {
                 t = horizon;
             }
         }
+        let accounted = self.completed + self.shed + self.abandoned + self.waiting.len() as u64;
+        if self.arrived != accounted {
+            return Err(format!(
+                "queue invariant: {} arrived but {accounted} accounted \
+                 (completed {} + shed {} + abandoned {} + queued {})",
+                self.arrived,
+                self.completed,
+                self.shed,
+                self.abandoned,
+                self.waiting.len()
+            ));
+        }
+        Ok(events)
     }
 }
 
@@ -153,6 +238,7 @@ mod tests {
         Request {
             arrival: Ps::from_ns(at_ns),
             remaining_instrs: instrs,
+            client: None,
         }
     }
 
@@ -167,8 +253,10 @@ mod tests {
             1e9,
             &[req(1_000, 1_000.0)],
             &mut h,
-        );
+        )
+        .unwrap();
         assert_eq!(q.completed(), 1);
+        assert_eq!(q.arrived(), 1);
         assert_eq!(h.count(), 1);
         let (lo, hi) = Histogram::bucket_bounds(Ps::from_us(1).as_ps());
         let p = h.percentile(0.5);
@@ -181,7 +269,8 @@ mod tests {
         let mut h = Histogram::new();
         // Two simultaneous arrivals: the second waits for the first.
         let arrivals = [req(0, 1_000.0), req(0, 1_000.0)];
-        q.advance(Ps::ZERO, Ps::from_us(10), 1e9, &arrivals, &mut h);
+        q.advance(Ps::ZERO, Ps::from_us(10), 1e9, &arrivals, &mut h)
+            .unwrap();
         assert_eq!(q.completed(), 2);
         // Sojourns are 1 µs and 2 µs; mean 1.5 µs (exact, sum is unbucketed).
         let mean_us = h.mean() / 1e6;
@@ -193,11 +282,13 @@ mod tests {
         let mut q = RequestQueue::new(16);
         let mut h = Histogram::new();
         // 10 µs of work arrives at 0; the first window is 4 µs long.
-        q.advance(Ps::ZERO, Ps::from_us(4), 1e9, &[req(0, 10_000.0)], &mut h);
+        q.advance(Ps::ZERO, Ps::from_us(4), 1e9, &[req(0, 10_000.0)], &mut h)
+            .unwrap();
         assert_eq!(q.completed(), 0);
         assert_eq!(q.depth(), 1);
         // Second window at double speed: 6000 instrs left → 3 µs more.
-        q.advance(Ps::from_us(4), Ps::from_us(20), 2e9, &[], &mut h);
+        q.advance(Ps::from_us(4), Ps::from_us(20), 2e9, &[], &mut h)
+            .unwrap();
         assert_eq!(q.completed(), 1);
         let (lo, hi) = Histogram::bucket_bounds(Ps::from_us(7).as_ps());
         let p = h.percentile(0.5);
@@ -210,23 +301,70 @@ mod tests {
         let mut h = Histogram::new();
         // Stalled server: all four arrive while nothing drains.
         let arrivals: Vec<Request> = (0..4).map(|i| req(i, 100.0)).collect();
-        q.advance(Ps::ZERO, Ps::from_us(1), 0.0, &arrivals, &mut h);
+        q.advance(Ps::ZERO, Ps::from_us(1), 0.0, &arrivals, &mut h)
+            .unwrap();
         assert_eq!(q.depth(), 2);
         assert_eq!(q.shed(), 2);
         assert_eq!(q.completed(), 0);
-        assert_eq!(q.abandon_all(), 2);
+        assert_eq!(q.abandon_all().len(), 2);
         assert_eq!(q.depth(), 0);
+        assert_eq!(q.abandoned(), 2);
+        assert_eq!(q.arrived(), 4);
     }
 
     #[test]
-    #[should_panic(expected = "next window")]
-    fn boundary_arrival_is_rejected_in_debug() {
+    fn boundary_arrival_is_rejected_in_release_builds_too() {
         // Regression: an arrival exactly at the window end used to be
         // admitted inside `[from, to)` — the next window (whose generator
         // contract hands it the same request) would then admit it again.
+        // Formerly a debug_assert; now an always-on invariant error.
         let mut q = RequestQueue::new(4);
         let mut h = Histogram::new();
-        q.advance(Ps::ZERO, Ps::from_us(1), 1e9, &[req(1_000, 100.0)], &mut h);
+        let err = q
+            .advance(Ps::ZERO, Ps::from_us(1), 1e9, &[req(1_000, 100.0)], &mut h)
+            .unwrap_err();
+        assert!(err.contains("next window"), "{err}");
+        // The rejected call touched nothing.
+        assert_eq!(q.arrived(), 0);
+        assert_eq!(q.depth(), 0);
+
+        let unordered = [req(500, 100.0), req(100, 100.0)];
+        let err = q
+            .advance(Ps::ZERO, Ps::from_us(1), 1e9, &unordered, &mut h)
+            .unwrap_err();
+        assert!(err.contains("time-ordered"), "{err}");
+    }
+
+    #[test]
+    fn client_tagged_requests_report_terminal_events() {
+        let mut q = RequestQueue::new(2);
+        let mut h = Histogram::new();
+        let tagged = |at_ns: u64, instrs: f64, client: u32| Request {
+            client: Some(client),
+            ..req(at_ns, instrs)
+        };
+        // Clients 0 and 1 fill the queue; client 2 is shed at arrival.
+        let arrivals = [
+            tagged(0, 1_000.0, 0),
+            tagged(0, 1_000.0, 1),
+            tagged(100, 1_000.0, 2),
+        ];
+        let events = q
+            .advance(Ps::ZERO, Ps::from_us(10), 1e9, &arrivals, &mut h)
+            .unwrap();
+        assert_eq!(events.len(), 3);
+        let shed = events
+            .iter()
+            .find(|e| e.resolution == Resolution::Shed)
+            .unwrap();
+        assert_eq!(shed.client, 2);
+        assert_eq!(shed.at, Ps::from_ns(100));
+        let done: Vec<u32> = events
+            .iter()
+            .filter(|e| e.resolution == Resolution::Completed)
+            .map(|e| e.client)
+            .collect();
+        assert_eq!(done, vec![0, 1], "FIFO completion order");
     }
 
     #[test]
@@ -235,7 +373,8 @@ mod tests {
         let mut h = Histogram::new();
         // Two requests far apart; the server idles between them.
         let arrivals = [req(0, 1_000.0), req(50_000, 1_000.0)];
-        q.advance(Ps::ZERO, Ps::from_us(100), 1e9, &arrivals, &mut h);
+        q.advance(Ps::ZERO, Ps::from_us(100), 1e9, &arrivals, &mut h)
+            .unwrap();
         assert_eq!(q.completed(), 2);
         // Both sojourns are exactly the 1 µs service time; the exact mean
         // exposes any accidental inclusion of the idle gap.

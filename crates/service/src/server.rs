@@ -11,7 +11,7 @@
 
 use crate::arrivals::ArrivalGen;
 use crate::config::ServiceServerSpec;
-use crate::queue::{Request, RequestQueue};
+use crate::queue::{ClientEvent, Request, RequestQueue};
 use cluster::{CappedPolicy, ServerDemand, SharedCap, SlaSignal};
 use coscale::{PolicyKind, Runner};
 use simkernel::{stats::Histogram, Ps, SimRng};
@@ -39,6 +39,15 @@ pub struct ServiceServer {
     window: VecDeque<Histogram>,
     window_rounds: usize,
     violation_rounds: u64,
+    // Closed-loop state (absent in open-loop mode). The fleet runs on a
+    // global clock; this server's engine started `clock_offset` after it
+    // (zero for the initial fleet, the join time for churn joiners), so
+    // requests arrive with `global - offset` stamps and events leave with
+    // `local + offset` stamps.
+    closed_loop: bool,
+    clock_offset: Ps,
+    pending: Vec<Request>,
+    events: Vec<ClientEvent>,
 }
 
 impl ServiceServer {
@@ -70,7 +79,42 @@ impl ServiceServer {
             window: VecDeque::new(),
             window_rounds: window_rounds.max(1),
             violation_rounds: 0,
+            closed_loop: false,
+            clock_offset: Ps::ZERO,
+            pending: Vec::new(),
+            events: Vec::new(),
         }
+    }
+
+    /// Switches the server to closed-loop serving: arrivals come from
+    /// [`ServiceServer::assign_requests`] instead of the spec's arrival
+    /// process, stamped on the fleet-global clock that reads `offset` at
+    /// this server's engine time zero.
+    pub fn set_closed_loop(&mut self, offset: Ps) {
+        self.closed_loop = true;
+        self.clock_offset = offset;
+    }
+
+    /// Hands the server its balanced share of a round's request batch
+    /// (fleet-global arrival stamps, already time-ordered).
+    pub fn assign_requests(&mut self, reqs: impl IntoIterator<Item = Request>) {
+        self.pending.extend(reqs.into_iter().map(|r| Request {
+            arrival: r.arrival - self.clock_offset,
+            ..r
+        }));
+    }
+
+    /// Drains the terminal events of the last round's client-tagged
+    /// requests, stamped back onto the fleet-global clock.
+    pub fn take_events(&mut self) -> Vec<ClientEvent> {
+        let offset = self.clock_offset;
+        self.events
+            .drain(..)
+            .map(|e| ClientEvent {
+                at: e.at + offset,
+                ..e
+            })
+            .collect()
     }
 
     /// Assigns the cap for the coming round.
@@ -102,18 +146,28 @@ impl ServiceServer {
         } else {
             0.0
         };
-        // Requests that arrived during the window, with their sizes.
-        let reqs: Vec<Request> = self
-            .arrivals
-            .arrivals_until(t1)
-            .into_iter()
-            .map(|arrival| Request {
-                arrival,
-                remaining_instrs: self.mean_request_instrs * (0.5 + self.size_rng.f64()),
-            })
-            .collect();
+        // Requests that arrived during the window, with their sizes: the
+        // balanced batch in closed-loop mode, the spec's arrival process
+        // otherwise.
+        let reqs: Vec<Request> = if self.closed_loop {
+            std::mem::take(&mut self.pending)
+        } else {
+            self.arrivals
+                .arrivals_until(t1)
+                .into_iter()
+                .map(|arrival| Request {
+                    arrival,
+                    remaining_instrs: self.mean_request_instrs * (0.5 + self.size_rng.f64()),
+                    client: None,
+                })
+                .collect()
+        };
         let mut round_hist = Histogram::new();
-        self.queue.advance(t0, t1, rate_ips, &reqs, &mut round_hist);
+        let events = self
+            .queue
+            .advance(t0, t1, rate_ips, &reqs, &mut round_hist)
+            .unwrap_or_else(|e| panic!("server {}: {e}", self.name));
+        self.events.extend(events);
         self.cum_hist.merge(&round_hist);
         self.window.push_back(round_hist);
         while self.window.len() > self.window_rounds {
@@ -180,6 +234,11 @@ impl ServiceServer {
         &self.cum_hist
     }
 
+    /// Requests handed to the server so far (admitted or shed).
+    pub fn arrived(&self) -> u64 {
+        self.queue.arrived()
+    }
+
     /// Requests completed so far.
     pub fn completed(&self) -> u64 {
         self.queue.completed()
@@ -224,9 +283,24 @@ impl ServiceServer {
         self.runner.system().now()
     }
 
-    /// Abandons everything still queued (the server is leaving the
-    /// fleet), returning the abandoned-request count.
-    pub fn abandon_queue(&mut self) -> u64 {
-        self.queue.abandon_all()
+    /// Requests abandoned in-queue so far.
+    pub fn abandoned(&self) -> u64 {
+        self.queue.abandoned()
+    }
+
+    /// Abandons everything still queued (the server is leaving the fleet,
+    /// or the horizon ended), returning the abandoned requests with their
+    /// arrival stamps converted back to the fleet-global clock so
+    /// closed-loop callers can release the issuing clients.
+    pub fn abandon_queue(&mut self) -> Vec<Request> {
+        let offset = self.clock_offset;
+        self.queue
+            .abandon_all()
+            .into_iter()
+            .map(|r| Request {
+                arrival: r.arrival + offset,
+                ..r
+            })
+            .collect()
     }
 }

@@ -2,9 +2,13 @@
 //! power and latency telemetry → split the budget → serve a coordination
 //! period in parallel), for a fixed horizon.
 
+use crate::clients::ClientPool;
 use crate::config::ServiceConfig;
 use crate::server::ServiceServer;
-use cluster::{split_caps, split_caps_sla, CapSplit, ChurnAction, ServerDemand, SlaSignal};
+use cluster::{
+    split_caps, split_caps_sla, BalancePolicy, CapSplit, ChurnAction, LoadBalancer, ServerDemand,
+    ServerLoad, SlaSignal,
+};
 use simkernel::{stats::Histogram, Ps};
 
 /// One server's final accounting (final fleet members and churn departures
@@ -17,6 +21,8 @@ pub struct ServiceOutcome {
     pub departed: bool,
     /// Engine energy consumed while in the fleet, joules.
     pub energy_j: f64,
+    /// Requests handed to the server (admitted or shed).
+    pub arrived: u64,
     /// Requests completed.
     pub completed: u64,
     /// Requests shed by admission control.
@@ -56,6 +62,25 @@ impl ServiceOutcome {
     }
 }
 
+/// The closed-loop client population's final accounting.
+#[derive(Clone, Debug)]
+pub struct ClientSummary {
+    /// Population size.
+    pub clients: usize,
+    /// The balancing policy the front end ran.
+    pub balance: BalancePolicy,
+    /// Mean think time.
+    pub mean_think: Ps,
+    /// Requests the population issued.
+    pub generated: u64,
+    /// Responses delivered back (completions, sheds, churn abandonments).
+    pub responses: u64,
+    /// Clients thinking (or ready) when the horizon ended.
+    pub thinking_at_end: usize,
+    /// Clients whose request was still in a queue at the horizon.
+    pub waiting_at_end: usize,
+}
+
 /// Everything one serving-fleet simulation produces.
 #[derive(Clone, Debug)]
 pub struct ServiceResult {
@@ -73,6 +98,8 @@ pub struct ServiceResult {
     pub rounds: usize,
     /// Per-round granted caps (ragged: the fleet size may change), watts.
     pub cap_timeline: Vec<Vec<f64>>,
+    /// The client population's accounting, when the run was closed-loop.
+    pub closed_loop: Option<ClientSummary>,
 }
 
 impl ServiceResult {
@@ -128,14 +155,29 @@ impl ServiceResult {
             self.global_cap_w.to_bits(),
             self.rounds
         );
+        if let Some(cl) = &self.closed_loop {
+            let _ = writeln!(
+                s,
+                "closed clients={} balance={} think={} generated={} responses={} \
+                 thinking={} waiting={}",
+                cl.clients,
+                cl.balance,
+                cl.mean_think.as_ps(),
+                cl.generated,
+                cl.responses,
+                cl.thinking_at_end,
+                cl.waiting_at_end,
+            );
+        }
         for o in &self.outcomes {
             let _ = writeln!(
                 s,
-                "{} departed={} energy={:016x} done={} shed={} abandoned={} viol={} \
+                "{} departed={} energy={:016x} arrived={} done={} shed={} abandoned={} viol={} \
                  mean_cap={:016x} n={} p50={} p99={} p999={} now={}",
                 o.name,
                 o.departed,
                 o.energy_j.to_bits(),
+                o.arrived,
                 o.completed,
                 o.shed,
                 o.abandoned,
@@ -181,20 +223,27 @@ impl ServiceSim {
         let servers = config
             .servers
             .iter()
-            .map(|spec| ServiceServer::new(spec, initial, config.sla_window_rounds))
+            .map(|spec| {
+                let mut s = ServiceServer::new(spec, initial, config.sla_window_rounds);
+                if config.closed_loop.is_some() {
+                    s.set_closed_loop(Ps::ZERO);
+                }
+                s
+            })
             .collect();
         ServiceSim { config, servers }
     }
 
     fn outcome(mut server: ServiceServer, departed: bool) -> ServiceOutcome {
-        let abandoned = server.abandon_queue();
+        server.abandon_queue();
         ServiceOutcome {
             name: server.name.clone(),
             departed,
             energy_j: server.energy_j(),
+            arrived: server.arrived(),
             completed: server.completed(),
             shed: server.shed(),
-            abandoned,
+            abandoned: server.abandoned(),
             violation_rounds: server.violation_rounds(),
             rounds_run: server.rounds_run(),
             mean_cap_w: server.mean_cap_w(),
@@ -222,6 +271,20 @@ impl ServiceSim {
         let topology_spec = topology.as_ref().map(|t| t.to_string());
         let mut departures: Vec<ServiceOutcome> = Vec::new();
         let mut cap_timeline: Vec<Vec<f64>> = Vec::new();
+        // Closed-loop machinery: the client population, the front-end
+        // balancer, and the fleet-global clock (round `r` spans
+        // `[r·D, (r+1)·D)` where `D` is the uniform round duration —
+        // validated for the initial fleet, asserted for churn joiners).
+        let closed = self.config.closed_loop.clone();
+        let mut pool = closed.as_ref().map(ClientPool::new);
+        let mut balancer = closed.as_ref().map(|cl| LoadBalancer::new(cl.balance));
+        let round_d = self
+            .config
+            .servers
+            .first()
+            .map(|s| s.config.epoch * self.config.epochs_per_round as u64)
+            .unwrap_or(Ps::ZERO);
+        let global_time = |round: usize| round_d * round as u64;
         for round in 0..self.config.rounds {
             // --- churn: apply fleet changes due at this boundary ---
             for action in churn.drain_due(round) {
@@ -245,15 +308,35 @@ impl ServiceSim {
                                 panic!("churn join {}: {e}", spec.name);
                             }
                         }
-                        self.servers.push(ServiceServer::new(
-                            &spec,
-                            0.0,
-                            self.config.sla_window_rounds,
-                        ));
+                        let mut server =
+                            ServiceServer::new(&spec, 0.0, self.config.sla_window_rounds);
+                        if pool.is_some() {
+                            assert_eq!(
+                                spec.config.epoch * self.config.epochs_per_round as u64,
+                                round_d,
+                                "churn join {}: round duration differs from the fleet's \
+                                 (the closed-loop clock needs uniform rounds)",
+                                spec.name
+                            );
+                            server.set_closed_loop(global_time(round));
+                        }
+                        self.servers.push(server);
                     }
                     ChurnAction::Leave(name) => {
                         if let Some(i) = self.servers.iter().position(|s| s.name == name) {
-                            let server = self.servers.remove(i);
+                            let mut server = self.servers.remove(i);
+                            // Closed loop: the departing server's queued
+                            // requests are lost; their clients learn at
+                            // this barrier and go back to thinking.
+                            let orphans = server.abandon_queue();
+                            if let Some(pool) = pool.as_mut() {
+                                let now = global_time(round);
+                                for r in orphans {
+                                    if let Some(client) = r.client {
+                                        pool.deliver(client, now);
+                                    }
+                                }
+                            }
                             departures.push(Self::outcome(server, true));
                             if let Some(tree) = &mut topology {
                                 tree.remove_server(&name);
@@ -263,6 +346,8 @@ impl ServiceSim {
                 }
             }
             if self.servers.is_empty() {
+                // Degenerate round: no caps, and no requests issued —
+                // ready clients simply wait for the fleet to refill.
                 cap_timeline.push(Vec::new());
                 continue;
             }
@@ -307,6 +392,29 @@ impl ServiceSim {
             for (server, &cap) in self.servers.iter_mut().zip(&caps) {
                 server.set_cap(cap);
             }
+
+            // --- closed loop: issue the round's requests and balance ---
+            if let (Some(pool), Some(balancer)) = (pool.as_mut(), balancer.as_mut()) {
+                let t0 = global_time(round);
+                let batch = pool.issue(t0, t0 + round_d);
+                if !batch.is_empty() {
+                    let loads: Vec<ServerLoad> = self
+                        .servers
+                        .iter()
+                        .zip(&demands)
+                        .zip(&caps)
+                        .map(|((server, demand), &cap_w)| ServerLoad {
+                            demand: *demand,
+                            cap_w,
+                            queue_depth: server.queue_depth(),
+                        })
+                        .collect();
+                    let targets = balancer.assign_batch(batch.len(), &loads);
+                    for (req, &target) in batch.iter().zip(&targets) {
+                        self.servers[target].assign_requests([*req]);
+                    }
+                }
+            }
             cap_timeline.push(caps);
 
             // --- serve one coordination period ---
@@ -327,8 +435,32 @@ impl ServiceSim {
                     }
                 });
             }
+
+            // --- closed loop: deliver the round's responses ---
+            // Fleet order then event order — but each client draws from
+            // its own stream and holds one request at a time, so delivery
+            // order cannot leak into the result.
+            if let Some(pool) = pool.as_mut() {
+                for server in &mut self.servers {
+                    for ev in server.take_events() {
+                        pool.deliver(ev.client, ev.at);
+                    }
+                }
+            }
         }
 
+        let closed_loop = match (&closed, &pool) {
+            (Some(cl), Some(pool)) => Some(ClientSummary {
+                clients: pool.len(),
+                balance: cl.balance,
+                mean_think: cl.mean_think,
+                generated: pool.generated(),
+                responses: pool.responses(),
+                thinking_at_end: pool.thinking(),
+                waiting_at_end: pool.waiting(),
+            }),
+            _ => None,
+        };
         let mut outcomes = departures;
         outcomes.extend(self.servers.into_iter().map(|s| Self::outcome(s, false)));
         ServiceResult {
@@ -338,6 +470,7 @@ impl ServiceSim {
             outcomes,
             rounds: self.config.rounds,
             cap_timeline,
+            closed_loop,
         }
     }
 }

@@ -29,11 +29,13 @@ proptest! {
             let arrivals: Vec<Request> = gen
                 .arrivals_until(to)
                 .into_iter()
-                .map(|arrival| Request { arrival, remaining_instrs: 1_000.0 })
+                .map(|arrival| Request { arrival, remaining_instrs: 1_000.0, client: None })
                 .collect();
             prop_assert!(arrivals.iter().all(|r| r.arrival >= t && r.arrival < to));
             fed += arrivals.len() as u64;
-            q.advance(t, to, rate_ips, &arrivals, &mut hist);
+            let events = q.advance(t, to, rate_ips, &arrivals, &mut hist);
+            prop_assert!(events.is_ok(), "queue invariant: {:?}", events.err());
+            prop_assert!(events.unwrap().is_empty(), "untagged requests emit no events");
             prop_assert_eq!(
                 fed,
                 q.completed() + q.shed() + q.depth() as u64,

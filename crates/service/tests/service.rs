@@ -1,8 +1,10 @@
 //! Integration tests for the serving fleet: thread-count determinism, the
-//! SLA-aware discipline's headline behaviour, and churn.
+//! SLA-aware discipline's headline behaviour, closed-loop balancing, and
+//! churn.
 
 use service::{
-    run_service, ArrivalKind, BudgetTree, CapSplit, ChurnSchedule, ServiceConfig, ServiceServerSpec,
+    run_service, ArrivalKind, BalancePolicy, BudgetTree, CapSplit, ChurnSchedule, ClosedLoopConfig,
+    ServiceConfig, ServiceServerSpec,
 };
 use simkernel::Ps;
 
@@ -191,6 +193,137 @@ fn topology_serve_run_is_deterministic_and_respects_group_shares() {
 
     let d4 = run_service(build(4)).digest();
     assert_eq!(r.digest(), d4, "topology run not thread-deterministic");
+}
+
+/// The `closed-loop-balancing` bench scenario: one big memory-bound server
+/// throttled near its power floor by the uniform split, next to three fast
+/// small servers with watts of slack, serving a closed-loop client
+/// population through a front-end balancer.
+fn balancing_config(balance: BalancePolicy) -> ServiceConfig {
+    let fleet = vec![
+        ServiceServerSpec::small_with_cores("big", "MEM2", 11, 0.0, 8).with_p99_target_s(2e-3),
+        ServiceServerSpec::small("small0", "ILP1", 12, 0.0).with_p99_target_s(2e-3),
+        ServiceServerSpec::small("small1", "ILP2", 13, 0.0).with_p99_target_s(2e-3),
+        ServiceServerSpec::small("small2", "ILP1", 14, 0.0).with_p99_target_s(2e-3),
+    ];
+    ServiceConfig::new(fleet, 200.0, CapSplit::Uniform)
+        .with_rounds(16)
+        .with_closed_loop(
+            ClosedLoopConfig::new(320, Ps::from_us(100), balance)
+                .with_mean_request_instrs(120_000.0),
+        )
+}
+
+/// The PR's acceptance scenario: at the same 200 W budget the
+/// power-headroom balancer meets the fleet's 2 ms p99 target while
+/// round-robin keeps feeding the capped big server a quarter of the
+/// traffic and blows through it. Closed-loop bookkeeping must balance
+/// exactly in both runs: every generated request is completed, shed, or
+/// abandoned in queue, and every client ends the horizon either thinking
+/// or waiting.
+#[test]
+fn headroom_balancer_meets_p99_where_round_robin_saturates() {
+    let rr = run_service(balancing_config(BalancePolicy::RoundRobin));
+    let headroom = run_service(balancing_config(BalancePolicy::PowerHeadroom));
+
+    let target = 2e-3;
+    let rr_p99 = rr.fleet_percentile_s(0.99);
+    let hr_p99 = headroom.fleet_percentile_s(0.99);
+    let big_rr = rr.outcomes.iter().find(|o| o.name == "big").unwrap();
+    assert!(
+        !big_rr.meets_slo(),
+        "round-robin should saturate big: p99 {:.3} ms",
+        big_rr.p99_s() * 1e3
+    );
+    assert!(rr_p99 > target, "round-robin fleet p99 {rr_p99:.4}s");
+    assert!(
+        headroom.all_meet_slo(),
+        "headroom p99s: {:?}",
+        headroom
+            .outcomes
+            .iter()
+            .map(|o| (o.name.clone(), o.p99_s()))
+            .collect::<Vec<_>>()
+    );
+    assert!(
+        hr_p99 < rr_p99,
+        "headroom {hr_p99:.4}s not better than round-robin {rr_p99:.4}s"
+    );
+
+    // The balancer visibly steered load off the capped server.
+    let big_hr = headroom.outcomes.iter().find(|o| o.name == "big").unwrap();
+    assert!(
+        big_hr.arrived * 4 < big_rr.arrived,
+        "headroom big share {} vs round-robin {}",
+        big_hr.arrived,
+        big_rr.arrived
+    );
+
+    // Request + client conservation, end to end.
+    for r in [&rr, &headroom] {
+        let cl = r.closed_loop.as_ref().expect("closed-loop summary");
+        let terminal: u64 = r
+            .outcomes
+            .iter()
+            .map(|o| o.completed + o.shed + o.abandoned)
+            .sum();
+        assert_eq!(cl.generated, terminal, "request conservation");
+        let arrived: u64 = r.outcomes.iter().map(|o| o.arrived).sum();
+        assert_eq!(cl.generated, arrived, "every request reached a server");
+        assert_eq!(
+            cl.thinking_at_end + cl.waiting_at_end,
+            320,
+            "client conservation"
+        );
+        assert_eq!(
+            cl.responses + cl.waiting_at_end as u64,
+            cl.generated,
+            "responses + in-flight = generated"
+        );
+    }
+}
+
+/// Closed-loop serving with balancing *and* churn is bit-identical for any
+/// worker thread count: clients draw think times from per-client streams
+/// and the balancer runs at the round barrier, so delivery order cannot
+/// leak into the result.
+#[test]
+fn closed_loop_run_is_deterministic_across_thread_counts() {
+    let build = |threads: usize| {
+        let fleet = vec![
+            ServiceServerSpec::small("c0", "MID1", 61, 0.0),
+            ServiceServerSpec::small("c1", "MEM1", 62, 0.0),
+        ];
+        let mut churn = ChurnSchedule::new();
+        churn.join(3, ServiceServerSpec::small("late", "ILP1", 63, 0.0));
+        churn.leave(8, "c1");
+        ServiceConfig::new(fleet, 150.0, CapSplit::FastCap)
+            .with_rounds(12)
+            .with_churn(churn)
+            .with_threads(threads)
+            .with_closed_loop(ClosedLoopConfig::new(
+                48,
+                Ps::from_us(200),
+                BalancePolicy::LeastQueue,
+            ))
+    };
+
+    let r1 = run_service(build(1));
+    let d1 = r1.digest();
+    for threads in [2, 4, 8] {
+        let d = run_service(build(threads)).digest();
+        assert_eq!(d1, d, "1 vs {threads} threads");
+    }
+    // Departure orphans were re-delivered: the client population is intact
+    // and every generated request is accounted for.
+    let cl = r1.closed_loop.as_ref().unwrap();
+    assert_eq!(cl.thinking_at_end + cl.waiting_at_end, 48);
+    let terminal: u64 = r1
+        .outcomes
+        .iter()
+        .map(|o| o.completed + o.shed + o.abandoned)
+        .sum();
+    assert_eq!(cl.generated, terminal);
 }
 
 /// A fleet that churns down to empty and back keeps running (degenerate

@@ -34,6 +34,11 @@
 //!   --p99-target MS     p99 SLO in milliseconds (default 1.0)
 //!   --join R:SPEC       server SPEC joins at round R (--serve only)
 //!   --leave R:NAME      server NAME leaves at round R (--serve only)
+//!   --clients N         closed-loop client population instead of open-loop
+//!                       arrivals (--serve only; 0 = open loop, the default)
+//!   --think-ms F        mean client think time in milliseconds (default 0.2)
+//!   --balance NAME      front-end balancer: round-robin|least-queue|
+//!                       power-headroom (default round-robin)
 //! ```
 
 use coscale::PowerCapPolicy;
@@ -126,18 +131,25 @@ struct ClusterArgs {
     seed: u64,
     joins: Vec<String>,
     leaves: Vec<String>,
+    clients: usize,
+    think_ms: f64,
+    balance: BalancePolicy,
 }
 
 fn cluster_usage() -> ! {
     eprintln!(
         "usage: coscale-sim cluster [--servers LIST] [--cap WATTS] [--split NAME] \
          [--topology SPEC] [--threads N] [--serve] [--rounds N] [--rate HZ] \
-         [--p99-target MS] [--seed N] [--join R:SPEC]... [--leave R:NAME]...\n\
+         [--p99-target MS] [--seed N] [--join R:SPEC]... [--leave R:NAME]... \
+         [--clients N] [--think-ms F] [--balance NAME]\n\
          \x20 LIST entries: name=mix[:cores][@rate], e.g. heavy=MEM2:8@230000\n\
          \x20 splits: uniform demand-proportional fastcap sla-aware (sla-aware needs --serve)\n\
          \x20 --topology splits the budget down a tree instead of flat, e.g.\n\
          \x20   dc:uniform[rack:sla-aware[heavy,light0],pod:fastcap[light1,light2]]\n\
-         \x20 --join/--leave change the fleet at round boundaries (--serve only)"
+         \x20 --join/--leave change the fleet at round boundaries (--serve only)\n\
+         \x20 --clients N replaces open-loop arrivals with a closed-loop client\n\
+         \x20   population (--serve only); --balance picks the front-end policy:\n\
+         \x20   round-robin least-queue power-headroom"
     );
     std::process::exit(2);
 }
@@ -209,6 +221,9 @@ fn parse_cluster_args() -> ClusterArgs {
         seed: 11,
         joins: Vec::new(),
         leaves: Vec::new(),
+        clients: 0,
+        think_ms: 0.2,
+        balance: BalancePolicy::RoundRobin,
     };
     let mut it = std::env::args().skip(2);
     while let Some(flag) = it.next() {
@@ -244,12 +259,29 @@ fn parse_cluster_args() -> ClusterArgs {
             "--seed" => a.seed = val("--seed").parse().unwrap_or_else(|_| cluster_usage()),
             "--join" => a.joins.push(val("--join")),
             "--leave" => a.leaves.push(val("--leave")),
+            "--clients" => a.clients = val("--clients").parse().unwrap_or_else(|_| cluster_usage()),
+            "--think-ms" => {
+                a.think_ms = val("--think-ms")
+                    .parse()
+                    .unwrap_or_else(|_| cluster_usage())
+            }
+            "--balance" => {
+                a.balance = val("--balance")
+                    .parse::<BalancePolicy>()
+                    .unwrap_or_else(|e: String| cluster_fail(&e))
+            }
             "--help" | "-h" => cluster_usage(),
             other => cluster_fail(&format!("unknown flag {other}")),
         }
     }
     if !a.serve && (!a.joins.is_empty() || !a.leaves.is_empty()) {
         cluster_fail("--join/--leave require --serve (batch fleets run to completion)");
+    }
+    if !a.serve && a.clients > 0 {
+        cluster_fail("--clients requires --serve (batch fleets take no requests)");
+    }
+    if a.think_ms < 0.0 || !a.think_ms.is_finite() {
+        cluster_fail("--think-ms must be a finite non-negative number");
     }
     if !a.serve && a.split == CapSplit::SlaAware {
         eprintln!(
@@ -345,6 +377,13 @@ fn cluster_serve_main(args: &ClusterArgs) {
         .with_rounds(args.rounds)
         .with_threads(args.threads)
         .with_churn(churn);
+    if args.clients > 0 {
+        cfg = cfg.with_closed_loop(ClosedLoopConfig::new(
+            args.clients,
+            Ps::from_secs_f64(args.think_ms * 1e-3),
+            args.balance,
+        ));
+    }
     cfg.topology = args.topology.clone();
     if let Err(e) = cfg.validate() {
         cluster_fail(&format!("invalid service configuration: {e}"));
@@ -406,6 +445,18 @@ fn cluster_serve_main(args: &ClusterArgs) {
         r.total_shed(),
         r.outcomes.iter().map(|o| o.abandoned).sum::<u64>()
     );
+    if let Some(cl) = &r.closed_loop {
+        println!(
+            "closed loop    : {} clients / {} balancer, {:.3} ms mean think",
+            cl.clients,
+            cl.balance,
+            cl.mean_think.as_secs_f64() * 1e3
+        );
+        println!(
+            "clients at end : {} generated, {} responses; {} thinking, {} waiting",
+            cl.generated, cl.responses, cl.thinking_at_end, cl.waiting_at_end
+        );
+    }
 }
 
 fn cluster_main() {

@@ -18,9 +18,11 @@
 //!   hierarchical fleet → pod → rack budget trees mixing disciplines per
 //!   level.
 //! * [`service`] — the request-serving layer: open-loop Poisson/MMPP
-//!   arrivals, bounded queues with admission control, fluid request
-//!   draining at the engine's measured throughput, and tail-latency SLOs
-//!   driving the SLA-aware cap splitting.
+//!   arrivals or a closed-loop client population (request → response →
+//!   exponential think) routed by a front-end load balancer, bounded
+//!   queues with admission control, fluid request draining at the engine's
+//!   measured throughput, and tail-latency SLOs driving the SLA-aware cap
+//!   splitting.
 //!
 //! # Example
 //!
@@ -48,8 +50,8 @@ pub use workloads;
 /// The most common imports for driving simulations.
 pub mod prelude {
     pub use cluster::{
-        run_cluster, BudgetNode, BudgetTree, CapSplit, ChurnSchedule, ClusterConfig, ClusterResult,
-        ClusterSim, ServerSpec,
+        run_cluster, BalancePolicy, BudgetNode, BudgetTree, CapSplit, ChurnSchedule, ClusterConfig,
+        ClusterResult, ClusterSim, LoadBalancer, ServerLoad, ServerSpec,
     };
     pub use coscale::{
         run_policy, CoScalePolicy, Model, Plan, Policy, PolicyKind, RunResult, Runner, SimConfig,
@@ -57,7 +59,8 @@ pub mod prelude {
     };
     pub use cpusim::{CoreConfig, PipelineMode};
     pub use service::{
-        run_service, ArrivalKind, ServiceConfig, ServiceResult, ServiceServerSpec, ServiceSim,
+        run_service, ArrivalKind, ClientPool, ClosedLoopConfig, ServiceConfig, ServiceResult,
+        ServiceServerSpec, ServiceSim,
     };
     pub use simkernel::{Freq, Ps};
     pub use workloads::{all_mixes, mix, Mix, MixClass};

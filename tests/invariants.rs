@@ -1,0 +1,224 @@
+//! Cross-layer invariant suite: properties that must hold across the
+//! service, cluster, and kernel layers *together* — request conservation
+//! through the closed loop under churn, topology, and balancing; pinned
+//! determinism digests; hierarchical budget bounds at every tree node; and
+//! a Little's-law concurrency bound on the client population.
+
+use cluster::{BudgetTree, ServerDemand, SlaSignal};
+use proptest::prelude::*;
+use service::{
+    run_service, BalancePolicy, CapSplit, ChurnSchedule, ClosedLoopConfig, ServiceConfig,
+    ServiceServerSpec,
+};
+use simkernel::Ps;
+
+/// FNV-1a over the digest text: a stable 64-bit fingerprint that pins the
+/// whole result (energies, caps, queue counters, latency buckets, client
+/// summary) to a golden constant.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A small closed-loop fleet used by the pinned-digest tests.
+fn golden_config(balance: BalancePolicy, threads: usize) -> ServiceConfig {
+    let fleet = vec![
+        ServiceServerSpec::small("g0", "MID1", 71, 0.0).with_p99_target_s(2e-3),
+        ServiceServerSpec::small("g1", "MEM1", 72, 0.0).with_p99_target_s(2e-3),
+    ];
+    ServiceConfig::new(fleet, 120.0, CapSplit::FastCap)
+        .with_rounds(10)
+        .with_threads(threads)
+        .with_closed_loop(ClosedLoopConfig::new(32, Ps::from_us(150), balance))
+}
+
+/// Golden digests: the full result of a closed-loop balanced run is pinned
+/// to a constant, and stays bit-identical at 1, 2, 4, and 8 worker
+/// threads. If an intentional change to the simulation shifts these
+/// constants, re-pin them — the test exists to make such shifts loud.
+#[test]
+fn closed_loop_digests_are_pinned_across_thread_counts() {
+    const GOLDEN_RR: u64 = 15891606353102054917;
+    const GOLDEN_HEADROOM: u64 = 11847957108660972150;
+    for (balance, golden) in [
+        (BalancePolicy::RoundRobin, GOLDEN_RR),
+        (BalancePolicy::PowerHeadroom, GOLDEN_HEADROOM),
+    ] {
+        let d1 = run_service(golden_config(balance, 1)).digest();
+        for threads in [2, 4, 8] {
+            let d = run_service(golden_config(balance, threads)).digest();
+            assert_eq!(d1, d, "[{balance}] 1 vs {threads} threads");
+        }
+        assert_eq!(
+            fnv1a(d1.as_bytes()),
+            golden,
+            "[{balance}] digest drifted from the pinned constant:\n{d1}"
+        );
+    }
+}
+
+/// Little's law on the closed loop: with zero think time and one server,
+/// the client population is a hard bound on concurrency — at most
+/// `clients` requests are ever in the system, so the completed requests'
+/// total sojourn time cannot exceed `clients x horizon`, and a saturated
+/// server should keep mean concurrency near that ceiling.
+#[test]
+fn zero_think_population_bounds_concurrency() {
+    let clients = 24;
+    let rounds = 12;
+    let fleet = vec![ServiceServerSpec::small("solo", "MID1", 81, 0.0)];
+    let cfg = ServiceConfig::new(fleet, 50.0, CapSplit::Uniform)
+        .with_rounds(rounds)
+        .with_closed_loop(
+            ClosedLoopConfig::new(clients, Ps::ZERO, BalancePolicy::RoundRobin)
+                .with_mean_request_instrs(150_000.0),
+        );
+    let r = run_service(cfg);
+    let cl = r.closed_loop.as_ref().unwrap();
+    let solo = &r.outcomes[0];
+
+    // The population caps in-flight requests and per-round arrivals.
+    assert!(cl.waiting_at_end <= clients);
+    assert_eq!(cl.thinking_at_end + cl.waiting_at_end, clients);
+    assert!(solo.arrived <= (clients * rounds) as u64);
+
+    // L = lambda * W: total sojourn time of completed requests never
+    // exceeds population x horizon (the histogram's mean is exact).
+    let horizon_s = 1e-3 * rounds as f64; // 250 µs epochs, 4 per round
+    let hist = r.fleet_hist();
+    let sojourn_integral_s = hist.mean() * 1e-12 * hist.count() as f64;
+    assert!(
+        sojourn_integral_s <= clients as f64 * horizon_s + 1e-9,
+        "sojourn integral {sojourn_integral_s:.4}s exceeds {clients} clients x {horizon_s:.4}s"
+    );
+    // Zero think on a throttled server keeps the loop busy: mean
+    // concurrency stays at a healthy fraction of the population.
+    assert!(
+        sojourn_integral_s >= 0.25 * clients as f64 * horizon_s,
+        "mean concurrency {:.2} of {clients} — server not saturated?",
+        sojourn_integral_s / horizon_s
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Fleet-wide request conservation through the closed loop, whatever
+    /// the seed, population, think time, balancer, split, churn, and
+    /// topology: every generated request ends exactly one of completed,
+    /// shed, or abandoned-in-queue; every arrived request was generated;
+    /// and every client ends the horizon either thinking or waiting.
+    #[test]
+    fn fleet_conserves_requests_under_churn_topology_and_balancing(
+        seed in any::<u64>(),
+        clients in 8usize..40,
+        think_us in 0u64..400,
+        policy in 0u8..3,
+        split in 0u8..3,
+        rounds in 6usize..10,
+        churn in any::<bool>(),
+        topo in any::<bool>(),
+    ) {
+        let balance = [
+            BalancePolicy::RoundRobin,
+            BalancePolicy::LeastQueue,
+            BalancePolicy::PowerHeadroom,
+        ][policy as usize];
+        let split = [CapSplit::Uniform, CapSplit::FastCap, CapSplit::SlaAware][split as usize];
+        let fleet = vec![
+            ServiceServerSpec::small("s0", "MID1", seed ^ 1, 0.0).with_p99_target_s(2e-3),
+            ServiceServerSpec::small("s1", "ILP1", seed ^ 2, 0.0).with_p99_target_s(2e-3),
+            ServiceServerSpec::small("s2", "MEM1", seed ^ 3, 0.0).with_p99_target_s(2e-3),
+        ];
+        let mut cfg = ServiceConfig::new(fleet, 140.0, split)
+            .with_rounds(rounds)
+            .with_threads(4)
+            .with_closed_loop(
+                ClosedLoopConfig::new(clients, Ps::from_us(think_us), balance).with_seed(seed),
+            );
+        if churn {
+            let mut sched = ChurnSchedule::new();
+            sched.join(2, ServiceServerSpec::small("late", "ILP2", seed ^ 4, 0.0)
+                .with_p99_target_s(2e-3));
+            sched.leave(rounds - 2, "s1");
+            cfg = cfg.with_churn(sched);
+        }
+        if topo {
+            let tree = BudgetTree::parse("f:uniform[a:fastcap[s0,s1],b:sla-aware[s2]]").unwrap();
+            cfg = cfg.with_topology(tree);
+        }
+        let r = run_service(cfg);
+        let cl = r.closed_loop.as_ref().unwrap();
+
+        let terminal: u64 = r.outcomes.iter().map(|o| o.completed + o.shed + o.abandoned).sum();
+        prop_assert_eq!(cl.generated, terminal, "generated != completed + shed + abandoned");
+        let arrived: u64 = r.outcomes.iter().map(|o| o.arrived).sum();
+        prop_assert_eq!(cl.generated, arrived, "a generated request never reached a server");
+        prop_assert_eq!(
+            cl.thinking_at_end + cl.waiting_at_end, clients,
+            "a client is neither thinking nor waiting"
+        );
+        prop_assert_eq!(
+            cl.responses + cl.waiting_at_end as u64, cl.generated,
+            "responses + in-flight != generated"
+        );
+        // The fleet histogram carries exactly the completed requests.
+        prop_assert_eq!(r.fleet_hist().count(), r.total_completed());
+    }
+
+    /// Hierarchical budget safety at every node: for any demands, signals,
+    /// budget, and any tree over the fleet, `split_trace` reports group
+    /// shares where (a) the root is granted exactly the global budget,
+    /// (b) each group's leaf caps sum to no more than the group's own
+    /// budget, and (c) the resulting caps agree with `split`.
+    #[test]
+    fn budget_tree_groups_never_exceed_their_node_budget(
+        global_cap_w in 40.0f64..400.0,
+        raw in prop::collection::vec((20.0f64..120.0, 0.05f64..0.6, 0.0f64..5e-3), 6),
+        quantum in 0.5f64..4.0,
+        shape in 0u8..3,
+    ) {
+        let names = ["s0", "s1", "s2", "s3", "s4", "s5"];
+        let demands: Vec<ServerDemand> = raw
+            .iter()
+            .map(|&(demand_w, floor_frac, _)| ServerDemand {
+                demand_w,
+                min_w: demand_w * floor_frac,
+                active: true,
+            })
+            .collect();
+        let sla: Vec<SlaSignal> = raw
+            .iter()
+            .map(|&(_, _, p99_s)| SlaSignal { p99_s, target_s: 1e-3 })
+            .collect();
+        let spec = [
+            "f:uniform[a:fastcap[s0,s1,s2],b:sla-aware[s3,s4,s5]]",
+            "f:demand[a:uniform[s0,s1],b:fastcap[s2,s3],c:sla[s4,s5]]",
+            "f:fastcap[a:sla-aware[s0,s1,s2,s3],b:demand-proportional[s4,s5]]",
+        ][shape as usize];
+        let tree = BudgetTree::parse(spec).unwrap();
+
+        let (caps, groups) = tree.split_trace(global_cap_w, &names, &demands, Some(&sla), quantum);
+        let plain = tree.split(global_cap_w, &names, &demands, Some(&sla), quantum);
+        prop_assert_eq!(caps.clone(), plain, "split_trace disagrees with split");
+
+        let index = |n: &str| names.iter().position(|m| *m == n).unwrap();
+        prop_assert!(!groups.is_empty());
+        // Pre-order: the first share is the root, granted the full budget.
+        prop_assert_eq!(groups[0].leaves.len(), 6, "root covers the whole fleet");
+        prop_assert!((groups[0].budget_w - global_cap_w).abs() < 1e-9);
+        for g in &groups {
+            let granted: f64 = g.leaves.iter().map(|n| caps[index(n)]).sum();
+            prop_assert!(
+                granted <= g.budget_w + 1e-6,
+                "group {} granted {granted:.3} W over its {:.3} W budget", g.label, g.budget_w
+            );
+        }
+        let total: f64 = caps.iter().sum();
+        prop_assert!(total <= global_cap_w + 1e-6, "fleet over the global budget");
+    }
+}
