@@ -1199,6 +1199,126 @@ pub fn closed_loop_balancing(ctx: &mut Ctx) {
     ctx.emit(&t, "closed_loop_balancing.tsv");
 }
 
+/// The event-driven coordinator at datacenter scale: a mostly-idle
+/// synthetic fleet (90% of the servers finish their short workloads early
+/// and quiesce) run to completion under both fleet engines. Three rows per
+/// fleet size:
+///
+/// * `round` — the reference loop, re-splitting the full budget over every
+///   server every round, finished or not.
+/// * `event` — the wake queue at a zero dead-band: quiesced servers drop
+///   out of the barrier and flat splits run over the compacted active set.
+///   Required to be **bit-identical** to the reference (digest equality).
+/// * `event +db` — the same engine with a 5 W telemetry dead-band, so the
+///   cap cache replays the previous split while no server's demand moved
+///   more than that. Replayed caps can lag a little, but the budget here
+///   leaves every server ample headroom, so caps never bind and the
+///   *physics* — per-server makespans, energies, violation counts — are
+///   required to stay identical; only the bookkept mean cap may drift.
+///
+/// The headline is the last row's speedup: with coordination (not cycle
+/// simulation) dominating a mostly-idle fleet's round cost, skipping the
+/// re-split is worth well over 5x at a thousand servers.
+pub fn fleet_scale(ctx: &mut Ctx) {
+    use cluster::{run_cluster, synthetic_fleet, CapSplit, ClusterConfig, EngineKind};
+    use std::time::Instant;
+
+    let sizes: &[usize] = if ctx.opts.quick {
+        &[64, 256]
+    } else {
+        &[256, 1024]
+    };
+    let idle_fraction = 0.9;
+    let mut t = Table::new(
+        "Fleet scale — event vs round engine, 90% idle fleet, FastCap split (20 mW quanta)",
+        &[
+            "servers",
+            "engine",
+            "wall (s)",
+            "speedup",
+            "energy (J)",
+            "rounds",
+            "equivalence",
+        ],
+    );
+    for &n in sizes {
+        let config = |engine: EngineKind, dead_band_w: f64| {
+            let mut c = ClusterConfig::new(
+                synthetic_fleet(n, idle_fraction),
+                100.0 * n as f64,
+                CapSplit::FastCap,
+            )
+            .with_epochs_per_round(1)
+            .with_threads(8)
+            .with_engine(engine)
+            .with_dead_band(dead_band_w);
+            c.quantum_w = 0.02;
+            c
+        };
+        let runs = [
+            ("round", EngineKind::Round, 0.0),
+            ("event", EngineKind::Event, 0.0),
+            ("event +db", EngineKind::Event, 5.0),
+        ];
+        let mut reference: Option<cluster::ClusterResult> = None;
+        let mut base_wall = 0.0_f64;
+        for (label, engine, dead_band_w) in runs {
+            eprintln!("  running fleet-scale [{n} servers, {label}] ...");
+            let start = Instant::now();
+            let r = run_cluster(config(engine, dead_band_w));
+            let wall = start.elapsed().as_secs_f64();
+            let (speedup, equivalence) = match &reference {
+                None => {
+                    base_wall = wall;
+                    ("1.00x".to_string(), "reference".to_string())
+                }
+                Some(base) => {
+                    let eq = if dead_band_w == 0.0 {
+                        assert_eq!(
+                            base.digest(),
+                            r.digest(),
+                            "fleet-scale digests diverged at {n} servers"
+                        );
+                        "digest match"
+                    } else {
+                        for (a, b) in base.outcomes.iter().zip(&r.outcomes) {
+                            assert_eq!(
+                                (a.name.as_str(), a.result.makespan, a.violation_rounds),
+                                (b.name.as_str(), b.result.makespan, b.violation_rounds),
+                                "dead-band run changed the physics at {n} servers"
+                            );
+                            assert_eq!(
+                                a.result.total_energy_j().to_bits(),
+                                b.result.total_energy_j().to_bits(),
+                                "dead-band run changed {}'s energy at {n} servers",
+                                a.name
+                            );
+                        }
+                        "physics match"
+                    };
+                    (
+                        format!("{:.2}x", base_wall / wall.max(1e-9)),
+                        eq.to_string(),
+                    )
+                }
+            };
+            t.row(vec![
+                format!("{n}"),
+                label.to_string(),
+                format!("{wall:.2}"),
+                speedup,
+                format!("{:.2}", r.total_energy_j()),
+                format!("{}", r.rounds),
+                equivalence,
+            ]);
+            if reference.is_none() {
+                reference = Some(r);
+            }
+        }
+    }
+    ctx.emit(&t, "fleet_scale.tsv");
+}
+
 /// Runs every experiment in paper order.
 pub fn all(ctx: &mut Ctx) {
     table1(ctx);
@@ -1223,4 +1343,5 @@ pub fn all(ctx: &mut Ctx) {
     service_sla(ctx);
     hierarchical_capping(ctx);
     closed_loop_balancing(ctx);
+    fleet_scale(ctx);
 }

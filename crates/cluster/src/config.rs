@@ -1,8 +1,10 @@
 //! Cluster-level configuration: the server fleet, the global power budget,
 //! and how the coordinator splits it.
 
+use crate::engine::EngineKind;
 use crate::tree::BudgetTree;
 use coscale::SimConfig;
+use simkernel::Ps;
 
 /// How the coordinator divides the global budget into per-server caps.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -56,6 +58,9 @@ pub enum ChurnAction<S> {
 pub struct ChurnEvent<S> {
     /// The coordination round at whose start the action applies.
     pub round: usize,
+    /// The server the action concerns (a joiner's spec name, a leaver's
+    /// fleet name). Used to reject ambiguous same-barrier schedules.
+    pub name: String,
     /// The action.
     pub action: ChurnAction<S>,
 }
@@ -63,6 +68,14 @@ pub struct ChurnEvent<S> {
 /// An ordered list of fleet changes. The coordinator drains the events due
 /// at each round boundary; the generic parameter is the server-description
 /// type of whichever simulation layer consumes the schedule.
+///
+/// Ordering is explicit: events sort by round (stably), and events sharing
+/// a round apply in **insertion order**. What a schedule refuses to hold is
+/// two events for the *same server at the same round* — a join and a leave
+/// of one id at one barrier has no defensible meaning (did the server serve
+/// that round or not?), and the old behavior of silently keeping both left
+/// the answer to insertion-order luck. [`ChurnSchedule::join`] and
+/// [`ChurnSchedule::leave`] report the conflict instead.
 #[derive(Clone, Debug, Default)]
 pub struct ChurnSchedule<S> {
     events: Vec<ChurnEvent<S>>,
@@ -76,27 +89,67 @@ impl<S> ChurnSchedule<S> {
 
     /// Builds a schedule from events, ordering them by round (stable, so
     /// same-round events apply in insertion order).
-    pub fn from_events(mut events: Vec<ChurnEvent<S>>) -> Self {
-        events.sort_by_key(|e| e.round);
-        ChurnSchedule { events }
+    ///
+    /// # Errors
+    ///
+    /// Rejects two events for the same server at the same round.
+    pub fn from_events(events: Vec<ChurnEvent<S>>) -> Result<Self, String> {
+        let mut sched = ChurnSchedule::new();
+        for e in events {
+            sched.insert(e)?;
+        }
+        Ok(sched)
     }
 
-    /// Adds a join at the given round boundary.
-    pub fn join(&mut self, round: usize, server: S) {
-        self.events.push(ChurnEvent {
+    /// Adds a join at the given round boundary. `name` is the joining
+    /// server's id (the name its spec will carry in the fleet).
+    ///
+    /// # Errors
+    ///
+    /// Rejects a second event for the same server at the same round.
+    pub fn join(&mut self, round: usize, name: &str, server: S) -> Result<(), String> {
+        self.insert(ChurnEvent {
             round,
+            name: name.to_string(),
             action: ChurnAction::Join(server),
-        });
-        self.events.sort_by_key(|e| e.round);
+        })
     }
 
     /// Adds a departure at the given round boundary.
-    pub fn leave(&mut self, round: usize, name: &str) {
-        self.events.push(ChurnEvent {
+    ///
+    /// # Errors
+    ///
+    /// Rejects a second event for the same server at the same round.
+    pub fn leave(&mut self, round: usize, name: &str) -> Result<(), String> {
+        self.insert(ChurnEvent {
             round,
+            name: name.to_string(),
             action: ChurnAction::Leave(name.to_string()),
-        });
+        })
+    }
+
+    fn insert(&mut self, event: ChurnEvent<S>) -> Result<(), String> {
+        let describe = |a: &ChurnAction<S>| match a {
+            ChurnAction::Join(_) => "join",
+            ChurnAction::Leave(_) => "leave",
+        };
+        if let Some(prev) = self
+            .events
+            .iter()
+            .find(|e| e.round == event.round && e.name == event.name)
+        {
+            return Err(format!(
+                "churn: server '{}' already has a {} at round {} — a second {} at the same \
+                 barrier is ambiguous; schedule it at a different round",
+                event.name,
+                describe(&prev.action),
+                event.round,
+                describe(&event.action),
+            ));
+        }
+        self.events.push(event);
         self.events.sort_by_key(|e| e.round);
+        Ok(())
     }
 
     /// Whether any events remain.
@@ -164,6 +217,54 @@ impl ServerSpec {
     }
 }
 
+/// Builds a large fleet for scale experiments: `n` servers, of which the
+/// first `ceil(n * idle_fraction)` are near-idle (tiny CPU-bound workloads
+/// that finish after a handful of rounds and then sit quiesced) and the rest
+/// run a long-lived workload, so the fleet spends most of its coordination
+/// rounds with only the `1 − idle_fraction` tail awake. Seeds derive from
+/// the index so no two servers are clones.
+///
+/// # Panics
+///
+/// Panics if `idle_fraction` is not in `[0, 1]`.
+pub fn synthetic_fleet(n: usize, idle_fraction: f64) -> Vec<ServerSpec> {
+    assert!(
+        (0.0..=1.0).contains(&idle_fraction),
+        "idle_fraction {idle_fraction} must be in [0, 1]"
+    );
+    #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+    let n_idle = ((n as f64) * idle_fraction).ceil() as usize;
+    (0..n)
+        .map(|i| {
+            let mut spec = ServerSpec::small(&format!("s{i:04}"), "MID1", 1 + i as u64);
+            // The test default keeps Table 2's 16 MiB L2; at a thousand
+            // servers that is gigabytes of tag arrays and construction
+            // drowns in page faults. Scale-fleet servers model a 1 MiB L2.
+            spec.config.cache.size_bytes = 1024 * 1024;
+            // Coordination-scale regime: small nodes (2 cores, a coarse
+            // 4-step DVFS grid) on epochs an order of magnitude shorter
+            // than the test default, so a round's cost is dominated by the
+            // coordinator (telemetry, cap splitting) rather than by cycle
+            // simulation — the regime a 1000-server fleet actually runs
+            // in, where each server does little work between barriers.
+            spec.config.cores = 2;
+            spec.config.core_freqs = SimConfig::core_grid_with_steps(4);
+            spec.config.epoch = Ps::from_us(10);
+            spec.config.profile_window = Ps::from_us(1);
+            spec.config.core_transition = Ps::from_us(1);
+            spec.config.max_epochs = 2000;
+            spec.config.target_instrs = 1_000_000;
+            if i < n_idle {
+                // An idle server: a workload so small it completes within
+                // the first coordination rounds, after which the server is
+                // quiesced and should cost the coordinator nothing.
+                spec.config.target_instrs /= 200;
+            }
+            spec
+        })
+        .collect()
+}
+
 /// Configuration of one cluster simulation.
 #[derive(Clone, Debug)]
 pub struct ClusterConfig {
@@ -189,6 +290,19 @@ pub struct ClusterConfig {
     pub threads: usize,
     /// FastCap grant granularity, watts per quantum.
     pub quantum_w: f64,
+    /// Which coordination engine drives the fleet: the legacy round-barrier
+    /// reference loop, or the event-driven wake-queue engine. Both produce
+    /// identical digests (see `tests/engine_equivalence.rs`); the event
+    /// engine is the one that scales to 1000-server fleets.
+    pub engine: EngineKind,
+    /// Telemetry dead-band for the event engine's incremental re-split,
+    /// watts. A server whose demand moved by no more than this since the
+    /// last split is not considered dirty, and if no server is dirty the
+    /// cached caps are replayed instead of recomputed. `0.0` (the default)
+    /// means "dirty iff the bits changed", which keeps the event engine
+    /// bit-identical to the round engine; positive values trade fidelity
+    /// for fewer re-splits. Ignored by the round engine.
+    pub dead_band_w: f64,
 }
 
 impl ClusterConfig {
@@ -204,7 +318,24 @@ impl ClusterConfig {
             epochs_per_round: 5,
             threads: 1,
             quantum_w: 1.0,
+            engine: EngineKind::Round,
+            dead_band_w: 0.0,
         }
+    }
+
+    /// Selects the coordination engine (see [`EngineKind`]).
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineKind) -> ClusterConfig {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the event engine's telemetry dead-band in watts (see the
+    /// `dead_band_w` field).
+    #[must_use]
+    pub fn with_dead_band(mut self, dead_band_w: f64) -> ClusterConfig {
+        self.dead_band_w = dead_band_w;
+        self
     }
 
     /// Sets the worker thread count.
@@ -249,6 +380,12 @@ impl ClusterConfig {
         if self.quantum_w.is_nan() || self.quantum_w <= 0.0 {
             return Err(format!("quantum {} must be positive", self.quantum_w));
         }
+        if self.dead_band_w.is_nan() || self.dead_band_w < 0.0 {
+            return Err(format!(
+                "dead band {} must be finite and non-negative",
+                self.dead_band_w
+            ));
+        }
         for s in &self.servers {
             s.config
                 .validate()
@@ -291,6 +428,10 @@ mod tests {
         c.threads = 0;
         assert!(c.validate().is_err());
 
+        let mut c = ok.clone();
+        c.dead_band_w = -0.5;
+        assert!(c.validate().is_err());
+
         let mut c = ok;
         c.servers[0].config.gamma = 2.0;
         assert!(c.validate().is_err());
@@ -325,9 +466,9 @@ mod tests {
     #[test]
     fn churn_schedule_drains_in_round_order() {
         let mut sched: ChurnSchedule<&str> = ChurnSchedule::new();
-        sched.leave(5, "a");
-        sched.join(2, "b");
-        sched.join(5, "c");
+        sched.leave(5, "a").unwrap();
+        sched.join(2, "b", "b").unwrap();
+        sched.join(5, "c", "c").unwrap();
         assert_eq!(sched.remaining(), 3);
 
         assert!(sched.drain_due(1).is_empty());
@@ -341,5 +482,50 @@ mod tests {
         assert!(matches!(due[0], ChurnAction::Leave(ref n) if n == "a"));
         assert!(matches!(due[1], ChurnAction::Join("c")));
         assert!(sched.is_empty());
+    }
+
+    #[test]
+    fn churn_schedule_rejects_same_round_duplicates() {
+        // Regression: a join and a leave of the same server id at the same
+        // round barrier used to be silently accepted, leaving whether the
+        // server served that round to insertion-order luck.
+        let mut sched: ChurnSchedule<&str> = ChurnSchedule::new();
+        sched.join(3, "s0", "s0").unwrap();
+        let err = sched.leave(3, "s0").unwrap_err();
+        assert!(err.contains("s0") && err.contains("round 3"), "{err}");
+
+        // The opposite insertion order is just as ambiguous.
+        let mut sched: ChurnSchedule<&str> = ChurnSchedule::new();
+        sched.leave(3, "s0").unwrap();
+        assert!(sched.join(3, "s0", "s0").is_err());
+
+        // Double joins and double leaves of one id are duplicates too.
+        let mut sched: ChurnSchedule<&str> = ChurnSchedule::new();
+        sched.join(3, "s0", "s0").unwrap();
+        assert!(sched.join(3, "s0", "s0").is_err());
+        let mut sched: ChurnSchedule<&str> = ChurnSchedule::new();
+        sched.leave(3, "s0").unwrap();
+        assert!(sched.leave(3, "s0").is_err());
+
+        // Distinct rounds or distinct servers stay fine, and from_events
+        // applies the same rule.
+        let mut sched: ChurnSchedule<&str> = ChurnSchedule::new();
+        sched.join(3, "s0", "s0").unwrap();
+        sched.leave(4, "s0").unwrap();
+        sched.leave(3, "s1").unwrap();
+        assert_eq!(sched.remaining(), 3);
+        assert!(ChurnSchedule::from_events(vec![
+            ChurnEvent {
+                round: 2,
+                name: "x".into(),
+                action: ChurnAction::Join("x"),
+            },
+            ChurnEvent {
+                round: 2,
+                name: "x".into(),
+                action: ChurnAction::Leave("x".into()),
+            },
+        ])
+        .is_err());
     }
 }

@@ -159,13 +159,30 @@ pub fn split_caps_sla(
         .collect();
     let mut caps = floors(global_cap_w, demands);
     let mut spare = global_cap_w - caps.iter().sum::<f64>();
+    let mut clipped = vec![false; demands.len()];
     // Two passes: violators first, then everyone still below desire.
     for violators_only in [true, false] {
+        // Short-circuit once the unclipped set is empty: when every active
+        // server already sits at its desire (the degenerate all-violators
+        // case saturates them all in the first pass), the leftover
+        // redistribution pass has no one to serve — without this the loop
+        // used to keep scanning servers clipped at demand, burning a
+        // sub-nanowatt grant per iteration until `spare` drained.
+        if demands
+            .iter()
+            .enumerate()
+            .all(|(i, d)| !d.active || clipped[i] || desired[i] - caps[i] <= CLIP_EPS_W)
+        {
+            break;
+        }
         while spare > 1e-9 {
             let q = quantum_w.min(spare);
             let mut best: Option<(usize, f64)> = None;
             for (i, d) in demands.iter().enumerate() {
-                if !d.active || caps[i] >= desired[i] {
+                // Within a clip epsilon of the desire counts as saturated:
+                // granting the remaining sliver cannot change the
+                // allocation but would keep the server in every scan.
+                if !d.active || clipped[i] || desired[i] - caps[i] <= CLIP_EPS_W {
                     continue;
                 }
                 if violators_only && !sla[i].violating() {
@@ -180,8 +197,17 @@ pub fn split_caps_sla(
                 Some((i, _)) => {
                     // Never exceed the desire: the final quantum is clipped.
                     let grant = q.min(desired[i] - caps[i]);
+                    let before = caps[i];
                     caps[i] += grant;
-                    spare -= grant;
+                    if caps[i] == before {
+                        // The grant is below this cap's float resolution;
+                        // no further quantum can land here either. Count
+                        // the server as clipped instead of re-granting it
+                        // nothing forever.
+                        clipped[i] = true;
+                    } else {
+                        spare -= grant;
+                    }
                 }
                 None => break,
             }
@@ -189,6 +215,11 @@ pub fn split_caps_sla(
     }
     caps
 }
+
+/// Watts below which a server counts as clipped at its granting ceiling:
+/// the residual is smaller than the budget-exhaustion threshold, so
+/// spending quanta on it cannot meaningfully move the allocation.
+const CLIP_EPS_W: f64 = 1e-9;
 
 /// Per-server power floors: each active server's all-minimum power, scaled
 /// down proportionally when the budget cannot cover them all.
@@ -246,12 +277,24 @@ fn fastcap_core(
 ) -> Vec<f64> {
     let mut caps = floors(global_cap_w, demands);
     let mut spare = global_cap_w - caps.iter().sum::<f64>();
+    let mut clipped = vec![false; demands.len()];
     // Grant quanta while any server still gains from them.
     while spare > 1e-9 {
         let q = quantum_w.min(spare);
         let mut best: Option<(usize, f64)> = None;
         for (i, d) in demands.iter().enumerate() {
-            if !d.active || caps[i] >= d.demand_w {
+            // The non-parking variant clips grants at demand, so (like the
+            // SLA split) a server within the clip epsilon of demand is
+            // saturated — scanning it forever for sliver grants is the
+            // degenerate loop `split_caps_sla` also guards against. The
+            // parking variant grants whole quanta and may overshoot, so it
+            // keeps the original strict comparison.
+            let saturated = if park_leftover {
+                clipped[i] || caps[i] >= d.demand_w
+            } else {
+                clipped[i] || d.demand_w - caps[i] <= CLIP_EPS_W
+            };
+            if !d.active || saturated {
                 continue;
             }
             let gain = utility_at(d, caps[i] + q) - utility_at(d, caps[i]);
@@ -268,8 +311,15 @@ fn fastcap_core(
                 } else {
                     q.min(demands[i].demand_w - caps[i])
                 };
+                let before = caps[i];
                 caps[i] += grant;
-                spare -= grant;
+                if caps[i] == before {
+                    // Below float resolution at this magnitude: the server
+                    // can never absorb another grant.
+                    clipped[i] = true;
+                } else {
+                    spare -= grant;
+                }
             }
             None => {
                 if park_leftover {
@@ -474,6 +524,55 @@ mod tests {
         // FastCap proper still parks — the two variants genuinely differ.
         let parked = split_caps(CapSplit::FastCap, 500.0, &ds, 1.0);
         assert!(parked.iter().sum::<f64>() > 400.0, "{parked:?}");
+    }
+
+    #[test]
+    fn sla_degenerate_all_violators_short_circuits() {
+        // Every server violating, with deliberately awkward fractional
+        // demands so the final clipped grants leave float residue, and a
+        // budget far above total demand so `spare` stays large after
+        // everyone saturates. The first pass clips the whole fleet at
+        // demand; the leftover pass must then see an empty unclipped set
+        // and stop — the old loop kept scanning the clipped servers,
+        // shaving sub-nanowatt grants off `spare` per iteration.
+        let ds = vec![d(97.3, 24.1), d(55.7, 19.9), d(61.9, 21.3)];
+        let sig = vec![sla(3e-3, 1e-3); 3];
+        for quantum in [0.1, 0.3, 1.0, 7.0] {
+            let caps = split_caps_sla(1e4, &ds, &sig, quantum);
+            // Saturation exactly at demand, nothing parked above it.
+            for (c, dem) in caps.iter().zip(&ds) {
+                assert!(
+                    (c - dem.demand_w).abs() < 1e-9,
+                    "quantum {quantum}: {caps:?}"
+                );
+            }
+            assert!(caps.iter().sum::<f64>() <= 1e4 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn sla_fractional_desires_terminate_and_respect_ceilings() {
+        // Meeting servers get fractional desires (floor + trimmed
+        // headroom), which the quantum clip rounds against. Whatever the
+        // quantum, granting must terminate with every cap at or below its
+        // desire and the budget respected.
+        let ds = vec![d(103.7, 31.9), d(87.3, 22.1), d(64.9, 17.7)];
+        let sig = vec![sla(0.41e-3, 1e-3), sla(0.73e-3, 1e-3), sla(0.97e-3, 1e-3)];
+        for quantum in [0.1, 0.7, 2.3] {
+            for budget in [120.0, 260.0, 5e3] {
+                let caps = split_caps_sla(budget, &ds, &sig, quantum);
+                assert!(
+                    caps.iter().sum::<f64>() <= budget + 1e-6,
+                    "q={quantum} b={budget}: {caps:?}"
+                );
+                for (c, dem) in caps.iter().zip(&ds) {
+                    assert!(
+                        *c <= dem.demand_w + 1e-9,
+                        "q={quantum} b={budget}: {caps:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

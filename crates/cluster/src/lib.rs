@@ -55,13 +55,17 @@
 pub mod balance;
 mod config;
 pub mod coordinator;
+pub mod engine;
 mod server;
 mod sim;
 pub mod tree;
 
 pub use balance::{BalancePolicy, LoadBalancer, ServerLoad};
-pub use config::{CapSplit, ChurnAction, ChurnEvent, ChurnSchedule, ClusterConfig, ServerSpec};
+pub use config::{
+    synthetic_fleet, CapSplit, ChurnAction, ChurnEvent, ChurnSchedule, ClusterConfig, ServerSpec,
+};
 pub use coordinator::{jain_index, split_caps, split_caps_sla, ServerDemand, SlaSignal};
+pub use engine::{split_caps_active, CapCache, EngineKind, FleetEngine, WorkerPool};
 pub use server::{CappedPolicy, Server, ServerStatus, SharedCap};
 pub use sim::{run_cluster, ClusterResult, ClusterSim, ServerOutcome};
 pub use tree::{BudgetNode, BudgetTree, GroupShare};

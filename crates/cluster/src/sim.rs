@@ -1,12 +1,21 @@
 //! The cluster simulation loop: rounds of (collect telemetry → split the
 //! budget → run every server a few epochs in parallel), repeated until
 //! every server's workload completes.
+//!
+//! Two [`FleetEngine`]s drive the loop (selected by
+//! [`ClusterConfig::engine`]): the reference [`RoundEngine`] touches every
+//! server every round on freshly spawned scoped threads; the
+//! [`EventEngine`] runs a wake queue where completed servers never wake
+//! again, steps servers on a persistent [`WorkerPool`], and replays the
+//! previous cap split whenever no server's telemetry moved. Their results
+//! are digest-identical — see `tests/engine_equivalence.rs`.
 
 use crate::coordinator::{jain_index, split_caps, ServerDemand};
+use crate::engine::{split_caps_active, CapCache, EngineKind, FleetEngine, WorkerPool};
 use crate::server::{Server, ServerStatus};
 use crate::{CapSplit, ClusterConfig};
 use coscale::RunResult;
-use simkernel::Ps;
+use simkernel::{EventQueue, Ps};
 
 /// One server's final accounting.
 #[derive(Clone, Debug)]
@@ -182,77 +191,77 @@ impl ClusterSim {
             panic!("invalid cluster config: {e}");
         }
         let initial = config.global_cap_w / config.servers.len() as f64;
-        let servers = config
-            .servers
-            .iter()
-            .map(|spec| Server::new(spec, initial))
-            .collect();
+        // Construction is per-spec independent and allocation-heavy (cache
+        // tag arrays, trace generators), so large fleets build in parallel
+        // on the configured worker count. Order is preserved; results are
+        // identical to serial construction.
+        let servers = if config.threads > 1 && config.servers.len() > 1 {
+            let chunk = config.servers.len().div_ceil(config.threads);
+            let mut built: Vec<Option<Server>> = Vec::new();
+            built.resize_with(config.servers.len(), || None);
+            std::thread::scope(|scope| {
+                for (specs, out) in config.servers.chunks(chunk).zip(built.chunks_mut(chunk)) {
+                    scope.spawn(move || {
+                        for (spec, slot) in specs.iter().zip(out) {
+                            *slot = Some(Server::new(spec, initial));
+                        }
+                    });
+                }
+            });
+            built
+                .into_iter()
+                .map(|s| s.expect("every chunk constructed"))
+                .collect()
+        } else {
+            config
+                .servers
+                .iter()
+                .map(|spec| Server::new(spec, initial))
+                .collect()
+        };
         ClusterSim { config, servers }
     }
 
-    /// Runs rounds until every server completes, then aggregates.
+    /// Runs rounds until every server completes, then aggregates,
+    /// dispatching to the engine named by [`ClusterConfig::engine`].
     ///
     /// Within a round servers are advanced on up to `config.threads`
     /// worker threads. Servers exchange state with the coordinator only at
     /// round barriers, so results are bit-identical for every thread
-    /// count.
-    pub fn run(mut self) -> ClusterResult {
-        let mut cap_timeline: Vec<Vec<f64>> = Vec::new();
-        let mut rounds = 0usize;
-        while self.servers.iter().any(|s| !s.is_done()) {
-            // --- coordinate: telemetry in, caps out ---
-            let statuses: Vec<ServerStatus> = self.servers.iter_mut().map(Server::status).collect();
-            let demands: Vec<ServerDemand> = statuses.iter().map(|s| s.demand).collect();
-            let caps = match &self.config.topology {
-                Some(tree) => {
-                    // Hierarchical: the budget flows down the tree, each
-                    // interior node applying its own discipline. Batch
-                    // runs carry no latency telemetry, so SLA-aware nodes
-                    // use their demand-saturating degrade path.
-                    let names: Vec<&str> = self.servers.iter().map(|s| s.name.as_str()).collect();
-                    tree.split(
-                        self.config.global_cap_w,
-                        &names,
-                        &demands,
-                        None,
-                        self.config.quantum_w,
-                    )
-                }
-                None => split_caps(
-                    self.config.split,
-                    self.config.global_cap_w,
-                    &demands,
-                    self.config.quantum_w,
-                ),
-            };
-            for (server, &cap) in self.servers.iter_mut().zip(&caps) {
-                server.set_cap(cap);
-            }
-            cap_timeline.push(caps);
-
-            // --- advance every server one coordination period ---
-            let epochs = self.config.epochs_per_round;
-            if self.config.threads == 1 {
-                for server in &mut self.servers {
-                    server.step_round(epochs);
-                }
-            } else {
-                let chunk = self.servers.len().div_ceil(self.config.threads);
-                std::thread::scope(|scope| {
-                    for servers in self.servers.chunks_mut(chunk) {
-                        scope.spawn(move || {
-                            for server in servers {
-                                server.step_round(epochs);
-                            }
-                        });
-                    }
-                });
-            }
-            rounds += 1;
+    /// count — and for either engine.
+    pub fn run(self) -> ClusterResult {
+        match self.config.engine {
+            EngineKind::Round => RoundEngine(self).run(),
+            EngineKind::Event => EventEngine(self).run(),
         }
+    }
 
-        let outcomes = self
-            .servers
+    /// One barrier's cap split, shared by both engines. `compact` lets the
+    /// event engine route flat splits through the active-only fast path
+    /// (bit-identical, see [`split_caps_active`]); hierarchical splits
+    /// always walk the full tree, whose aggregation already skips inactive
+    /// leaves.
+    fn compute_caps(config: &ClusterConfig, names: &[&str], demands: &[ServerDemand]) -> Vec<f64> {
+        match &config.topology {
+            Some(tree) => {
+                // Hierarchical: the budget flows down the tree, each
+                // interior node applying its own discipline. Batch
+                // runs carry no latency telemetry, so SLA-aware nodes
+                // use their demand-saturating degrade path.
+                tree.split(config.global_cap_w, names, demands, None, config.quantum_w)
+            }
+            None => split_caps(config.split, config.global_cap_w, demands, config.quantum_w),
+        }
+    }
+
+    /// Final aggregation, shared by both engines.
+    fn finish(
+        config: ClusterConfig,
+        servers: Vec<Server>,
+        rounds: usize,
+        cap_timeline: Vec<Vec<f64>>,
+    ) -> ClusterResult {
+        let outcomes = servers
             .into_iter()
             .map(|server| {
                 let name = server.name.clone();
@@ -271,13 +280,218 @@ impl ClusterSim {
             })
             .collect();
         ClusterResult {
-            split: self.config.split,
-            topology: self.config.topology.as_ref().map(|t| t.to_string()),
-            global_cap_w: self.config.global_cap_w,
+            split: config.split,
+            topology: config.topology.as_ref().map(|t| t.to_string()),
+            global_cap_w: config.global_cap_w,
             outcomes,
             rounds,
             cap_timeline,
         }
+    }
+}
+
+/// The reference engine: the original round loop, every round touching
+/// every server (done servers report inactive telemetry and no-op their
+/// step), workers spawned as scoped threads afresh per round.
+pub struct RoundEngine(pub ClusterSim);
+
+impl FleetEngine for RoundEngine {
+    type Output = ClusterResult;
+
+    fn kind(&self) -> EngineKind {
+        EngineKind::Round
+    }
+
+    fn run(self) -> ClusterResult {
+        let ClusterSim {
+            config,
+            mut servers,
+        } = self.0;
+        let mut cap_timeline: Vec<Vec<f64>> = Vec::new();
+        let mut rounds = 0usize;
+        while servers.iter().any(|s| !s.is_done()) {
+            // --- coordinate: telemetry in, caps out ---
+            let statuses: Vec<ServerStatus> = servers.iter_mut().map(Server::status).collect();
+            let demands: Vec<ServerDemand> = statuses.iter().map(|s| s.demand).collect();
+            let names: Vec<&str> = servers.iter().map(|s| s.name.as_str()).collect();
+            let caps = ClusterSim::compute_caps(&config, &names, &demands);
+            for (server, &cap) in servers.iter_mut().zip(&caps) {
+                server.set_cap(cap);
+            }
+            cap_timeline.push(caps);
+
+            // --- advance every server one coordination period ---
+            let epochs = config.epochs_per_round;
+            if config.threads == 1 {
+                for server in &mut servers {
+                    server.step_round(epochs);
+                }
+            } else {
+                let chunk = servers.len().div_ceil(config.threads);
+                std::thread::scope(|scope| {
+                    for servers in servers.chunks_mut(chunk) {
+                        scope.spawn(move || {
+                            for server in servers {
+                                server.step_round(epochs);
+                            }
+                        });
+                    }
+                });
+            }
+            rounds += 1;
+        }
+        ClusterSim::finish(config, servers, rounds, cap_timeline)
+    }
+}
+
+/// The wake-queue engine: each server schedules its own next coordination
+/// wake in a picosecond-ordered [`EventQueue`]; a server whose workload
+/// completes simply never re-enqueues, so barrier cost scales with the
+/// *active* fleet. Stepping runs on a persistent [`WorkerPool`] (no
+/// per-round thread spawns), flat splits run over the compacted active set
+/// ([`split_caps_active`]), and the split is skipped outright — the cached
+/// allocation replayed — when no server's telemetry moved beyond the
+/// [`ClusterConfig::dead_band_w`] dead-band ([`CapCache`]).
+///
+/// At the default zero dead-band the result is bit-identical to
+/// [`RoundEngine`]: a barrier exists exactly when some server is unfinished
+/// (the round loop's `while` condition), awake servers see the same caps
+/// (splits are pure functions that ignore inactive telemetry), and a
+/// finished server's accumulators stop moving in both engines (its
+/// `step_round` is a no-op and splits grant it a zero cap).
+pub struct EventEngine(pub ClusterSim);
+
+impl FleetEngine for EventEngine {
+    type Output = ClusterResult;
+
+    fn kind(&self) -> EngineKind {
+        EngineKind::Event
+    }
+
+    fn run(self) -> ClusterResult {
+        let ClusterSim { config, servers } = self.0;
+        let n = servers.len();
+        let epochs = config.epochs_per_round;
+        let names: Vec<String> = servers.iter().map(|s| s.name.clone()).collect();
+        let names: Vec<&str> = names.iter().map(String::as_str).collect();
+        // Servers live in takeable slots so they can round-trip through
+        // the worker pool by value.
+        let mut slots: Vec<Option<Server>> = servers.into_iter().map(Some).collect();
+        let pool = (config.threads > 1)
+            .then(|| WorkerPool::new(config.threads, move |s: &mut Server| s.step_round(epochs)));
+
+        // Every server schedules its first wake at barrier 0; wake times
+        // are barrier indices (the fleet shares one coordination clock).
+        let mut queue: EventQueue<usize> = EventQueue::new();
+        for i in 0..n {
+            queue.push(Ps::ZERO, i);
+        }
+        // Fleet-wide telemetry. A sleeping (finished) server's entry stays
+        // frozen at its last report with `active: false` — split
+        // disciplines never read inactive demand values, so the frozen
+        // numbers only serve as stable cache-comparison keys.
+        let mut demands: Vec<ServerDemand> = vec![
+            ServerDemand {
+                demand_w: 0.0,
+                min_w: 0.0,
+                active: false,
+            };
+            n
+        ];
+        let mut cache = CapCache::new(config.dead_band_w);
+        let mut cap_timeline: Vec<Vec<f64>> = Vec::new();
+        let mut rounds = 0usize;
+        let mut awake: Vec<usize> = Vec::new();
+        let mut just_finished: Vec<usize> = Vec::new();
+
+        while let Some(now) = queue.peek_time() {
+            awake.clear();
+            while queue.peek_time() == Some(now) {
+                awake.push(queue.pop().expect("peeked entry vanished").1);
+            }
+
+            // A server that completed during the previous barrier's step
+            // leaves the membership here: its share returns to the pool
+            // (active flag drops, invalidating any cached allocation) and
+            // its cap is zeroed exactly as the round engine's next split
+            // would have.
+            if !just_finished.is_empty() {
+                cache.invalidate();
+                for &i in &just_finished {
+                    demands[i].active = false;
+                    slots[i]
+                        .as_mut()
+                        .expect("server in pool at barrier")
+                        .set_cap(0.0);
+                }
+                just_finished.clear();
+            }
+
+            // --- coordinate: telemetry in (awake servers only), caps out ---
+            for &i in &awake {
+                demands[i] = slots[i]
+                    .as_mut()
+                    .expect("server in pool at barrier")
+                    .status()
+                    .demand;
+            }
+            let caps = cache.lookup(&demands, None).unwrap_or_else(|| {
+                let caps = match &config.topology {
+                    Some(_) => ClusterSim::compute_caps(&config, &names, &demands),
+                    None => split_caps_active(
+                        config.split,
+                        config.global_cap_w,
+                        &demands,
+                        config.quantum_w,
+                    ),
+                };
+                cache.store(&demands, None, &caps);
+                caps
+            });
+            for &i in &awake {
+                slots[i]
+                    .as_mut()
+                    .expect("server in pool at barrier")
+                    .set_cap(caps[i]);
+            }
+            cap_timeline.push(caps);
+
+            // --- advance the awake servers one coordination period ---
+            match &pool {
+                Some(pool) => {
+                    let jobs: Vec<(usize, Server)> = awake
+                        .iter()
+                        .map(|&i| (i, slots[i].take().expect("server in pool at barrier")))
+                        .collect();
+                    pool.run(jobs, |i, s| slots[i] = Some(s));
+                }
+                None => {
+                    for &i in &awake {
+                        slots[i]
+                            .as_mut()
+                            .expect("server in pool at barrier")
+                            .step_round(epochs);
+                    }
+                }
+            }
+
+            // --- each server schedules its own next wake (or sleeps) ---
+            let next = Ps::new(now.as_ps() + 1);
+            for &i in &awake {
+                if slots[i].as_ref().expect("server stepped").is_done() {
+                    just_finished.push(i);
+                } else {
+                    queue.push(next, i);
+                }
+            }
+            rounds += 1;
+        }
+
+        let servers: Vec<Server> = slots
+            .into_iter()
+            .map(|s| s.expect("server returned to pool"))
+            .collect();
+        ClusterSim::finish(config, servers, rounds, cap_timeline)
     }
 }
 

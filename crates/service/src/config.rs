@@ -2,7 +2,7 @@
 //! configuration.
 
 use crate::arrivals::ArrivalKind;
-use cluster::{BalancePolicy, BudgetTree, CapSplit, ChurnSchedule};
+use cluster::{BalancePolicy, BudgetTree, CapSplit, ChurnSchedule, EngineKind};
 use coscale::SimConfig;
 use simkernel::Ps;
 
@@ -176,6 +176,17 @@ pub struct ServiceConfig {
     /// streams when set: a client population issues requests at round
     /// barriers and a front-end balancer routes them across the fleet.
     pub closed_loop: Option<ClosedLoopConfig>,
+    /// Which coordination engine drives the horizon: the reference
+    /// round-barrier loop, or the wake-driven engine (persistent worker
+    /// pool, cap-split replay when telemetry holds still). Digest-identical
+    /// — see `tests/engine_equivalence.rs`.
+    pub engine: EngineKind,
+    /// Telemetry dead-band for the event engine's cap-split replay, watts
+    /// (and, for SLA signals, seconds). `0.0` (the default) replays only
+    /// bit-identical telemetry, keeping the engines digest-equal; positive
+    /// values trade fidelity for fewer re-splits. Ignored by the round
+    /// engine.
+    pub dead_band_w: f64,
 }
 
 impl ServiceConfig {
@@ -199,7 +210,24 @@ impl ServiceConfig {
             sla_window_rounds: 4,
             churn: ChurnSchedule::new(),
             closed_loop: None,
+            engine: EngineKind::Round,
+            dead_band_w: 0.0,
         }
+    }
+
+    /// Selects the coordination engine (see [`EngineKind`]).
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineKind) -> ServiceConfig {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the event engine's telemetry dead-band (see the `dead_band_w`
+    /// field).
+    #[must_use]
+    pub fn with_dead_band(mut self, dead_band_w: f64) -> ServiceConfig {
+        self.dead_band_w = dead_band_w;
+        self
     }
 
     /// Switches the fleet to a closed-loop workload (see
@@ -261,6 +289,12 @@ impl ServiceConfig {
         }
         if self.sla_window_rounds == 0 {
             return Err("sla_window_rounds must be positive".into());
+        }
+        if self.dead_band_w.is_nan() || self.dead_band_w < 0.0 {
+            return Err(format!(
+                "dead band {} must be finite and non-negative",
+                self.dead_band_w
+            ));
         }
         for s in &self.servers {
             Self::validate_spec(s)?;
@@ -352,6 +386,10 @@ mod tests {
 
         let mut c = ok.clone();
         c.servers[0].p99_target_s = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = ok.clone();
+        c.dead_band_w = f64::NAN;
         assert!(c.validate().is_err());
 
         let mut c = ok;

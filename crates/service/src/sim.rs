@@ -1,15 +1,23 @@
 //! The serving-fleet simulation loop: rounds of (apply churn → collect
 //! power and latency telemetry → split the budget → serve a coordination
 //! period in parallel), for a fixed horizon.
+//!
+//! Two [`FleetEngine`]s drive the horizon (selected by
+//! [`ServiceConfig::engine`]): the reference [`ServiceRoundEngine`] loops
+//! over round indices with scoped threads spawned afresh per round; the
+//! [`ServiceEventEngine`] pulls barriers off a picosecond-ordered wake
+//! queue, steps the fleet on a persistent [`WorkerPool`], and replays the
+//! previous cap split whenever no server's telemetry moved. Their results
+//! are digest-identical — see `tests/engine_equivalence.rs`.
 
 use crate::clients::ClientPool;
 use crate::config::ServiceConfig;
 use crate::server::ServiceServer;
 use cluster::{
-    split_caps, split_caps_sla, BalancePolicy, CapSplit, ChurnAction, LoadBalancer, ServerDemand,
-    ServerLoad, SlaSignal,
+    split_caps, split_caps_sla, BalancePolicy, CapCache, CapSplit, ChurnAction, EngineKind,
+    FleetEngine, LoadBalancer, ServerDemand, ServerLoad, SlaSignal, WorkerPool,
 };
-use simkernel::{stats::Histogram, Ps};
+use simkernel::{stats::Histogram, EventQueue, Ps};
 
 /// One server's final accounting (final fleet members and churn departures
 /// alike).
@@ -254,134 +262,195 @@ impl ServiceSim {
     }
 
     /// Runs the configured number of rounds, applying churn at round
-    /// boundaries, and aggregates.
+    /// boundaries, and aggregates, dispatching to the engine named by
+    /// [`ServiceConfig::engine`].
     ///
     /// Within a round servers are advanced on up to `config.threads`
     /// worker threads. Servers exchange state with the coordinator only at
     /// round barriers, so results are bit-identical for every thread
-    /// count.
+    /// count — and for either engine.
     ///
     /// # Panics
     ///
     /// Panics if a churn join carries an invalid spec, or a joiner's
     /// remaining epochs exceed its `max_epochs`.
-    pub fn run(mut self) -> ServiceResult {
-        let mut churn = self.config.churn.clone();
-        let mut topology = self.config.topology.clone();
+    pub fn run(self) -> ServiceResult {
+        match self.config.engine {
+            EngineKind::Round => ServiceRoundEngine(self).run(),
+            EngineKind::Event => ServiceEventEngine(self).run(),
+        }
+    }
+}
+
+/// The whole moving state of one serving run, shared by both engines: the
+/// per-barrier pipeline (churn → telemetry → split → issue → serve →
+/// deliver) lives in [`FleetRun::barrier`]; the engines differ only in how
+/// barriers are scheduled and how the fleet is stepped.
+struct FleetRun {
+    config: ServiceConfig,
+    servers: Vec<ServiceServer>,
+    churn: cluster::ChurnSchedule<crate::config::ServiceServerSpec>,
+    topology: Option<cluster::BudgetTree>,
+    topology_spec: Option<String>,
+    departures: Vec<ServiceOutcome>,
+    cap_timeline: Vec<Vec<f64>>,
+    // Closed-loop machinery: the client population, the front-end
+    // balancer, and the fleet-global clock (round `r` spans
+    // `[r·D, (r+1)·D)` where `D` is the uniform round duration —
+    // validated for the initial fleet, asserted for churn joiners).
+    closed: Option<crate::config::ClosedLoopConfig>,
+    pool: Option<ClientPool>,
+    balancer: Option<LoadBalancer>,
+    round_d: Ps,
+    // The event engine's cap-split replay; `None` under the round engine.
+    cache: Option<CapCache>,
+}
+
+impl FleetRun {
+    fn new(sim: ServiceSim, cache: Option<CapCache>) -> FleetRun {
+        let ServiceSim { config, servers } = sim;
+        let churn = config.churn.clone();
+        let topology = config.topology.clone();
         let topology_spec = topology.as_ref().map(|t| t.to_string());
-        let mut departures: Vec<ServiceOutcome> = Vec::new();
-        let mut cap_timeline: Vec<Vec<f64>> = Vec::new();
-        // Closed-loop machinery: the client population, the front-end
-        // balancer, and the fleet-global clock (round `r` spans
-        // `[r·D, (r+1)·D)` where `D` is the uniform round duration —
-        // validated for the initial fleet, asserted for churn joiners).
-        let closed = self.config.closed_loop.clone();
-        let mut pool = closed.as_ref().map(ClientPool::new);
-        let mut balancer = closed.as_ref().map(|cl| LoadBalancer::new(cl.balance));
-        let round_d = self
-            .config
+        let closed = config.closed_loop.clone();
+        let pool = closed.as_ref().map(ClientPool::new);
+        let balancer = closed.as_ref().map(|cl| LoadBalancer::new(cl.balance));
+        let round_d = config
             .servers
             .first()
-            .map(|s| s.config.epoch * self.config.epochs_per_round as u64)
+            .map(|s| s.config.epoch * config.epochs_per_round as u64)
             .unwrap_or(Ps::ZERO);
-        let global_time = |round: usize| round_d * round as u64;
-        for round in 0..self.config.rounds {
-            // --- churn: apply fleet changes due at this boundary ---
-            for action in churn.drain_due(round) {
-                match action {
-                    ChurnAction::Join(spec) => {
-                        if let Err(e) = ServiceConfig::validate_spec(&spec) {
-                            panic!("churn join: {e}");
+        FleetRun {
+            config,
+            servers,
+            churn,
+            topology,
+            topology_spec,
+            departures: Vec::new(),
+            cap_timeline: Vec::new(),
+            closed,
+            pool,
+            balancer,
+            round_d,
+            cache,
+        }
+    }
+
+    fn global_time(&self, round: usize) -> Ps {
+        self.round_d * round as u64
+    }
+
+    /// One coordination barrier: churn, telemetry, cap split, closed-loop
+    /// issue, one serving period (via `step_fleet`), response delivery.
+    fn barrier(&mut self, round: usize, step_fleet: &mut dyn FnMut(&mut Vec<ServiceServer>)) {
+        // --- churn: apply fleet changes due at this boundary ---
+        let mut churned = false;
+        for action in self.churn.drain_due(round) {
+            churned = true;
+            match action {
+                ChurnAction::Join(spec) => {
+                    if let Err(e) = ServiceConfig::validate_spec(&spec) {
+                        panic!("churn join: {e}");
+                    }
+                    let left = (self.config.rounds - round) * self.config.epochs_per_round;
+                    assert!(
+                        left <= spec.config.max_epochs,
+                        "churn join {}: {left} remaining epochs exceed max_epochs",
+                        spec.name
+                    );
+                    // Joiners enter with a zero cap but participate in
+                    // this same round's split, which grants their
+                    // share immediately. Under a topology they attach
+                    // as direct children of the root group.
+                    if let Some(tree) = &mut self.topology {
+                        if let Err(e) = tree.attach_server(&spec.name, None) {
+                            panic!("churn join {}: {e}", spec.name);
                         }
-                        let left = (self.config.rounds - round) * self.config.epochs_per_round;
-                        assert!(
-                            left <= spec.config.max_epochs,
-                            "churn join {}: {left} remaining epochs exceed max_epochs",
+                    }
+                    let mut server = ServiceServer::new(&spec, 0.0, self.config.sla_window_rounds);
+                    if self.pool.is_some() {
+                        assert_eq!(
+                            spec.config.epoch * self.config.epochs_per_round as u64,
+                            self.round_d,
+                            "churn join {}: round duration differs from the fleet's \
+                             (the closed-loop clock needs uniform rounds)",
                             spec.name
                         );
-                        // Joiners enter with a zero cap but participate in
-                        // this same round's split, which grants their
-                        // share immediately. Under a topology they attach
-                        // as direct children of the root group.
-                        if let Some(tree) = &mut topology {
-                            if let Err(e) = tree.attach_server(&spec.name, None) {
-                                panic!("churn join {}: {e}", spec.name);
-                            }
-                        }
-                        let mut server =
-                            ServiceServer::new(&spec, 0.0, self.config.sla_window_rounds);
-                        if pool.is_some() {
-                            assert_eq!(
-                                spec.config.epoch * self.config.epochs_per_round as u64,
-                                round_d,
-                                "churn join {}: round duration differs from the fleet's \
-                                 (the closed-loop clock needs uniform rounds)",
-                                spec.name
-                            );
-                            server.set_closed_loop(global_time(round));
-                        }
-                        self.servers.push(server);
+                        server.set_closed_loop(self.global_time(round));
                     }
-                    ChurnAction::Leave(name) => {
-                        if let Some(i) = self.servers.iter().position(|s| s.name == name) {
-                            let mut server = self.servers.remove(i);
-                            // Closed loop: the departing server's queued
-                            // requests are lost; their clients learn at
-                            // this barrier and go back to thinking.
-                            let orphans = server.abandon_queue();
-                            if let Some(pool) = pool.as_mut() {
-                                let now = global_time(round);
-                                for r in orphans {
-                                    if let Some(client) = r.client {
-                                        pool.deliver(client, now);
-                                    }
+                    self.servers.push(server);
+                }
+                ChurnAction::Leave(name) => {
+                    if let Some(i) = self.servers.iter().position(|s| s.name == name) {
+                        let mut server = self.servers.remove(i);
+                        // Closed loop: the departing server's queued
+                        // requests are lost; their clients learn at
+                        // this barrier and go back to thinking.
+                        let orphans = server.abandon_queue();
+                        let now = self.global_time(round);
+                        if let Some(pool) = self.pool.as_mut() {
+                            for r in orphans {
+                                if let Some(client) = r.client {
+                                    pool.deliver(client, now);
                                 }
                             }
-                            departures.push(Self::outcome(server, true));
-                            if let Some(tree) = &mut topology {
-                                tree.remove_server(&name);
-                            }
+                        }
+                        self.departures.push(ServiceSim::outcome(server, true));
+                        if let Some(tree) = &mut self.topology {
+                            tree.remove_server(&name);
                         }
                     }
                 }
             }
-            if self.servers.is_empty() {
-                // Degenerate round: no caps, and no requests issued —
-                // ready clients simply wait for the fleet to refill.
-                cap_timeline.push(Vec::new());
-                continue;
+        }
+        if churned {
+            // Membership (and possibly tree shape) changed: any cached
+            // allocation is for a different fleet.
+            if let Some(cache) = self.cache.as_mut() {
+                cache.invalidate();
             }
+        }
+        if self.servers.is_empty() {
+            // Degenerate round: no caps, and no requests issued —
+            // ready clients simply wait for the fleet to refill.
+            self.cap_timeline.push(Vec::new());
+            return;
+        }
 
-            // --- coordinate: telemetry in, caps out ---
-            let demands: Vec<ServerDemand> =
-                self.servers.iter_mut().map(ServiceServer::demand).collect();
-            let caps = match (&topology, self.config.split) {
+        // --- coordinate: telemetry in, caps out ---
+        let demands: Vec<ServerDemand> =
+            self.servers.iter_mut().map(ServiceServer::demand).collect();
+        // SLA signals feed the split when latency matters to it: under a
+        // topology (interior nodes may be SLA-aware) or flat SlaAware.
+        let signals: Option<Vec<SlaSignal>> = (self.topology.is_some()
+            || self.config.split == CapSplit::SlaAware)
+            .then(|| self.servers.iter().map(ServiceServer::sla_signal).collect());
+        let cached = self
+            .cache
+            .as_mut()
+            .and_then(|c| c.lookup(&demands, signals.as_deref()));
+        let caps = cached.unwrap_or_else(|| {
+            let caps = match (&self.topology, self.config.split) {
                 (Some(tree), _) => {
                     // Hierarchical: the budget flows down the tree with
                     // both power and latency telemetry, so SLA-aware
                     // interior nodes react to their subtree's worst
                     // violation ratio.
                     let names: Vec<&str> = self.servers.iter().map(|s| s.name.as_str()).collect();
-                    let signals: Vec<SlaSignal> =
-                        self.servers.iter().map(ServiceServer::sla_signal).collect();
                     tree.split(
                         self.config.global_cap_w,
                         &names,
                         &demands,
-                        Some(&signals),
+                        signals.as_deref(),
                         self.config.quantum_w,
                     )
                 }
-                (None, CapSplit::SlaAware) => {
-                    let signals: Vec<SlaSignal> =
-                        self.servers.iter().map(ServiceServer::sla_signal).collect();
-                    split_caps_sla(
-                        self.config.global_cap_w,
-                        &demands,
-                        &signals,
-                        self.config.quantum_w,
-                    )
-                }
+                (None, CapSplit::SlaAware) => split_caps_sla(
+                    self.config.global_cap_w,
+                    &demands,
+                    signals.as_deref().expect("SlaAware computes signals"),
+                    self.config.quantum_w,
+                ),
                 (None, split) => split_caps(
                     split,
                     self.config.global_cap_w,
@@ -389,67 +458,57 @@ impl ServiceSim {
                     self.config.quantum_w,
                 ),
             };
-            for (server, &cap) in self.servers.iter_mut().zip(&caps) {
-                server.set_cap(cap);
+            if let Some(cache) = self.cache.as_mut() {
+                cache.store(&demands, signals.as_deref(), &caps);
             }
+            caps
+        });
+        for (server, &cap) in self.servers.iter_mut().zip(&caps) {
+            server.set_cap(cap);
+        }
 
-            // --- closed loop: issue the round's requests and balance ---
-            if let (Some(pool), Some(balancer)) = (pool.as_mut(), balancer.as_mut()) {
-                let t0 = global_time(round);
-                let batch = pool.issue(t0, t0 + round_d);
-                if !batch.is_empty() {
-                    let loads: Vec<ServerLoad> = self
-                        .servers
-                        .iter()
-                        .zip(&demands)
-                        .zip(&caps)
-                        .map(|((server, demand), &cap_w)| ServerLoad {
-                            demand: *demand,
-                            cap_w,
-                            queue_depth: server.queue_depth(),
-                        })
-                        .collect();
-                    let targets = balancer.assign_batch(batch.len(), &loads);
-                    for (req, &target) in batch.iter().zip(&targets) {
-                        self.servers[target].assign_requests([*req]);
-                    }
-                }
-            }
-            cap_timeline.push(caps);
-
-            // --- serve one coordination period ---
-            let epochs = self.config.epochs_per_round;
-            if self.config.threads == 1 {
-                for server in &mut self.servers {
-                    server.step_round(epochs);
-                }
-            } else {
-                let chunk = self.servers.len().div_ceil(self.config.threads);
-                std::thread::scope(|scope| {
-                    for servers in self.servers.chunks_mut(chunk) {
-                        scope.spawn(move || {
-                            for server in servers {
-                                server.step_round(epochs);
-                            }
-                        });
-                    }
-                });
-            }
-
-            // --- closed loop: deliver the round's responses ---
-            // Fleet order then event order — but each client draws from
-            // its own stream and holds one request at a time, so delivery
-            // order cannot leak into the result.
-            if let Some(pool) = pool.as_mut() {
-                for server in &mut self.servers {
-                    for ev in server.take_events() {
-                        pool.deliver(ev.client, ev.at);
-                    }
+        // --- closed loop: issue the round's requests and balance ---
+        if let (Some(pool), Some(balancer)) = (self.pool.as_mut(), self.balancer.as_mut()) {
+            let t0 = self.round_d * round as u64;
+            let batch = pool.issue(t0, t0 + self.round_d);
+            if !batch.is_empty() {
+                let loads: Vec<ServerLoad> = self
+                    .servers
+                    .iter()
+                    .zip(&demands)
+                    .zip(&caps)
+                    .map(|((server, demand), &cap_w)| ServerLoad {
+                        demand: *demand,
+                        cap_w,
+                        queue_depth: server.queue_depth(),
+                    })
+                    .collect();
+                let targets = balancer.assign_batch(batch.len(), &loads);
+                for (req, &target) in batch.iter().zip(&targets) {
+                    self.servers[target].assign_requests([*req]);
                 }
             }
         }
+        self.cap_timeline.push(caps);
 
-        let closed_loop = match (&closed, &pool) {
+        // --- serve one coordination period ---
+        step_fleet(&mut self.servers);
+
+        // --- closed loop: deliver the round's responses ---
+        // Fleet order then event order — but each client draws from
+        // its own stream and holds one request at a time, so delivery
+        // order cannot leak into the result.
+        if let Some(pool) = self.pool.as_mut() {
+            for server in &mut self.servers {
+                for ev in server.take_events() {
+                    pool.deliver(ev.client, ev.at);
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> ServiceResult {
+        let closed_loop = match (&self.closed, &self.pool) {
             (Some(cl), Some(pool)) => Some(ClientSummary {
                 clients: pool.len(),
                 balance: cl.balance,
@@ -461,17 +520,127 @@ impl ServiceSim {
             }),
             _ => None,
         };
-        let mut outcomes = departures;
-        outcomes.extend(self.servers.into_iter().map(|s| Self::outcome(s, false)));
+        let mut outcomes = self.departures;
+        outcomes.extend(
+            self.servers
+                .into_iter()
+                .map(|s| ServiceSim::outcome(s, false)),
+        );
         ServiceResult {
             split: self.config.split,
-            topology: topology_spec,
+            topology: self.topology_spec,
             global_cap_w: self.config.global_cap_w,
             outcomes,
             rounds: self.config.rounds,
-            cap_timeline,
+            cap_timeline: self.cap_timeline,
             closed_loop,
         }
+    }
+}
+
+/// The reference engine: a plain loop over round indices, scoped worker
+/// threads spawned afresh each round.
+pub struct ServiceRoundEngine(pub ServiceSim);
+
+impl FleetEngine for ServiceRoundEngine {
+    type Output = ServiceResult;
+
+    fn kind(&self) -> EngineKind {
+        EngineKind::Round
+    }
+
+    fn run(self) -> ServiceResult {
+        let epochs = self.0.config.epochs_per_round;
+        let threads = self.0.config.threads;
+        let rounds = self.0.config.rounds;
+        let mut run = FleetRun::new(self.0, None);
+        let mut step = |servers: &mut Vec<ServiceServer>| {
+            if threads == 1 {
+                for server in servers.iter_mut() {
+                    server.step_round(epochs);
+                }
+            } else {
+                let chunk = servers.len().div_ceil(threads);
+                std::thread::scope(|scope| {
+                    for servers in servers.chunks_mut(chunk) {
+                        scope.spawn(move || {
+                            for server in servers {
+                                server.step_round(epochs);
+                            }
+                        });
+                    }
+                });
+            }
+        };
+        for round in 0..rounds {
+            run.barrier(round, &mut step);
+        }
+        run.finish()
+    }
+}
+
+/// The wake-driven engine: barriers are events on a picosecond-ordered
+/// [`EventQueue`] keyed by the fleet clock (each barrier schedules its
+/// successor until the horizon), the fleet steps on a persistent
+/// [`WorkerPool`], and the cap split is replayed from [`CapCache`] whenever
+/// no telemetry moved beyond [`ServiceConfig::dead_band_w`]. Unlike the
+/// batch cluster, serving servers never finish — the wins here are the
+/// pool (no per-round thread spawns) and the replay; at the default zero
+/// dead-band the digest is identical to [`ServiceRoundEngine`]'s.
+pub struct ServiceEventEngine(pub ServiceSim);
+
+impl FleetEngine for ServiceEventEngine {
+    type Output = ServiceResult;
+
+    fn kind(&self) -> EngineKind {
+        EngineKind::Event
+    }
+
+    fn run(self) -> ServiceResult {
+        let epochs = self.0.config.epochs_per_round;
+        let threads = self.0.config.threads;
+        let rounds = self.0.config.rounds;
+        let cache = CapCache::new(self.0.config.dead_band_w);
+        let mut run = FleetRun::new(self.0, Some(cache));
+        let pool = (threads > 1)
+            .then(|| WorkerPool::new(threads, move |s: &mut ServiceServer| s.step_round(epochs)));
+        let mut step = |servers: &mut Vec<ServiceServer>| match &pool {
+            Some(pool) => {
+                // Round-trip the fleet through the persistent pool by
+                // value; positions are restored by index, so churn (which
+                // only happens between barriers) never sees a hole.
+                let n = servers.len();
+                let jobs: Vec<(usize, ServiceServer)> =
+                    std::mem::take(servers).into_iter().enumerate().collect();
+                let mut slots: Vec<Option<ServiceServer>> = (0..n).map(|_| None).collect();
+                pool.run(jobs, |i, s| slots[i] = Some(s));
+                servers.extend(
+                    slots
+                        .into_iter()
+                        .map(|s| s.expect("server returned to fleet")),
+                );
+            }
+            None => {
+                for server in servers.iter_mut() {
+                    server.step_round(epochs);
+                }
+            }
+        };
+        // The wake queue: barrier `r` fires at the fleet clock `r·D` and
+        // schedules barrier `r+1` — wake-driven, but with the exact round
+        // semantics of the reference loop (barriers fire even for an
+        // empty fleet, which may refill through churn).
+        let mut queue: EventQueue<usize> = EventQueue::new();
+        if rounds > 0 {
+            queue.push(Ps::ZERO, 0);
+        }
+        while let Some((_, round)) = queue.pop() {
+            run.barrier(round, &mut step);
+            if round + 1 < rounds {
+                queue.push(run.global_time(round + 1), round + 1);
+            }
+        }
+        run.finish()
     }
 }
 

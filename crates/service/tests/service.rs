@@ -109,8 +109,14 @@ fn churn_mid_run_keeps_metrics_sane_and_deterministic() {
             }),
         ];
         let mut churn = ChurnSchedule::new();
-        churn.join(4, ServiceServerSpec::small("late", "ILP1", 23, 40_000.0));
-        churn.leave(9, "s1");
+        churn
+            .join(
+                4,
+                "late",
+                ServiceServerSpec::small("late", "ILP1", 23, 40_000.0),
+            )
+            .unwrap();
+        churn.leave(9, "s1").unwrap();
         ServiceConfig::new(fleet, 180.0, CapSplit::SlaAware)
             .with_rounds(14)
             .with_churn(churn)
@@ -159,8 +165,14 @@ fn topology_serve_run_is_deterministic_and_respects_group_shares() {
         let tree =
             BudgetTree::parse("fleet:uniform[rack:sla-aware[r0,r1],pod:fastcap[p0,p1]]").unwrap();
         let mut churn = ChurnSchedule::new();
-        churn.join(5, ServiceServerSpec::small("late", "MID2", 45, 20_000.0));
-        churn.leave(9, "r1");
+        churn
+            .join(
+                5,
+                "late",
+                ServiceServerSpec::small("late", "MID2", 45, 20_000.0),
+            )
+            .unwrap();
+        churn.leave(9, "r1").unwrap();
         ServiceConfig::new(fleet, 240.0, CapSplit::Uniform)
             .with_topology(tree)
             .with_rounds(14)
@@ -295,8 +307,10 @@ fn closed_loop_run_is_deterministic_across_thread_counts() {
             ServiceServerSpec::small("c1", "MEM1", 62, 0.0),
         ];
         let mut churn = ChurnSchedule::new();
-        churn.join(3, ServiceServerSpec::small("late", "ILP1", 63, 0.0));
-        churn.leave(8, "c1");
+        churn
+            .join(3, "late", ServiceServerSpec::small("late", "ILP1", 63, 0.0))
+            .unwrap();
+        churn.leave(8, "c1").unwrap();
         ServiceConfig::new(fleet, 150.0, CapSplit::FastCap)
             .with_rounds(12)
             .with_churn(churn)
@@ -332,8 +346,14 @@ fn closed_loop_run_is_deterministic_across_thread_counts() {
 fn fleet_can_drain_to_empty_and_refill() {
     let fleet = vec![ServiceServerSpec::small("only", "MID1", 31, 20_000.0)];
     let mut churn = ChurnSchedule::new();
-    churn.leave(2, "only");
-    churn.join(5, ServiceServerSpec::small("fresh", "MID2", 32, 20_000.0));
+    churn.leave(2, "only").unwrap();
+    churn
+        .join(
+            5,
+            "fresh",
+            ServiceServerSpec::small("fresh", "MID2", 32, 20_000.0),
+        )
+        .unwrap();
     let cfg = ServiceConfig::new(fleet, 90.0, CapSplit::FastCap)
         .with_rounds(8)
         .with_churn(churn);

@@ -1,22 +1,33 @@
 #!/usr/bin/env bash
 # Full local CI gate: format, lint, test. Works offline — the workspace
 # vendors its only external (dev) dependencies as local shim crates.
+# Each gate is wall-clock timed so slow suites are caught when they land,
+# not when CI starts timing out.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo fmt --check =="
-cargo fmt --all -- --check
+declare -a TIMINGS=()
 
-echo "== cargo clippy (deny warnings) =="
-cargo clippy --workspace --all-targets --offline -- -D warnings
+step() {
+    local label="$1"
+    shift
+    echo "== $label =="
+    local start
+    start=$(date +%s)
+    "$@"
+    local elapsed=$(($(date +%s) - start))
+    TIMINGS+=("$(printf '%5ss  %s' "$elapsed" "$label")")
+}
 
-echo "== cargo test =="
-cargo test -q --workspace --offline
+step "cargo fmt --check" cargo fmt --all -- --check
+step "cargo clippy (deny warnings)" \
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+step "cargo test" cargo test -q --workspace --offline
+step "cargo test --release" cargo test -q --workspace --offline --release
+step "cargo doc (deny warnings)" \
+    env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet
 
-echo "== cargo test --release =="
-cargo test -q --workspace --offline --release
-
-echo "== cargo doc (deny warnings) =="
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet
-
+echo
+echo "== wall-clock per gate =="
+printf '%s\n' "${TIMINGS[@]}"
 echo "All checks passed."

@@ -20,6 +20,12 @@
 //! coscale-sim cluster [OPTIONS]     multi-server fleet under one budget
 //!
 //!   --servers LIST      comma-separated name=mix[:cores][@rate] entries
+//!   --fleet-size N      synthetic N-server batch fleet instead of --servers
+//!   --idle-fraction F   share of the synthetic fleet that is near-idle
+//!                       (default 0.9)
+//!   --engine NAME       coordination engine: round|event (default round;
+//!                       event = wake queue + persistent worker pool,
+//!                       digest-identical, built for 1000-server fleets)
 //!   --cap WATTS         global power budget (default 280)
 //!   --split NAME        uniform|demand-proportional|fastcap|sla-aware
 //!                       (default fastcap; sla-aware needs --serve)
@@ -120,10 +126,16 @@ fn parse_args() -> Args {
 
 struct ClusterArgs {
     servers: String,
-    cap: f64,
+    fleet_size: usize,
+    idle_fraction: f64,
+    cap: Option<f64>,
+    quantum: f64,
+    dead_band: f64,
+    epochs_per_round: usize,
     split: CapSplit,
     topology: Option<BudgetTree>,
     threads: usize,
+    engine: EngineKind,
     serve: bool,
     rounds: usize,
     rate: f64,
@@ -138,12 +150,22 @@ struct ClusterArgs {
 
 fn cluster_usage() -> ! {
     eprintln!(
-        "usage: coscale-sim cluster [--servers LIST] [--cap WATTS] [--split NAME] \
-         [--topology SPEC] [--threads N] [--serve] [--rounds N] [--rate HZ] \
+        "usage: coscale-sim cluster [--servers LIST] [--fleet-size N] [--idle-fraction F] \
+         [--cap WATTS] [--quantum W] [--dead-band W] [--epochs-per-round N] [--split NAME] \
+         [--topology SPEC] [--threads N] [--engine NAME] \
+         [--serve] [--rounds N] [--rate HZ] \
          [--p99-target MS] [--seed N] [--join R:SPEC]... [--leave R:NAME]... \
          [--clients N] [--think-ms F] [--balance NAME]\n\
          \x20 LIST entries: name=mix[:cores][@rate], e.g. heavy=MEM2:8@230000\n\
+         \x20 --fleet-size N replaces --servers with a synthetic N-server fleet\n\
+         \x20   (batch only); --idle-fraction F makes that share of it near-idle (default 0.9);\n\
+         \x20   the default budget scales to 100 W per server (named fleets default to 280 W)\n\
          \x20 splits: uniform demand-proportional fastcap sla-aware (sla-aware needs --serve)\n\
+         \x20 --engine picks the coordination engine: round (reference) or event\n\
+         \x20   (wake queue + worker pool; digest-identical, scales to 1000+ servers)\n\
+         \x20 --dead-band W lets the event engine replay the cached cap split while no\n\
+         \x20   server's telemetry moved more than W watts (0, the default, re-splits\n\
+         \x20   whenever any telemetry bit changes and stays digest-identical)\n\
          \x20 --topology splits the budget down a tree instead of flat, e.g.\n\
          \x20   dc:uniform[rack:sla-aware[heavy,light0],pod:fastcap[light1,light2]]\n\
          \x20 --join/--leave change the fleet at round boundaries (--serve only)\n\
@@ -210,10 +232,16 @@ fn parse_round_prefix(s: &str, flag: &str) -> (usize, String) {
 fn parse_cluster_args() -> ClusterArgs {
     let mut a = ClusterArgs {
         servers: "heavy=MEM2:8@230000,light0=ILP1,light1=ILP2,light2=MID2".into(),
-        cap: 280.0,
+        fleet_size: 0,
+        idle_fraction: 0.9,
+        cap: None,
+        quantum: 1.0,
+        dead_band: 0.0,
+        epochs_per_round: 0,
         split: CapSplit::FastCap,
         topology: None,
         threads: 4,
+        engine: EngineKind::Round,
         serve: false,
         rounds: 40,
         rate: 30_000.0,
@@ -233,7 +261,18 @@ fn parse_cluster_args() -> ClusterArgs {
         };
         match flag.as_str() {
             "--servers" => a.servers = val("--servers"),
-            "--cap" => a.cap = val("--cap").parse().unwrap_or_else(|_| cluster_usage()),
+            "--cap" => a.cap = Some(val("--cap").parse().unwrap_or_else(|_| cluster_usage())),
+            "--quantum" => a.quantum = val("--quantum").parse().unwrap_or_else(|_| cluster_usage()),
+            "--dead-band" => {
+                a.dead_band = val("--dead-band")
+                    .parse()
+                    .unwrap_or_else(|_| cluster_usage())
+            }
+            "--epochs-per-round" => {
+                a.epochs_per_round = val("--epochs-per-round")
+                    .parse()
+                    .unwrap_or_else(|_| cluster_usage())
+            }
             "--split" => {
                 a.split = match val("--split").as_str() {
                     "uniform" => CapSplit::Uniform,
@@ -248,6 +287,21 @@ fn parse_cluster_args() -> ClusterArgs {
                 a.topology = Some(BudgetTree::parse(&spec).unwrap_or_else(|e| cluster_fail(&e)));
             }
             "--threads" => a.threads = val("--threads").parse().unwrap_or_else(|_| cluster_usage()),
+            "--engine" => {
+                a.engine = val("--engine")
+                    .parse::<EngineKind>()
+                    .unwrap_or_else(|e: String| cluster_fail(&e))
+            }
+            "--fleet-size" => {
+                a.fleet_size = val("--fleet-size")
+                    .parse()
+                    .unwrap_or_else(|_| cluster_usage())
+            }
+            "--idle-fraction" => {
+                a.idle_fraction = val("--idle-fraction")
+                    .parse()
+                    .unwrap_or_else(|_| cluster_usage())
+            }
             "--serve" => a.serve = true,
             "--rounds" => a.rounds = val("--rounds").parse().unwrap_or_else(|_| cluster_usage()),
             "--rate" => a.rate = val("--rate").parse().unwrap_or_else(|_| cluster_usage()),
@@ -280,6 +334,12 @@ fn parse_cluster_args() -> ClusterArgs {
     if !a.serve && a.clients > 0 {
         cluster_fail("--clients requires --serve (batch fleets take no requests)");
     }
+    if a.serve && a.fleet_size > 0 {
+        cluster_fail("--fleet-size builds a synthetic batch fleet; it does not mix with --serve");
+    }
+    if !(0.0..=1.0).contains(&a.idle_fraction) {
+        cluster_fail("--idle-fraction must be in [0, 1]");
+    }
     if a.think_ms < 0.0 || !a.think_ms.is_finite() {
         cluster_fail("--think-ms must be a finite non-negative number");
     }
@@ -292,27 +352,47 @@ fn parse_cluster_args() -> ClusterArgs {
 }
 
 fn cluster_batch_main(args: &ClusterArgs) {
-    let mut fleet = Vec::new();
-    for (i, entry) in args.servers.split(',').enumerate() {
-        let (name, mix_name, cores, _rate) = parse_server_entry(entry, args.rate);
-        fleet.push(ServerSpec::small_with_cores(
-            &name,
-            &mix_name,
-            args.seed + i as u64,
-            cores,
-        ));
+    let fleet = if args.fleet_size > 0 {
+        synthetic_fleet(args.fleet_size, args.idle_fraction)
+    } else {
+        let mut fleet = Vec::new();
+        for (i, entry) in args.servers.split(',').enumerate() {
+            let (name, mix_name, cores, _rate) = parse_server_entry(entry, args.rate);
+            fleet.push(ServerSpec::small_with_cores(
+                &name,
+                &mix_name,
+                args.seed + i as u64,
+                cores,
+            ));
+        }
+        fleet
+    };
+    // A synthetic fleet's budget scales with its size — the fixed 280 W
+    // default that fits a 4-server named fleet would starve a thousand.
+    let cap = match args.cap {
+        Some(w) => w,
+        None if args.fleet_size > 0 => 100.0 * args.fleet_size as f64,
+        None => 280.0,
+    };
+    let mut cfg = ClusterConfig::new(fleet, cap, args.split)
+        .with_threads(args.threads)
+        .with_engine(args.engine)
+        .with_dead_band(args.dead_band);
+    cfg.quantum_w = args.quantum;
+    if args.epochs_per_round > 0 {
+        cfg = cfg.with_epochs_per_round(args.epochs_per_round);
     }
-    let mut cfg = ClusterConfig::new(fleet, args.cap, args.split).with_threads(args.threads);
     cfg.topology = args.topology.clone();
     if let Err(e) = cfg.validate() {
         cluster_fail(&format!("invalid cluster configuration: {e}"));
     }
 
     eprintln!(
-        "running {}-server batch fleet / {} @ {} W ...",
+        "running {}-server batch fleet / {} @ {} W ({} engine) ...",
         cfg.servers.len(),
         args.split,
-        args.cap
+        cap,
+        args.engine,
     );
     let r = run_cluster(cfg);
 
@@ -366,16 +446,24 @@ fn cluster_serve_main(args: &ClusterArgs) {
     let mut churn = ChurnSchedule::new();
     for j in &args.joins {
         let (round, rest) = parse_round_prefix(j, "--join");
-        churn.join(round, spec_of(&rest));
+        let spec = spec_of(&rest);
+        let name = spec.name.clone();
+        if let Err(e) = churn.join(round, &name, spec) {
+            cluster_fail(&e);
+        }
     }
     for l in &args.leaves {
         let (round, name) = parse_round_prefix(l, "--leave");
-        churn.leave(round, &name);
+        if let Err(e) = churn.leave(round, &name) {
+            cluster_fail(&e);
+        }
     }
 
-    let mut cfg = ServiceConfig::new(fleet, args.cap, args.split)
+    let cap = args.cap.unwrap_or(280.0);
+    let mut cfg = ServiceConfig::new(fleet, cap, args.split)
         .with_rounds(args.rounds)
         .with_threads(args.threads)
+        .with_engine(args.engine)
         .with_churn(churn);
     if args.clients > 0 {
         cfg = cfg.with_closed_loop(ClosedLoopConfig::new(
@@ -393,7 +481,7 @@ fn cluster_serve_main(args: &ClusterArgs) {
         "running {}-server serving fleet / {} @ {} W for {} rounds ...",
         cfg.servers.len(),
         args.split,
-        args.cap,
+        cap,
         args.rounds
     );
     let r = run_service(cfg);

@@ -50,8 +50,9 @@ pub use workloads;
 /// The most common imports for driving simulations.
 pub mod prelude {
     pub use cluster::{
-        run_cluster, BalancePolicy, BudgetNode, BudgetTree, CapSplit, ChurnSchedule, ClusterConfig,
-        ClusterResult, ClusterSim, LoadBalancer, ServerLoad, ServerSpec,
+        run_cluster, synthetic_fleet, BalancePolicy, BudgetNode, BudgetTree, CapSplit,
+        ChurnSchedule, ClusterConfig, ClusterResult, ClusterSim, EngineKind, FleetEngine,
+        LoadBalancer, ServerLoad, ServerSpec,
     };
     pub use coscale::{
         run_policy, CoScalePolicy, Model, Plan, Policy, PolicyKind, RunResult, Runner, SimConfig,

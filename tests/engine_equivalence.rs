@@ -1,0 +1,346 @@
+//! Differential harness for the two fleet engines: the event-driven
+//! coordinator (persistent worker pool, wake queue, dirty-set cap replay)
+//! must be **bit-identical** to the legacy round engine — same energies,
+//! caps, queue counters, latency buckets, and client summaries — for every
+//! configuration, at every worker-thread count.
+//!
+//! Three layers of evidence:
+//! 1. property tests sweeping fleet size, cap split, churn, topology,
+//!    balancer, and open/closed loop, asserting digest equality between
+//!    `--engine round` and `--engine event` at 1, 2, 4, and 8 threads;
+//! 2. pinned golden digests for the four fleet-level bench experiments
+//!    (cluster capping, serving SLOs, hierarchical budgets, closed-loop
+//!    balancing), so a drift in *either* engine is loud;
+//! 3. an `#[ignore]`d 1024-server / 90%-idle differential smoke for the
+//!    nightly `--release -- --ignored` job.
+
+use cluster::{run_cluster, synthetic_fleet, BudgetTree, ClusterConfig, EngineKind, ServerSpec};
+use proptest::prelude::*;
+use service::{
+    run_service, BalancePolicy, CapSplit, ChurnSchedule, ClosedLoopConfig, ServiceConfig,
+    ServiceServerSpec,
+};
+use simkernel::Ps;
+
+/// FNV-1a over the digest text (same constant-pinning scheme as
+/// `tests/invariants.rs`).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Runs `make()` under the round engine at one thread (the reference
+/// semantics), then under the event engine across the thread sweep and the
+/// round engine at four threads, asserting every digest matches. Returns
+/// the reference digest for optional pinning.
+fn assert_cluster_engines_agree(label: &str, make: &dyn Fn() -> ClusterConfig) -> String {
+    let reference = run_cluster(make().with_engine(EngineKind::Round).with_threads(1)).digest();
+    let round4 = run_cluster(make().with_engine(EngineKind::Round).with_threads(4)).digest();
+    assert_eq!(reference, round4, "[{label}] round@1 vs round@4");
+    for threads in THREAD_SWEEP {
+        let event =
+            run_cluster(make().with_engine(EngineKind::Event).with_threads(threads)).digest();
+        assert_eq!(reference, event, "[{label}] round@1 vs event@{threads}");
+    }
+    reference
+}
+
+/// The serving-layer twin of [`assert_cluster_engines_agree`].
+fn assert_service_engines_agree(label: &str, make: &dyn Fn() -> ServiceConfig) -> String {
+    let reference = run_service(make().with_engine(EngineKind::Round).with_threads(1)).digest();
+    let round4 = run_service(make().with_engine(EngineKind::Round).with_threads(4)).digest();
+    assert_eq!(reference, round4, "[{label}] round@1 vs round@4");
+    for threads in THREAD_SWEEP {
+        let event =
+            run_service(make().with_engine(EngineKind::Event).with_threads(threads)).digest();
+        assert_eq!(reference, event, "[{label}] round@1 vs event@{threads}");
+    }
+    reference
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Batch fleets: any synthetic fleet (size, idle mix), any split, flat
+    /// or tree-shaped budgets, any epochs-per-round — both engines produce
+    /// the same digest at every thread count.
+    #[test]
+    fn batch_engines_agree_for_any_fleet(
+        n in 2usize..5,
+        idle_pct in 0u8..3,
+        split in 0u8..3,
+        epochs in 1usize..3,
+        topo in any::<bool>(),
+    ) {
+        let split = [CapSplit::Uniform, CapSplit::DemandProportional, CapSplit::FastCap]
+            [split as usize];
+        let idle_fraction = [0.0, 0.5, 0.9][idle_pct as usize];
+        let make = move || {
+            let fleet = synthetic_fleet(n, idle_fraction);
+            let cap_w = 55.0 * n as f64;
+            let mut cfg = ClusterConfig::new(fleet, cap_w, split)
+                .with_epochs_per_round(epochs);
+            if topo && n >= 3 {
+                let (a, b): (Vec<_>, Vec<_>) =
+                    (0..n).map(|i| format!("s{i:04}")).partition(|s| s.as_str() < "s0002");
+                let spec = format!(
+                    "f:uniform[a:fastcap[{}],b:demand[{}]]",
+                    a.join(","),
+                    b.join(",")
+                );
+                cfg = cfg.with_topology(BudgetTree::parse(&spec).unwrap());
+            }
+            cfg
+        };
+        assert_cluster_engines_agree("batch-prop", &make);
+    }
+
+    /// Serving fleets: open- or closed-loop arrivals, every balancer and
+    /// split, with and without churn and hierarchical budgets — digest
+    /// equality again, at every thread count.
+    #[test]
+    fn serving_engines_agree_for_any_fleet(
+        seed in any::<u64>(),
+        split in 0u8..3,
+        policy in 0u8..3,
+        closed in any::<bool>(),
+        churn in any::<bool>(),
+        topo in any::<bool>(),
+        rounds in 6usize..9,
+    ) {
+        let split = [CapSplit::Uniform, CapSplit::FastCap, CapSplit::SlaAware][split as usize];
+        let balance = [
+            BalancePolicy::RoundRobin,
+            BalancePolicy::LeastQueue,
+            BalancePolicy::PowerHeadroom,
+        ][policy as usize];
+        let make = move || {
+            let rate = if closed { 0.0 } else { 30_000.0 };
+            let fleet = vec![
+                ServiceServerSpec::small("s0", "MID1", seed ^ 1, rate).with_p99_target_s(2e-3),
+                ServiceServerSpec::small("s1", "ILP1", seed ^ 2, rate).with_p99_target_s(2e-3),
+                ServiceServerSpec::small("s2", "MEM1", seed ^ 3, rate).with_p99_target_s(2e-3),
+            ];
+            let mut cfg = ServiceConfig::new(fleet, 140.0, split).with_rounds(rounds);
+            if closed {
+                cfg = cfg.with_closed_loop(
+                    ClosedLoopConfig::new(24, Ps::from_us(120), balance).with_seed(seed),
+                );
+            }
+            if churn {
+                let mut sched = ChurnSchedule::new();
+                sched
+                    .join(
+                        2,
+                        "late",
+                        ServiceServerSpec::small("late", "ILP2", seed ^ 4, rate)
+                            .with_p99_target_s(2e-3),
+                    )
+                    .unwrap();
+                sched.leave(rounds - 2, "s1").unwrap();
+                cfg = cfg.with_churn(sched);
+            }
+            if topo {
+                let tree =
+                    BudgetTree::parse("f:uniform[a:fastcap[s0,s1],b:sla-aware[s2]]").unwrap();
+                cfg = cfg.with_topology(tree);
+            }
+            cfg
+        };
+        assert_service_engines_agree("serve-prop", &make);
+    }
+}
+
+/// The event engine's empty-barrier path: churn drains the whole fleet
+/// mid-run, leaves it empty for two rounds, then refills it. Barriers must
+/// keep firing over the empty fleet (the round engine's loop does) so the
+/// late joiner is admitted on schedule.
+#[test]
+fn engines_agree_when_churn_empties_the_fleet() {
+    let make = || {
+        let fleet = vec![
+            ServiceServerSpec::small("a", "MID1", 31, 25_000.0),
+            ServiceServerSpec::small("b", "ILP1", 32, 25_000.0),
+        ];
+        let mut sched = ChurnSchedule::new();
+        sched.leave(1, "a").unwrap();
+        sched.leave(2, "b").unwrap();
+        sched
+            .join(
+                5,
+                "late",
+                ServiceServerSpec::small("late", "MEM1", 33, 25_000.0),
+            )
+            .unwrap();
+        ServiceConfig::new(fleet, 90.0, CapSplit::FastCap)
+            .with_rounds(8)
+            .with_churn(sched)
+    };
+    assert_service_engines_agree("empty-fleet", &make);
+}
+
+// ---------------------------------------------------------------------------
+// Pinned goldens for the four fleet-level bench experiments. These mirror
+// the `--quick` configurations in `crates/bench/src/experiments.rs` (with
+// shortened horizons where the full quick run would dominate the suite);
+// one representative row of each table is pinned under BOTH engines. If an
+// intentional simulation change shifts a constant, re-pin it — the test
+// exists to make such shifts loud in the same commit that causes them.
+// ---------------------------------------------------------------------------
+
+/// `cluster_capping` (quick fleet, FastCap row).
+#[test]
+fn golden_cluster_capping_agrees_and_is_pinned() {
+    const GOLDEN: u64 = 8740660264855400926;
+    let make = || {
+        let mut fleet = vec![
+            ServerSpec::small_with_cores("mem-8c-a", "MEM2", 1, 8),
+            ServerSpec::small_with_cores("mem-8c-b", "MEM2", 2, 8),
+            ServerSpec::small_with_cores("ilp-2c-a", "ILP2", 5, 2),
+            ServerSpec::small_with_cores("ilp-2c-b", "ILP2", 6, 2),
+        ];
+        for s in fleet.iter_mut().filter(|s| s.config.cores == 2) {
+            s.config.target_instrs *= 3;
+        }
+        ClusterConfig::new(fleet, 250.0, CapSplit::FastCap).with_epochs_per_round(2)
+    };
+    let d = assert_cluster_engines_agree("cluster_capping", &make);
+    println!("cluster_capping fnv = {}", fnv1a(d.as_bytes()));
+    assert_eq!(fnv1a(d.as_bytes()), GOLDEN, "digest drifted:\n{d}");
+}
+
+/// `service_sla` (load 1.0, SLA-aware row, shortened horizon).
+#[test]
+fn golden_service_sla_agrees_and_is_pinned() {
+    const GOLDEN: u64 = 3851301938566848033;
+    let make = || {
+        let fleet = vec![
+            ServiceServerSpec::small_with_cores("heavy", "MEM2", 11, 230_000.0, 8)
+                .with_p99_target_s(1e-3),
+            ServiceServerSpec::small("light0", "ILP1", 12, 30_000.0).with_p99_target_s(1e-3),
+            ServiceServerSpec::small("light1", "ILP2", 13, 30_000.0).with_p99_target_s(1e-3),
+            ServiceServerSpec::small("light2", "MID2", 14, 30_000.0).with_p99_target_s(1e-3),
+        ];
+        ServiceConfig::new(fleet, 280.0, CapSplit::SlaAware).with_rounds(8)
+    };
+    let d = assert_service_engines_agree("service_sla", &make);
+    println!("service_sla fnv = {}", fnv1a(d.as_bytes()));
+    assert_eq!(fnv1a(d.as_bytes()), GOLDEN, "digest drifted:\n{d}");
+}
+
+/// `hierarchical_capping` (tree row, shortened horizon).
+#[test]
+fn golden_hierarchical_capping_agrees_and_is_pinned() {
+    use service::ArrivalKind;
+    const GOLDEN: u64 = 6114866557331418861;
+    let make = || {
+        let fleet = vec![
+            ServiceServerSpec::small_with_cores("h0", "MEM2", 11, 200_000.0, 8)
+                .with_p99_target_s(1e-3)
+                .with_arrivals(ArrivalKind::Mmpp {
+                    rate_hz: 200_000.0,
+                    burst_factor: 1.2,
+                    mean_calm: Ps::from_ms(3),
+                    mean_burst: Ps::from_ms(2),
+                    diurnal_period: Ps::ZERO,
+                    diurnal_depth: 0.0,
+                }),
+            ServiceServerSpec::small("m0", "MID1", 12, 25_000.0).with_p99_target_s(1e-3),
+            ServiceServerSpec::small("q0", "ILP1", 13, 30_000.0).with_p99_target_s(1e-3),
+            ServiceServerSpec::small("q1", "MID2", 14, 30_000.0).with_p99_target_s(1e-3),
+        ];
+        let tree =
+            BudgetTree::parse("dc:uniform[rack:sla-aware[h0,m0],pod:fastcap[q0,q1]]").unwrap();
+        ServiceConfig::new(fleet, 280.0, CapSplit::Uniform)
+            .with_rounds(10)
+            .with_topology(tree)
+    };
+    let d = assert_service_engines_agree("hierarchical_capping", &make);
+    println!("hierarchical_capping fnv = {}", fnv1a(d.as_bytes()));
+    assert_eq!(fnv1a(d.as_bytes()), GOLDEN, "digest drifted:\n{d}");
+}
+
+/// `closed_loop_balancing` (power-headroom row, shortened horizon).
+#[test]
+fn golden_closed_loop_balancing_agrees_and_is_pinned() {
+    const GOLDEN: u64 = 2262805444707370977;
+    let make = || {
+        let fleet = vec![
+            ServiceServerSpec::small_with_cores("big", "MEM2", 11, 0.0, 8).with_p99_target_s(2e-3),
+            ServiceServerSpec::small("small0", "ILP1", 12, 0.0).with_p99_target_s(2e-3),
+            ServiceServerSpec::small("small1", "ILP2", 13, 0.0).with_p99_target_s(2e-3),
+            ServiceServerSpec::small("small2", "ILP1", 14, 0.0).with_p99_target_s(2e-3),
+        ];
+        ServiceConfig::new(fleet, 200.0, CapSplit::Uniform)
+            .with_rounds(8)
+            .with_closed_loop(
+                ClosedLoopConfig::new(320, Ps::from_us(100), BalancePolicy::PowerHeadroom)
+                    .with_mean_request_instrs(120_000.0),
+            )
+    };
+    let d = assert_service_engines_agree("closed_loop_balancing", &make);
+    println!("closed_loop_balancing fnv = {}", fnv1a(d.as_bytes()));
+    assert_eq!(fnv1a(d.as_bytes()), GOLDEN, "digest drifted:\n{d}");
+}
+
+/// Nightly-scale differential smoke: a 1024-server fleet at 90% idle, both
+/// engines digest-equal at a zero dead-band, and the dead-banded event
+/// engine leaving the physics (makespans, energies, violations) untouched
+/// while skipping most splits. Run with `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "1024-server differential smoke; run via cargo test --release -- --ignored"]
+fn fleet_1024_differential_smoke() {
+    let make = |dead_band_w: f64| {
+        let mut c = ClusterConfig::new(
+            synthetic_fleet(1024, 0.9),
+            100.0 * 1024.0,
+            CapSplit::FastCap,
+        )
+        .with_epochs_per_round(1)
+        .with_dead_band(dead_band_w)
+        .with_threads(8);
+        c.quantum_w = 0.02;
+        c
+    };
+    let start = std::time::Instant::now();
+    let round = run_cluster(make(0.0).with_engine(EngineKind::Round));
+    let t_round = start.elapsed();
+    let start = std::time::Instant::now();
+    let event = run_cluster(make(0.0).with_engine(EngineKind::Event));
+    let t_event = start.elapsed();
+    assert_eq!(
+        round.digest(),
+        event.digest(),
+        "1024-server round vs event digests diverged"
+    );
+    let start = std::time::Instant::now();
+    let banded = run_cluster(make(5.0).with_engine(EngineKind::Event));
+    let t_banded = start.elapsed();
+    for (a, b) in round.outcomes.iter().zip(&banded.outcomes) {
+        assert_eq!(
+            (a.name.as_str(), a.result.makespan, a.violation_rounds),
+            (b.name.as_str(), b.result.makespan, b.violation_rounds),
+            "dead-band run changed the physics"
+        );
+        assert_eq!(
+            a.result.total_energy_j().to_bits(),
+            b.result.total_energy_j().to_bits(),
+            "dead-band run changed {}'s energy",
+            a.name
+        );
+    }
+    println!(
+        "1024-server smoke: round {:.2}s, event {:.2}s ({:.1}x), event +5W dead-band {:.2}s ({:.1}x)",
+        t_round.as_secs_f64(),
+        t_event.as_secs_f64(),
+        t_round.as_secs_f64() / t_event.as_secs_f64().max(1e-9),
+        t_banded.as_secs_f64(),
+        t_round.as_secs_f64() / t_banded.as_secs_f64().max(1e-9)
+    );
+}

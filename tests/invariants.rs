@@ -142,9 +142,9 @@ proptest! {
             );
         if churn {
             let mut sched = ChurnSchedule::new();
-            sched.join(2, ServiceServerSpec::small("late", "ILP2", seed ^ 4, 0.0)
-                .with_p99_target_s(2e-3));
-            sched.leave(rounds - 2, "s1");
+            sched.join(2, "late", ServiceServerSpec::small("late", "ILP2", seed ^ 4, 0.0)
+                .with_p99_target_s(2e-3)).unwrap();
+            sched.leave(rounds - 2, "s1").unwrap();
             cfg = cfg.with_churn(sched);
         }
         if topo {
