@@ -1319,6 +1319,245 @@ pub fn fleet_scale(ctx: &mut Ctx) {
     ctx.emit(&t, "fleet_scale.tsv");
 }
 
+/// The message-passing control plane under fire. Two tables:
+///
+/// **Loss sweep** (`control_plane_loss.tsv`) — a 4-server FastCap fleet
+/// run to completion while the coordinator ↔ server RPC plane drops an
+/// increasing fraction of messages (plus 5% duplication and one round of
+/// one-way latency). The coordinator's lease ledger must conserve the
+/// budget at every loss rate: in-force caps never sum past the budget
+/// plus the floors of expired leases, no matter which grants or acks the
+/// network eats. What loss *costs* is agility — missed renewals ride the
+/// old lease, expired leases fall to the floor cap, and the fleet's
+/// makespan degrades. The table reports that degradation next to the
+/// plane's own accounting (grants applied vs sent, expirations, floor
+/// rounds).
+///
+/// **Partition + failover** (`control_plane_failover.tsv`) — two outages
+/// in sequence. First the primary coordinator is cut off: the standby
+/// notices the silent heartbeats, elects itself (exactly once), and the
+/// healed primary steps down on first contact with the higher term. Then
+/// a rack of two servers is cut off for a **50-round partition**: the
+/// rack rides the lease the new leader last granted it, falls to the
+/// floor cap when it expires, must never exceed that last-granted share,
+/// and rejoins cleanly — under the post-failover leader — when the
+/// partition heals. (The partition model is a binary minority-side cut,
+/// so the two windows are disjoint: flagging the primary and the rack
+/// together would put them on the same island and let the exiled primary
+/// keep granting the rack.) Every claim above is asserted, per round,
+/// before the table is written.
+pub fn control_plane(ctx: &mut Ctx) {
+    use cluster::{
+        run_cluster, CapSplit, ClusterConfig, ClusterResult, EngineKind, PartitionSpec, RpcConfig,
+        ServerSpec,
+    };
+
+    let budget = 120.0;
+    let fleet = |instr_scale: u64| -> Vec<ServerSpec> {
+        (0..4)
+            .map(|i| {
+                let mut s = ServerSpec::small(&format!("s{i}"), "MID1", 1 + i);
+                s.config.target_instrs *= instr_scale;
+                s
+            })
+            .collect()
+    };
+
+    // -- (a) loss sweep ----------------------------------------------------
+    let losses: &[f64] = if ctx.opts.quick {
+        &[0.0, 0.1, 0.3]
+    } else {
+        &[0.0, 0.05, 0.1, 0.2, 0.4]
+    };
+    let floor_w = 6.0;
+    let mut t = Table::new(
+        "Control plane — budget conservation and makespan degradation vs RPC loss \
+         (4×MID1, 120 W FastCap, 1-round latency, 5% duplication, 8-round leases, 6 W floor)",
+        &[
+            "loss",
+            "rounds",
+            "makespan (ms)",
+            "degradation",
+            "grants applied/sent",
+            "expired leases",
+            "floor rounds",
+            "max Σcaps (W)",
+            "energy (J)",
+        ],
+    );
+    let mut base_makespan = 0.0_f64;
+    for &loss in losses {
+        eprintln!("  running control-plane loss sweep [loss {loss}] ...");
+        let rpc = RpcConfig {
+            latency_us: 1250.0,
+            loss,
+            duplicate: 0.05,
+            floor_cap_w: floor_w,
+            ..RpcConfig::default()
+        };
+        let cfg = ClusterConfig::new(fleet(20), budget, CapSplit::FastCap).with_rpc(rpc);
+        let n = cfg.servers.len();
+        let r = run_cluster(cfg);
+        let mut max_sum = 0.0_f64;
+        for (round, caps) in r.cap_timeline.iter().enumerate() {
+            let total: f64 = caps.iter().sum();
+            max_sum = max_sum.max(total);
+            assert!(
+                total <= budget + n as f64 * floor_w + 1e-6,
+                "loss {loss}, round {round}: in-force caps {total:.3} W bust the \
+                 budget + expired-lease floors"
+            );
+        }
+        let makespan_ms = r.makespan().as_secs_f64() * 1e3;
+        let degradation = if loss == 0.0 {
+            base_makespan = makespan_ms;
+            "baseline".to_string()
+        } else {
+            format!("{:+.1}%", 100.0 * (makespan_ms / base_makespan - 1.0))
+        };
+        let c = &r.control;
+        t.row(vec![
+            format!("{loss:.2}"),
+            format!("{}", r.rounds),
+            format!("{makespan_ms:.3}"),
+            degradation,
+            format!("{}/{}", c.grants_applied, c.grants_sent),
+            format!("{}", c.lease_expirations),
+            format!("{}", c.floor_rounds),
+            format!("{max_sum:.1}"),
+            format!("{:.3}", r.total_energy_j()),
+        ]);
+    }
+    ctx.emit(&t, "control_plane_loss.tsv");
+
+    // -- (b) failover, then a 50-round rack partition ----------------------
+    let (fail_from, fail_to) = (8u64, 16u64);
+    let (part_from, part_to) = (20u64, 70u64);
+    let rack = [2usize, 3usize]; // s2, s3
+    eprintln!(
+        "  running control-plane failover [primary cut {fail_from}..{fail_to}, \
+         rack cut {part_from}..{part_to}] ..."
+    );
+    let rpc = RpcConfig {
+        failover: true,
+        floor_cap_w: floor_w,
+        partitions: vec![
+            PartitionSpec {
+                from_round: fail_from,
+                to_round: fail_to,
+                nodes: vec!["primary".into()],
+            },
+            PartitionSpec {
+                from_round: part_from,
+                to_round: part_to,
+                nodes: vec!["s2".into(), "s3".into()],
+            },
+        ],
+        ..RpcConfig::default()
+    };
+    let cfg = ClusterConfig::new(fleet(90), budget, CapSplit::FastCap)
+        .with_engine(EngineKind::Event)
+        .with_rpc(rpc.clone());
+    let lease = rpc.lease_rounds;
+    let r: ClusterResult = run_cluster(cfg);
+    assert!(
+        r.rounds as u64 > part_to + 2,
+        "horizon ({} rounds) too short to heal the round-{part_to} partition",
+        r.rounds
+    );
+    let c = &r.control;
+    assert_eq!(c.elections, 1, "the standby must take over exactly once");
+    assert!(c.step_downs >= 1, "the healed primary must step down");
+    assert_eq!(c.terms, vec![1, 1], "terms must converge after the heal");
+    let last_granted: Vec<f64> = rack
+        .iter()
+        .map(|&s| r.cap_timeline[part_from as usize - 1][s])
+        .collect();
+    for (round, caps) in r.cap_timeline.iter().enumerate() {
+        let total: f64 = caps.iter().sum();
+        assert!(
+            total <= budget + rack.len() as f64 * floor_w + 1e-6,
+            "round {round}: fleet caps {total:.3} W bust budget + floors"
+        );
+        let round = round as u64;
+        if round >= part_from && round < part_to {
+            for (k, &s) in rack.iter().enumerate() {
+                assert!(
+                    caps[s] <= last_granted[k] + 1e-9,
+                    "round {round}: partitioned s{s} at {:.3} W exceeds its \
+                     last-granted {:.3} W",
+                    caps[s],
+                    last_granted[k]
+                );
+            }
+        }
+        if round >= part_from + lease && round < part_to {
+            for &s in &rack {
+                assert!(
+                    (caps[s] - floor_w).abs() < 1e-9,
+                    "round {round}: s{s} should sit on the {floor_w} W floor, \
+                     found {:.3} W",
+                    caps[s]
+                );
+            }
+        }
+    }
+    let healed = &r.cap_timeline[part_to as usize + 1];
+    assert!(
+        rack.iter().any(|&s| healed[s] > floor_w + 1e-9),
+        "the rack never rejoined: no fresh grant above the floor after the heal"
+    );
+
+    let mut t = Table::new(
+        "Control plane — coordinator failover, then a 50-round rack partition \
+         (4×MID1, 120 W FastCap, event engine, 8-round leases, 6 W floor)",
+        &[
+            "phase",
+            "rounds",
+            "rack mean cap (W)",
+            "rack max cap (W)",
+            "max Σcaps (W)",
+            "elections",
+            "rack floor server-rounds",
+        ],
+    );
+    let phases: [(&str, u64, u64); 5] = [
+        ("steady state", 0, fail_from),
+        ("primary cut + takeover", fail_from, part_from),
+        ("rack cut: lease-riding", part_from, part_from + lease),
+        ("rack cut: floored", part_from + lease, part_to),
+        ("healed + rejoined", part_to, r.rounds as u64),
+    ];
+    for (label, from, to) in phases {
+        let window = &r.cap_timeline[from as usize..(to as usize).min(r.cap_timeline.len())];
+        let rack_caps: Vec<f64> = window
+            .iter()
+            .flat_map(|caps| rack.iter().map(|&s| caps[s]))
+            .collect();
+        let mean = rack_caps.iter().sum::<f64>() / rack_caps.len().max(1) as f64;
+        let max = rack_caps.iter().fold(0.0, |a: f64, &b| a.max(b));
+        let max_sum = window
+            .iter()
+            .map(|caps| caps.iter().sum::<f64>())
+            .fold(0.0, f64::max);
+        let elections_by_then = if to <= fail_from { 0 } else { c.elections };
+        let rack_floor_rounds = rack_caps
+            .iter()
+            .filter(|&&w| w.to_bits() == floor_w.to_bits())
+            .count();
+        t.row(vec![
+            label.to_string(),
+            format!("{from}..{}", (to as usize).min(r.cap_timeline.len())),
+            format!("{mean:.1}"),
+            format!("{max:.1}"),
+            format!("{max_sum:.1}"),
+            format!("{elections_by_then}"),
+            format!("{rack_floor_rounds}"),
+        ]);
+    }
+    ctx.emit(&t, "control_plane_failover.tsv");
+}
+
 /// Runs every experiment in paper order.
 pub fn all(ctx: &mut Ctx) {
     table1(ctx);
@@ -1344,4 +1583,5 @@ pub fn all(ctx: &mut Ctx) {
     hierarchical_capping(ctx);
     closed_loop_balancing(ctx);
     fleet_scale(ctx);
+    control_plane(ctx);
 }

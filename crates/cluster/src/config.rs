@@ -1,6 +1,7 @@
 //! Cluster-level configuration: the server fleet, the global power budget,
 //! and how the coordinator splits it.
 
+use crate::ctrlplane::RpcConfig;
 use crate::engine::EngineKind;
 use crate::tree::BudgetTree;
 use coscale::SimConfig;
@@ -303,6 +304,11 @@ pub struct ClusterConfig {
     /// bit-identical to the round engine; positive values trade fidelity
     /// for fewer re-splits. Ignored by the round engine.
     pub dead_band_w: f64,
+    /// Control-plane (coordinator ↔ server RPC) configuration. The default
+    /// is the loopback plane — zero latency, no loss, no failover — under
+    /// which both engines are bit-identical to the pre-plane direct-call
+    /// coordinator. See [`RpcConfig`](crate::ctrlplane::RpcConfig).
+    pub rpc: RpcConfig,
 }
 
 impl ClusterConfig {
@@ -320,7 +326,29 @@ impl ClusterConfig {
             quantum_w: 1.0,
             engine: EngineKind::Round,
             dead_band_w: 0.0,
+            rpc: RpcConfig::default(),
         }
+    }
+
+    /// Sets the control-plane configuration (see
+    /// [`RpcConfig`](crate::ctrlplane::RpcConfig)).
+    #[must_use]
+    pub fn with_rpc(mut self, rpc: RpcConfig) -> ClusterConfig {
+        self.rpc = rpc;
+        self
+    }
+
+    /// The wall-clock length of one coordination round in seconds:
+    /// `epochs_per_round` × the first server's epoch. (The plane's clock
+    /// ticks once per round barrier, so RPC latencies quantize against
+    /// this; in a heterogeneous fleet the first server's epoch is the
+    /// reference.)
+    pub fn round_s(&self) -> f64 {
+        let epoch_s = self
+            .servers
+            .first()
+            .map_or(250e-6, |s| s.config.epoch.as_secs_f64());
+        epoch_s * self.epochs_per_round as f64
     }
 
     /// Selects the coordination engine (see [`EngineKind`]).
@@ -395,6 +423,11 @@ impl ClusterConfig {
             let names: Vec<&str> = self.servers.iter().map(|s| s.name.as_str()).collect();
             tree.validate(&names)?;
         }
+        let names: Vec<&str> = self.servers.iter().map(|s| s.name.as_str()).collect();
+        self.rpc.validate(&names).map_err(|e| format!("rpc: {e}"))?;
+        self.rpc
+            .resolve(self.round_s())
+            .map_err(|e| format!("rpc: {e}"))?;
         Ok(())
     }
 }

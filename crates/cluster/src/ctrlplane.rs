@@ -1,0 +1,1442 @@
+//! The message-passing control plane: coordinator ↔ server RPC over a
+//! simulated network, with leases, liveness tracking, and failover.
+//!
+//! Historically the coordinator read telemetry and wrote caps by direct
+//! function call — an implicit perfect network. This module makes every
+//! exchange an explicit typed message ([`CtrlMsg`]) over a
+//! [`netsim::MsgPlane`], so the control loop tolerates (and experiments can
+//! measure) delay, loss, duplication, and partitions:
+//!
+//! * **Telemetry** — each server reports its [`ServerDemand`] to the leader
+//!   it last heard from, every barrier it is awake. Telemetry doubles as the
+//!   server's liveness signal: a leader that hasn't heard from a server for
+//!   `suspect_after` barriers stops granting to it (its share is
+//!   redistributed once its lease expires, never before).
+//! * **Cap grants are leases** — a [`CapGrant`] carries `(term, seq)`
+//!   ordering, a cap in watts, and an expiry barrier. A server that misses
+//!   renewals keeps running on its last-applied cap until the lease
+//!   expires, then falls to the safe floor cap ([`RpcConfig::floor_cap_w`],
+//!   default 0 W, which drives the local policy to its minimum-power plan).
+//!   Servers ack every applied grant; the coordinator's [`LeaseLedger`]
+//!   counts a server's watts as reserved until the grant that lowered them
+//!   is acked or the lease expires, so the fleet's in-force caps never
+//!   exceed the budget — conservation by conservative accounting, not by
+//!   assuming delivery.
+//! * **Heartbeats and failover** — with [`RpcConfig::failover`] enabled a
+//!   standby coordinator mirrors the leader's state from per-barrier
+//!   heartbeats. A coordinator that hasn't heard a live leader for
+//!   `heartbeat_timeout` barriers elects itself at the next term **of its
+//!   own parity** (primary takes even terms, standby odd), so two
+//!   coordinators can never elect the same term — the election is
+//!   deterministic and tie-free by construction. Servers follow the highest
+//!   term they have applied and nack lower-term grants with their current
+//!   term, which makes a healed stale leader adopt the new term and step
+//!   down. A fresh leader quarantines the free pool for one lease period
+//!   (grants at most what its inherited ledger already reserved), letting
+//!   any grants it never saw expire before their watts are re-issued.
+//!
+//! # Loopback equivalence
+//!
+//! Under the default [`RpcConfig`] (zero latency, zero loss, no failover)
+//! every message sent at a barrier is delivered and answered within that
+//! same barrier, the reconcile loop below converges to the exact
+//! (bit-identical) caps of the direct [`split_caps_active`] /
+//! [`BudgetTree`](crate::BudgetTree) computation, and both engines
+//! reproduce their pre-plane digests exactly — proven in
+//! `tests/engine_equivalence.rs`.
+//!
+//! # Known limitation: the replication gap
+//!
+//! Heartbeat replication is best-effort (one follower, no quorum). If the
+//! primary re-grants watts freed by a decrease-ack *after* the heartbeat
+//! the standby last received, and then fails, the standby's quarantined
+//! renewals can transiently re-raise the decreased server while the
+//! unknown grant is still in force — exceeding the budget by at most the
+//! watts re-allocated inside that gap, for at most one lease period. At
+//! zero latency the gap is empty (each heartbeat reflects the whole
+//! barrier, including every ack), so loopback failover conserves strictly.
+//! DESIGN.md discusses the trade-off.
+
+use crate::coordinator::ServerDemand;
+use crate::engine::{split_caps_active, CapCache, EngineKind};
+use crate::ClusterConfig;
+use netsim::{Envelope, LinkConfig, MsgPlane, NodeId, PlaneStats};
+use simkernel::Ps;
+
+/// One scheduled network partition: the named nodes are cut off from the
+/// rest of the plane for barriers `from_round <= r < to_round`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionSpec {
+    /// First barrier (inclusive) the cut is in effect.
+    pub from_round: u64,
+    /// First barrier (exclusive) after the cut heals.
+    pub to_round: u64,
+    /// Server names, plus the special names `primary` and `standby` for
+    /// the coordinators.
+    pub nodes: Vec<String>,
+}
+
+/// Control-plane (RPC) configuration for a cluster run. The default is the
+/// **loopback** plane: zero latency, zero jitter, no loss, no duplication,
+/// no partitions, no standby — under which the simulation is bit-identical
+/// to the pre-plane direct-call coordinator.
+#[derive(Clone, Debug)]
+pub struct RpcConfig {
+    /// One-way message latency, microseconds (rounded up to whole
+    /// coordination rounds; sub-round latency still costs one round,
+    /// because messages only land at barriers).
+    pub latency_us: f64,
+    /// Maximum uniform extra delay per message, microseconds (quantized to
+    /// whole rounds, rounding up).
+    pub jitter_us: f64,
+    /// Probability in `[0, 1]` that any message is silently dropped.
+    pub loss: f64,
+    /// Probability in `[0, 1]` that any message is delivered twice.
+    pub duplicate: f64,
+    /// Seed for the plane's message-fate randomness (loss, jitter,
+    /// duplication draws). Independent of every workload seed.
+    pub seed: u64,
+    /// Lease length in coordination rounds: a grant applied at round `r`
+    /// is in force through round `r + lease_rounds - 1`. Must exceed the
+    /// resolved latency + jitter (in rounds) or grants would expire in
+    /// flight.
+    pub lease_rounds: u64,
+    /// The safe cap a server falls to when its lease expires unrenewed,
+    /// watts. The default 0 W drives [`CappedPolicy`](crate::CappedPolicy)
+    /// to its minimum-power plan.
+    pub floor_cap_w: f64,
+    /// Run a standby coordinator that mirrors the leader via heartbeats
+    /// and takes over by deterministic election when the leader goes
+    /// silent.
+    pub failover: bool,
+    /// Barriers of leader silence before a coordinator elects itself
+    /// (auto-raised to cover the resolved latency).
+    pub heartbeat_timeout_rounds: u64,
+    /// Barriers of telemetry silence before the leader suspects a server
+    /// and stops granting to it. `0` (default) picks
+    /// `max(5, 2·(latency + jitter in rounds) + 1)` automatically.
+    pub suspect_after_rounds: u64,
+    /// Scheduled partitions.
+    pub partitions: Vec<PartitionSpec>,
+    /// Record every applied grant in
+    /// [`ControlStats::grant_log`] — memory proportional to
+    /// rounds × servers, so off by default; the invariant tests turn it
+    /// on.
+    pub audit: bool,
+}
+
+impl Default for RpcConfig {
+    fn default() -> Self {
+        RpcConfig {
+            latency_us: 0.0,
+            jitter_us: 0.0,
+            loss: 0.0,
+            duplicate: 0.0,
+            seed: 0xC0CA,
+            lease_rounds: 8,
+            floor_cap_w: 0.0,
+            failover: false,
+            heartbeat_timeout_rounds: 3,
+            suspect_after_rounds: 0,
+            partitions: Vec::new(),
+            audit: false,
+        }
+    }
+}
+
+impl RpcConfig {
+    /// Whether this is the perfect loopback plane (no delay, no loss, no
+    /// duplication, no partitions).
+    pub fn is_loopback(&self) -> bool {
+        self.latency_us == 0.0
+            && self.jitter_us == 0.0
+            && self.loss == 0.0
+            && self.duplicate == 0.0
+            && self.partitions.is_empty()
+    }
+
+    /// Validates ranges and partition names against the fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first problem found.
+    pub fn validate(&self, server_names: &[&str]) -> Result<(), String> {
+        for (label, v) in [
+            ("rpc latency", self.latency_us),
+            ("rpc jitter", self.jitter_us),
+        ] {
+            if v.is_nan() || !v.is_finite() || v < 0.0 {
+                return Err(format!("{label} must be finite and >= 0 µs, got {v}"));
+            }
+        }
+        for (label, p) in [("rpc loss", self.loss), ("rpc duplication", self.duplicate)] {
+            if p.is_nan() || !(0.0..=1.0).contains(&p) {
+                return Err(format!("{label} must be in [0, 1], got {p}"));
+            }
+        }
+        if self.lease_rounds == 0 {
+            return Err("lease must last at least 1 round".into());
+        }
+        if self.heartbeat_timeout_rounds == 0 {
+            return Err("heartbeat timeout must be at least 1 round".into());
+        }
+        if self.floor_cap_w.is_nan() || self.floor_cap_w < 0.0 {
+            return Err(format!(
+                "floor cap {} must be finite and non-negative",
+                self.floor_cap_w
+            ));
+        }
+        for p in &self.partitions {
+            if p.from_round >= p.to_round {
+                return Err(format!(
+                    "partition rounds {}..{} are empty (from must be < to)",
+                    p.from_round, p.to_round
+                ));
+            }
+            if p.nodes.is_empty() {
+                return Err("partition lists no nodes".into());
+            }
+            for n in &p.nodes {
+                let known = n == "primary" || n == "standby" || server_names.iter().any(|s| s == n);
+                if !known {
+                    return Err(format!(
+                        "partition names unknown node '{n}' (server name, 'primary', or 'standby')"
+                    ));
+                }
+                if n == "standby" && !self.failover {
+                    return Err("partition names 'standby' but failover is disabled".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Converts microsecond knobs to whole coordination rounds given the
+    /// round length, and applies the auto defaults.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a lease shorter than the resolved latency + jitter: such
+    /// grants would expire in flight and the fleet could never hold a cap.
+    pub fn resolve(&self, round_s: f64) -> Result<ResolvedRpc, String> {
+        assert!(round_s > 0.0, "round length must be positive");
+        let to_rounds = |us: f64| ((us * 1e-6) / round_s).ceil() as u64;
+        let latency = to_rounds(self.latency_us);
+        let jitter = to_rounds(self.jitter_us);
+        if latency + jitter >= self.lease_rounds {
+            return Err(format!(
+                "lease of {} rounds does not outlast the rpc delay of up to {} rounds \
+                 ({} + {} µs at {:.1} µs/round); grants would expire in flight — raise \
+                 --lease-rounds or lower the latency",
+                self.lease_rounds,
+                latency + jitter,
+                self.latency_us,
+                self.jitter_us,
+                round_s * 1e6
+            ));
+        }
+        let suspect_after = if self.suspect_after_rounds == 0 {
+            (2 * (latency + jitter) + 1).max(5)
+        } else {
+            self.suspect_after_rounds
+        };
+        let heartbeat_timeout = self.heartbeat_timeout_rounds.max(latency + jitter + 1);
+        Ok(ResolvedRpc {
+            latency_rounds: latency,
+            jitter_rounds: jitter,
+            loss: self.loss,
+            duplicate: self.duplicate,
+            seed: self.seed,
+            lease_rounds: self.lease_rounds,
+            floor_cap_w: self.floor_cap_w,
+            failover: self.failover,
+            heartbeat_timeout,
+            suspect_after,
+            audit: self.audit,
+        })
+    }
+}
+
+/// [`RpcConfig`] with every time knob converted to whole coordination
+/// rounds (the plane's clock: 1 tick = 1 barrier).
+#[derive(Clone, Copy, Debug)]
+pub struct ResolvedRpc {
+    /// One-way latency in rounds.
+    pub latency_rounds: u64,
+    /// Maximum uniform extra delay in rounds.
+    pub jitter_rounds: u64,
+    /// Drop probability.
+    pub loss: f64,
+    /// Duplication probability.
+    pub duplicate: f64,
+    /// Plane seed.
+    pub seed: u64,
+    /// Lease length in rounds.
+    pub lease_rounds: u64,
+    /// Expired-lease floor cap, watts.
+    pub floor_cap_w: f64,
+    /// Standby coordinator enabled.
+    pub failover: bool,
+    /// Resolved leader-silence threshold, rounds.
+    pub heartbeat_timeout: u64,
+    /// Resolved server-silence threshold, rounds.
+    pub suspect_after: u64,
+    /// Grant auditing enabled.
+    pub audit: bool,
+}
+
+/// Why a server refused a grant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NackReason {
+    /// The grant's `(term, seq)` is not newer than what the server already
+    /// applied.
+    Stale,
+    /// The grant arrived at or after its own expiry barrier.
+    Expired,
+}
+
+/// A cap lease offered to one server.
+#[derive(Clone, Copy, Debug)]
+pub struct CapGrant {
+    /// Target server index.
+    pub server: usize,
+    /// Issuing leader's term.
+    pub term: u64,
+    /// Issue sequence within the coordinator (totally ordered with `term`,
+    /// lexicographically).
+    pub seq: u64,
+    /// The cap, watts.
+    pub cap_w: f64,
+    /// First barrier at which this lease is no longer in force.
+    pub expires: u64,
+}
+
+/// A coordinator's replicated state, carried by heartbeats.
+#[derive(Clone, Debug)]
+pub struct ReplState {
+    /// Last known telemetry per server.
+    pub view: Vec<ServerDemand>,
+    /// Barrier each view entry was reported at.
+    pub view_round: Vec<u64>,
+    /// The lease ledger.
+    pub ledger: LeaseLedger,
+    /// Next grant sequence number.
+    pub next_seq: u64,
+}
+
+/// Every message that crosses the control plane.
+#[derive(Clone, Debug)]
+pub enum CtrlMsg {
+    /// Server → leader: telemetry for one barrier (also the server's
+    /// liveness signal).
+    Telemetry {
+        /// Reporting server index.
+        server: usize,
+        /// Barrier the report describes.
+        round: u64,
+        /// The telemetry.
+        demand: ServerDemand,
+    },
+    /// Leader → server: a cap lease.
+    Grant(CapGrant),
+    /// Server → leader: grant applied; carries the server's now-current
+    /// `(term, seq)` so re-acks of duplicates are idempotent.
+    Ack {
+        /// Acking server index.
+        server: usize,
+        /// The server's current applied term.
+        term: u64,
+        /// The server's current applied sequence.
+        seq: u64,
+    },
+    /// Server → leader: grant refused; carries the server's current term
+    /// so a stale leader can fence itself.
+    Nack {
+        /// Refusing server index.
+        server: usize,
+        /// The server's current applied term.
+        term: u64,
+        /// Why.
+        reason: NackReason,
+    },
+    /// Leader → standby: state replication and liveness.
+    Heartbeat(Box<Heartbeat>),
+}
+
+/// Heartbeat payload (boxed to keep [`CtrlMsg`] small).
+#[derive(Clone, Debug)]
+pub struct Heartbeat {
+    /// Sender's term.
+    pub term: u64,
+    /// Barrier it was sent at.
+    pub round: u64,
+    /// Snapshot of the sender's replicated state.
+    pub state: ReplState,
+}
+
+/// What happened when a server examined a grant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GrantOutcome {
+    /// Applied: the grant is newer than the current lease and not yet
+    /// expired.
+    Applied,
+    /// Refused: `(term, seq)` not newer than the current lease.
+    Stale,
+    /// Refused: the grant arrived at or after its own expiry barrier — a
+    /// lease that could never be in force must not resurrect a cap.
+    Expired,
+}
+
+/// The server-side lease state machine: grant → renew → expire → floor.
+///
+/// A lease applied at barrier `r` with expiry `e` is in force for barriers
+/// `r <= round < e`; outside it the server runs at the floor cap. Grants
+/// are ordered by `(term, seq)` lexicographically and only strictly newer
+/// grants apply, so duplicated or reordered renewals are harmless. The
+/// clock used for expiry is the *server's* barrier clock — renewals from a
+/// skew-free coordinator simply keep `expires` ahead of `round`; the
+/// property tests skew the two clocks deliberately.
+#[derive(Clone, Debug)]
+pub struct LeaseClient {
+    term: u64,
+    seq: u64,
+    cap_w: f64,
+    expires: u64,
+    floor_w: f64,
+    leader: NodeId,
+}
+
+impl LeaseClient {
+    /// A client holding an initial lease `(term 0, seq 0)` of `cap_w`
+    /// expiring at `expires`, following `leader`.
+    pub fn new(cap_w: f64, expires: u64, floor_w: f64, leader: NodeId) -> LeaseClient {
+        LeaseClient {
+            term: 0,
+            seq: 0,
+            cap_w,
+            expires,
+            floor_w,
+            leader,
+        }
+    }
+
+    /// Examines `grant` (delivered from `from`) at local barrier `now`.
+    /// On [`GrantOutcome::Applied`] the lease is replaced and the server
+    /// follows `from` as its leader.
+    pub fn apply(&mut self, now: u64, grant: &CapGrant, from: NodeId) -> GrantOutcome {
+        if (grant.term, grant.seq) <= (self.term, self.seq) {
+            return GrantOutcome::Stale;
+        }
+        if grant.expires <= now {
+            return GrantOutcome::Expired;
+        }
+        self.term = grant.term;
+        self.seq = grant.seq;
+        self.cap_w = grant.cap_w;
+        self.expires = grant.expires;
+        self.leader = from;
+        GrantOutcome::Applied
+    }
+
+    /// The cap in force at `now`: the leased cap while the lease lives,
+    /// the floor after it expires.
+    pub fn effective_cap(&self, now: u64) -> f64 {
+        if now < self.expires {
+            self.cap_w
+        } else {
+            self.floor_w
+        }
+    }
+
+    /// Whether the lease has expired at `now`.
+    pub fn on_floor(&self, now: u64) -> bool {
+        now >= self.expires
+    }
+
+    /// The leader this server currently reports to.
+    pub fn leader(&self) -> NodeId {
+        self.leader
+    }
+
+    /// The `(term, seq)` of the applied lease.
+    pub fn granted(&self) -> (u64, u64) {
+        (self.term, self.seq)
+    }
+
+    /// The applied term (what lower-term grants are fenced against).
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+}
+
+/// One outstanding (sent, not yet superseded-and-acked, not yet expired)
+/// grant in the coordinator's ledger.
+#[derive(Clone, Copy, Debug)]
+pub struct LeaseEntry {
+    /// Issuing term.
+    pub term: u64,
+    /// Issue sequence.
+    pub seq: u64,
+    /// Granted cap, watts.
+    pub cap_w: f64,
+    /// First barrier the grant is no longer in force.
+    pub expires: u64,
+}
+
+/// The coordinator's conservative accounting of watts that may be in force
+/// somewhere in the fleet.
+///
+/// Every sent grant is an entry until it **expires** or until a **newer**
+/// grant to the same server is acked (an ack of `(term, seq)` proves every
+/// older grant is superseded at the server, so only entries at or above the
+/// ack survive). A server's reserved watts are the *maximum* cap over its
+/// surviving entries — the worst case over which of its grants is actually
+/// in force — and the leader only funds cap increases from
+/// `budget − Σ reserved`. Decreases therefore free watts only when acked
+/// or expired, never on hope.
+#[derive(Clone, Debug)]
+pub struct LeaseLedger {
+    outstanding: Vec<Vec<LeaseEntry>>,
+    acked: Vec<(u64, u64)>,
+    last_sent_cap: Vec<f64>,
+}
+
+impl LeaseLedger {
+    /// A ledger bootstrapped to match the fleet's initial state: every
+    /// server holds an acked `(term 0, seq 0)` lease of `initial_cap_w`
+    /// expiring at `expires`.
+    pub fn new(n: usize, initial_cap_w: f64, expires: u64) -> LeaseLedger {
+        LeaseLedger {
+            outstanding: (0..n)
+                .map(|_| {
+                    vec![LeaseEntry {
+                        term: 0,
+                        seq: 0,
+                        cap_w: initial_cap_w,
+                        expires,
+                    }]
+                })
+                .collect(),
+            acked: vec![(0, 0); n],
+            last_sent_cap: vec![initial_cap_w; n],
+        }
+    }
+
+    /// Drops every entry no longer in force at `round`. Returns how many
+    /// expired.
+    pub fn expire(&mut self, round: u64) -> u64 {
+        let mut dropped = 0;
+        for entries in &mut self.outstanding {
+            let before = entries.len();
+            entries.retain(|e| e.expires > round);
+            dropped += (before - entries.len()) as u64;
+        }
+        dropped
+    }
+
+    /// Records a sent grant.
+    pub fn note_sent(&mut self, server: usize, entry: LeaseEntry) {
+        self.last_sent_cap[server] = entry.cap_w;
+        self.outstanding[server].push(entry);
+    }
+
+    /// Processes an ack: the server's current lease is `(term, seq)`, so
+    /// every strictly older entry is superseded and released.
+    pub fn note_ack(&mut self, server: usize, term: u64, seq: u64) {
+        if server >= self.acked.len() || (term, seq) <= self.acked[server] {
+            return;
+        }
+        self.acked[server] = (term, seq);
+        self.outstanding[server].retain(|e| (e.term, e.seq) >= (term, seq));
+    }
+
+    /// Watts that may be in force at `server`: the max over its surviving
+    /// entries (0 when none).
+    pub fn reserved_w(&self, server: usize) -> f64 {
+        self.outstanding[server]
+            .iter()
+            .map(|e| e.cap_w)
+            .fold(0.0, f64::max)
+    }
+
+    /// Fleet-wide reserved watts.
+    pub fn total_reserved(&self) -> f64 {
+        (0..self.outstanding.len())
+            .map(|i| self.reserved_w(i))
+            .sum()
+    }
+
+    /// The cap of the most recently sent grant to `server` (used to avoid
+    /// re-sending release-to-zero grants forever).
+    pub fn last_sent_cap(&self, server: usize) -> f64 {
+        self.last_sent_cap[server]
+    }
+}
+
+/// One applied grant, recorded when [`RpcConfig::audit`] is on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GrantRecord {
+    /// Barrier the server applied it.
+    pub round: u64,
+    /// Applying server.
+    pub server: usize,
+    /// Grant term.
+    pub term: u64,
+    /// Grant sequence.
+    pub seq: u64,
+    /// Granted cap, as raw f64 bits (exact).
+    pub cap_bits: u64,
+}
+
+/// Counters describing one run's control-plane behaviour. Not part of
+/// [`ClusterResult::digest`](crate::ClusterResult::digest) — the digest
+/// pins physics, these describe the transport.
+#[derive(Clone, Debug, Default)]
+pub struct ControlStats {
+    /// Raw transport counters.
+    pub plane: PlaneStats,
+    /// Grants sent by leaders.
+    pub grants_sent: u64,
+    /// Grants applied by servers.
+    pub grants_applied: u64,
+    /// Grants refused as stale (duplicates, reorders, fenced terms).
+    pub grants_stale: u64,
+    /// Grants refused as expired-on-arrival.
+    pub grants_expired: u64,
+    /// Acks processed by coordinators.
+    pub acks: u64,
+    /// Nacks processed by coordinators.
+    pub nacks: u64,
+    /// Ledger entries that expired unacked.
+    pub lease_expirations: u64,
+    /// Server-barriers spent on the expired-lease floor cap (running
+    /// servers only).
+    pub floor_rounds: u64,
+    /// Server-barriers spent suspected by the acting leader.
+    pub suspect_rounds: u64,
+    /// Self-elections.
+    pub elections: u64,
+    /// Leaders that stepped down after seeing a higher term.
+    pub step_downs: u64,
+    /// Final term per coordinator (primary first).
+    pub terms: Vec<u64>,
+    /// Messages still in flight when the run ended.
+    pub in_flight_at_end: usize,
+    /// Applied grants, when auditing ([`RpcConfig::audit`]) is on.
+    pub grant_log: Vec<GrantRecord>,
+}
+
+/// One coordinator (primary or standby).
+#[derive(Clone, Debug)]
+struct Coordinator {
+    node: NodeId,
+    peer: Option<NodeId>,
+    term: u64,
+    is_leader: bool,
+    view: Vec<ServerDemand>,
+    view_round: Vec<u64>,
+    suspected: Vec<bool>,
+    ledger: LeaseLedger,
+    cache: CapCache,
+    next_seq: u64,
+    last_peer_heard: u64,
+    quarantine_until: u64,
+    granted_this_barrier: Vec<Option<f64>>,
+}
+
+impl Coordinator {
+    fn new(
+        node: NodeId,
+        peer: Option<NodeId>,
+        is_leader: bool,
+        n: usize,
+        initial_cap_w: f64,
+        lease_rounds: u64,
+        dead_band_w: f64,
+    ) -> Coordinator {
+        Coordinator {
+            node,
+            peer,
+            term: 0,
+            is_leader,
+            view: vec![
+                ServerDemand {
+                    demand_w: 0.0,
+                    min_w: 0.0,
+                    active: true,
+                };
+                n
+            ],
+            view_round: vec![0; n],
+            suspected: vec![false; n],
+            ledger: LeaseLedger::new(n, initial_cap_w, lease_rounds),
+            cache: CapCache::new(dead_band_w),
+            next_seq: 1,
+            last_peer_heard: 0,
+            quarantine_until: 0,
+            granted_this_barrier: vec![None; n],
+        }
+    }
+
+    fn repl_state(&self) -> ReplState {
+        ReplState {
+            view: self.view.clone(),
+            view_round: self.view_round.clone(),
+            ledger: self.ledger.clone(),
+            next_seq: self.next_seq,
+        }
+    }
+
+    fn adopt(&mut self, hb: Heartbeat) {
+        self.term = hb.term;
+        self.is_leader = false;
+        self.view = hb.state.view;
+        self.view_round = hb.state.view_round;
+        self.ledger = hb.state.ledger;
+        self.next_seq = hb.state.next_seq;
+        self.cache.invalidate();
+    }
+}
+
+/// The control plane an engine drives: the message plane, the
+/// coordinator(s), and one [`LeaseClient`] per server. Engines call
+/// [`ControlPlane::barrier`] once per coordination round with the
+/// telemetry that round produced and apply the returned effective caps.
+pub struct ControlPlane {
+    plane: MsgPlane<CtrlMsg>,
+    coords: Vec<Coordinator>,
+    leases: Vec<LeaseClient>,
+    n: usize,
+    rpc: ResolvedRpc,
+    budget: f64,
+    partitions: Vec<(u64, u64, Vec<usize>)>,
+    stats: ControlStats,
+}
+
+impl ControlPlane {
+    /// Builds the plane for a validated [`ClusterConfig`]. Servers are
+    /// nodes `0..n`, the primary coordinator is node `n`, the standby
+    /// (when failover is on) node `n + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config's RPC section fails validation — validate the
+    /// [`ClusterConfig`] first.
+    pub fn new(config: &ClusterConfig) -> ControlPlane {
+        let n = config.servers.len();
+        let names: Vec<&str> = config.servers.iter().map(|s| s.name.as_str()).collect();
+        config
+            .rpc
+            .validate(&names)
+            .expect("invalid rpc config; ClusterConfig::validate reports this cleanly");
+        let rpc = config
+            .rpc
+            .resolve(config.round_s())
+            .expect("unresolvable rpc config; ClusterConfig::validate reports this cleanly");
+        let coords_n = if rpc.failover { 2 } else { 1 };
+        let link = LinkConfig {
+            latency: Ps::new(rpc.latency_rounds),
+            jitter: Ps::new(rpc.jitter_rounds),
+            loss: rpc.loss,
+            duplicate: rpc.duplicate,
+        };
+        let plane = MsgPlane::new(n + coords_n, link, rpc.seed);
+        let primary = NodeId(n);
+        let standby = NodeId(n + 1);
+        let initial = config.global_cap_w / n as f64;
+        // The round engine recomputes every barrier today; pinning its
+        // coordinator cache to a zero dead-band keeps any replay
+        // bit-identical to that recompute. The event engine keeps its
+        // configured dead-band semantics.
+        let dead_band = match config.engine {
+            EngineKind::Round => 0.0,
+            EngineKind::Event => config.dead_band_w,
+        };
+        let coords = (0..coords_n)
+            .map(|c| {
+                let (node, peer) = if c == 0 {
+                    (primary, rpc.failover.then_some(standby))
+                } else {
+                    (standby, Some(primary))
+                };
+                Coordinator::new(node, peer, c == 0, n, initial, rpc.lease_rounds, dead_band)
+            })
+            .collect();
+        let leases = (0..n)
+            .map(|_| LeaseClient::new(initial, rpc.lease_rounds, rpc.floor_cap_w, primary))
+            .collect();
+        let name_to_node = |name: &str| -> usize {
+            match name {
+                "primary" => n,
+                "standby" => n + 1,
+                _ => names
+                    .iter()
+                    .position(|s| *s == name)
+                    .expect("validated partition name"),
+            }
+        };
+        let partitions = config
+            .rpc
+            .partitions
+            .iter()
+            .map(|p| {
+                (
+                    p.from_round,
+                    p.to_round,
+                    p.nodes.iter().map(|s| name_to_node(s)).collect(),
+                )
+            })
+            .collect();
+        ControlPlane {
+            plane,
+            coords,
+            leases,
+            n,
+            rpc,
+            budget: config.global_cap_w,
+            partitions,
+            stats: ControlStats::default(),
+        }
+    }
+
+    /// Runs one coordination barrier: telemetry out, election checks, the
+    /// acting leader's reconcile/grant cycle, and returns the cap in force
+    /// at every server for this round (the lease cap, or the floor once a
+    /// lease has expired).
+    ///
+    /// `reports` carries `(server index, telemetry)` for every server with
+    /// something to say this barrier — all servers under the round engine,
+    /// the awake set plus one final inactive "goodbye" report per freshly
+    /// finished server under the event engine.
+    pub fn barrier(
+        &mut self,
+        round: u64,
+        reports: &[(usize, ServerDemand)],
+        config: &ClusterConfig,
+        names: &[&str],
+    ) -> Vec<f64> {
+        let t = Ps::new(round);
+        self.apply_partitions(round);
+
+        // Servers report to whichever leader they last applied a grant
+        // from. Telemetry doubles as the liveness heartbeat.
+        for &(i, demand) in reports {
+            let to = self.leases[i].leader();
+            self.plane.send(
+                t,
+                NodeId(i),
+                to,
+                CtrlMsg::Telemetry {
+                    server: i,
+                    round,
+                    demand,
+                },
+            );
+        }
+        self.pump(t, round);
+        self.maybe_elect(round);
+        for c in 0..self.coords.len() {
+            if self.coords[c].is_leader {
+                self.decide(c, round, t, config, names);
+            }
+        }
+
+        let caps: Vec<f64> = (0..self.n)
+            .map(|i| self.leases[i].effective_cap(round))
+            .collect();
+        for &(i, demand) in reports {
+            if demand.active && self.leases[i].on_floor(round) {
+                self.stats.floor_rounds += 1;
+            }
+        }
+        caps
+    }
+
+    /// Recomputes every node's partition flag from the schedule.
+    fn apply_partitions(&mut self, round: u64) {
+        let nodes = self.plane.nodes();
+        for node in 0..nodes {
+            let cut = self.partitions.iter().any(|(from, to, members)| {
+                (*from..*to).contains(&round) && members.contains(&node)
+            });
+            self.plane.set_partitioned(NodeId(node), cut);
+        }
+    }
+
+    /// Delivers and dispatches every message due at `t`, repeatedly, until
+    /// nothing more lands (zero-latency replies circulate to fixpoint
+    /// within the barrier). Returns how many messages were dispatched.
+    fn pump(&mut self, t: Ps, round: u64) -> u64 {
+        let mut dispatched = 0;
+        loop {
+            let batch = self.plane.deliver_due(t);
+            if batch.is_empty() {
+                return dispatched;
+            }
+            dispatched += batch.len() as u64;
+            for env in batch {
+                self.dispatch(env, t, round);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, env: Envelope<CtrlMsg>, t: Ps, round: u64) {
+        let to = env.to;
+        if to.0 < self.n {
+            // Server side: only grants matter.
+            let i = to.0;
+            if let CtrlMsg::Grant(g) = env.msg {
+                match self.leases[i].apply(round, &g, env.from) {
+                    GrantOutcome::Applied => {
+                        self.stats.grants_applied += 1;
+                        if self.rpc.audit {
+                            self.stats.grant_log.push(GrantRecord {
+                                round,
+                                server: i,
+                                term: g.term,
+                                seq: g.seq,
+                                cap_bits: g.cap_w.to_bits(),
+                            });
+                        }
+                        let (term, seq) = self.leases[i].granted();
+                        self.plane.send(
+                            t,
+                            to,
+                            env.from,
+                            CtrlMsg::Ack {
+                                server: i,
+                                term,
+                                seq,
+                            },
+                        );
+                    }
+                    GrantOutcome::Stale => {
+                        self.stats.grants_stale += 1;
+                        if g.term < self.leases[i].term() {
+                            // A lower-term leader: fence it with our term.
+                            self.plane.send(
+                                t,
+                                to,
+                                env.from,
+                                CtrlMsg::Nack {
+                                    server: i,
+                                    term: self.leases[i].term(),
+                                    reason: NackReason::Stale,
+                                },
+                            );
+                        } else {
+                            // A duplicate or reordered renewal from the
+                            // current leader: re-ack the current state so a
+                            // lost ack still converges.
+                            let (term, seq) = self.leases[i].granted();
+                            self.plane.send(
+                                t,
+                                to,
+                                env.from,
+                                CtrlMsg::Ack {
+                                    server: i,
+                                    term,
+                                    seq,
+                                },
+                            );
+                        }
+                    }
+                    GrantOutcome::Expired => {
+                        self.stats.grants_expired += 1;
+                        self.plane.send(
+                            t,
+                            to,
+                            env.from,
+                            CtrlMsg::Nack {
+                                server: i,
+                                term: self.leases[i].term(),
+                                reason: NackReason::Expired,
+                            },
+                        );
+                    }
+                }
+            }
+            return;
+        }
+        // Coordinator side.
+        let Some(c) = self.coords.iter().position(|co| co.node == to) else {
+            return;
+        };
+        match env.msg {
+            CtrlMsg::Telemetry {
+                server,
+                round: r0,
+                demand,
+            } => {
+                let co = &mut self.coords[c];
+                if server < self.n && r0 >= co.view_round[server] {
+                    co.view[server] = demand;
+                    co.view_round[server] = r0;
+                }
+            }
+            CtrlMsg::Ack { server, term, seq } => {
+                self.stats.acks += 1;
+                self.coords[c].ledger.note_ack(server, term, seq);
+            }
+            CtrlMsg::Nack { term, .. } => {
+                self.stats.nacks += 1;
+                let co = &mut self.coords[c];
+                if term > co.term {
+                    // A server already follows a newer leader: adopt the
+                    // term and stop acting as leader.
+                    co.term = term;
+                    if co.is_leader {
+                        co.is_leader = false;
+                        self.stats.step_downs += 1;
+                    }
+                }
+            }
+            CtrlMsg::Heartbeat(hb) => {
+                let co = &mut self.coords[c];
+                if hb.term > co.term || (hb.term == co.term && !co.is_leader) {
+                    let was_leader = co.is_leader;
+                    co.adopt(*hb);
+                    co.last_peer_heard = round;
+                    if was_leader {
+                        self.stats.step_downs += 1;
+                    }
+                }
+            }
+            CtrlMsg::Grant(_) => {}
+        }
+    }
+
+    /// A coordinator that hasn't heard a live leader for the timeout
+    /// elects itself at the next term of its own parity (primary even,
+    /// standby odd — terms are leader-unique by construction). The new
+    /// leader quarantines the free pool for one lease period and resets
+    /// its suspicion clocks so servers get a fresh window to reach it.
+    fn maybe_elect(&mut self, round: u64) {
+        if !self.rpc.failover {
+            return;
+        }
+        for (c, co) in self.coords.iter_mut().enumerate() {
+            if co.is_leader || round <= co.last_peer_heard + self.rpc.heartbeat_timeout {
+                continue;
+            }
+            let mut term = co.term + 1;
+            if term % 2 != c as u64 {
+                term += 1;
+            }
+            co.term = term;
+            co.is_leader = true;
+            co.quarantine_until = round + self.rpc.lease_rounds;
+            for r in &mut co.view_round {
+                *r = round;
+            }
+            for s in &mut co.suspected {
+                *s = false;
+            }
+            co.cache.invalidate();
+            self.stats.elections += 1;
+        }
+    }
+
+    /// The acting leader's barrier work: expire the ledger, refresh
+    /// suspicion, compute the desired split over the live view, then
+    /// reconcile — send renewals/decreases, fund increases from the free
+    /// pool, and repeat as zero-latency acks free more watts, until the
+    /// barrier is quiet. Ends with a heartbeat to the peer.
+    fn decide(&mut self, c: usize, round: u64, t: Ps, config: &ClusterConfig, names: &[&str]) {
+        let n = self.n;
+        let desired = {
+            let co = &mut self.coords[c];
+            self.stats.lease_expirations += co.ledger.expire(round);
+            for i in 0..n {
+                co.suspected[i] = co.view[i].active
+                    && round.saturating_sub(co.view_round[i]) > self.rpc.suspect_after;
+                if co.suspected[i] {
+                    self.stats.suspect_rounds += 1;
+                }
+            }
+            // The split runs over the live view: suspected servers are
+            // treated as inactive (no fresh telemetry to honor), which also
+            // invalidates any cached allocation via the activity flip.
+            let mut live = co.view.clone();
+            for (i, entry) in live.iter_mut().enumerate() {
+                if co.suspected[i] {
+                    entry.active = false;
+                }
+            }
+            co.granted_this_barrier = vec![None; n];
+            co.cache.lookup(&live, None).unwrap_or_else(|| {
+                let caps = match &config.topology {
+                    Some(tree) => {
+                        tree.split(config.global_cap_w, names, &live, None, config.quantum_w)
+                    }
+                    None => split_caps_active(
+                        config.split,
+                        config.global_cap_w,
+                        &live,
+                        config.quantum_w,
+                    ),
+                };
+                co.cache.store(&live, None, &caps);
+                caps
+            })
+        };
+
+        // Reconcile to fixpoint: at zero latency each pass's acks free the
+        // watts the next pass's increases need, and the loop converges to
+        // the exact desired split; at positive latency the second pass
+        // finds nothing new and the deficit waits for future barriers.
+        let mut passes = 0;
+        loop {
+            let outgoing = self.reconcile_pass(c, round, &desired);
+            let sent = outgoing.len() as u64;
+            let from = self.coords[c].node;
+            for (to, msg) in outgoing {
+                self.plane.send(t, from, to, msg);
+            }
+            let delivered = self.pump(t, round);
+            passes += 1;
+            if (sent == 0 && delivered == 0) || passes > n + 4 {
+                break;
+            }
+        }
+
+        let co = &self.coords[c];
+        if let Some(peer) = co.peer {
+            let hb = Heartbeat {
+                term: co.term,
+                round,
+                state: co.repl_state(),
+            };
+            let from = co.node;
+            self.plane
+                .send(t, from, peer, CtrlMsg::Heartbeat(Box::new(hb)));
+            self.pump(t, round);
+        }
+    }
+
+    /// One reconcile pass: decide what to send each server given the
+    /// ledger's current reservations and the free pool. Decreases and
+    /// renewals always go out (they keep leases alive); increases are
+    /// funded from `budget − Σ reserved`, granted at the exact target when
+    /// the pool covers the deficit. A new leader in quarantine has an
+    /// empty pool, so its grants never exceed what its inherited ledger
+    /// already reserved.
+    fn reconcile_pass(&mut self, c: usize, round: u64, desired: &[f64]) -> Vec<(NodeId, CtrlMsg)> {
+        let n = self.n;
+        let co = &mut self.coords[c];
+        let quarantined = round < co.quarantine_until;
+        let mut free = if quarantined {
+            0.0
+        } else {
+            (self.budget - co.ledger.total_reserved()).max(0.0)
+        };
+        let mut out = Vec::new();
+        #[allow(clippy::needless_range_loop)] // `co` fields are indexed alongside `desired`
+        for i in 0..n {
+            if co.suspected[i] {
+                // Possibly partitioned, not dead: leave its lease alone and
+                // let expiry return the watts.
+                continue;
+            }
+            if !co.view[i].active {
+                // Finished: one release-to-zero so both engines record the
+                // same zeroed cap the direct split used to produce.
+                if co.granted_this_barrier[i].is_none()
+                    && co.ledger.last_sent_cap(i).to_bits() != 0.0f64.to_bits()
+                {
+                    let entry = LeaseEntry {
+                        term: co.term,
+                        seq: co.next_seq,
+                        cap_w: 0.0,
+                        expires: round + self.rpc.lease_rounds,
+                    };
+                    co.next_seq += 1;
+                    co.ledger.note_sent(i, entry);
+                    co.granted_this_barrier[i] = Some(0.0);
+                    self.stats.grants_sent += 1;
+                    out.push((
+                        NodeId(i),
+                        CtrlMsg::Grant(CapGrant {
+                            server: i,
+                            term: entry.term,
+                            seq: entry.seq,
+                            cap_w: 0.0,
+                            expires: entry.expires,
+                        }),
+                    ));
+                }
+                continue;
+            }
+            let target = desired[i];
+            let reserved = co.ledger.reserved_w(i);
+            let cap = if target <= reserved {
+                target
+            } else if target - reserved <= free {
+                free -= target - reserved;
+                target
+            } else {
+                let take = free;
+                free = 0.0;
+                reserved + take
+            };
+            let send = match co.granted_this_barrier[i] {
+                // First pass: always renew, keeping the lease alive.
+                None => true,
+                // Later passes: only a strict top-up is news.
+                Some(prev) => cap > prev,
+            };
+            if !send {
+                continue;
+            }
+            let entry = LeaseEntry {
+                term: co.term,
+                seq: co.next_seq,
+                cap_w: cap,
+                expires: round + self.rpc.lease_rounds,
+            };
+            co.next_seq += 1;
+            co.ledger.note_sent(i, entry);
+            co.granted_this_barrier[i] = Some(cap);
+            self.stats.grants_sent += 1;
+            out.push((
+                NodeId(i),
+                CtrlMsg::Grant(CapGrant {
+                    server: i,
+                    term: entry.term,
+                    seq: entry.seq,
+                    cap_w: cap,
+                    expires: entry.expires,
+                }),
+            ));
+        }
+        out
+    }
+
+    /// Consumes the plane and returns the run's control statistics.
+    pub fn finish(mut self) -> ControlStats {
+        self.stats.plane = self.plane.stats();
+        self.stats.in_flight_at_end = self.plane.in_flight();
+        self.stats.terms = self.coords.iter().map(|c| c.term).collect();
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grant(term: u64, seq: u64, cap_w: f64, expires: u64) -> CapGrant {
+        CapGrant {
+            server: 0,
+            term,
+            seq,
+            cap_w,
+            expires,
+        }
+    }
+
+    #[test]
+    fn lease_client_applies_renews_expires_floors() {
+        let mut lc = LeaseClient::new(50.0, 8, 2.0, NodeId(9));
+        assert_eq!(lc.effective_cap(0), 50.0);
+        assert_eq!(lc.effective_cap(7), 50.0);
+        assert_eq!(lc.effective_cap(8), 2.0, "expiry barrier is exclusive");
+        assert!(lc.on_floor(8));
+
+        // A renewal pushes the horizon out.
+        assert_eq!(
+            lc.apply(5, &grant(0, 1, 60.0, 13), NodeId(9)),
+            GrantOutcome::Applied
+        );
+        assert_eq!(lc.effective_cap(12), 60.0);
+        assert_eq!(lc.effective_cap(13), 2.0);
+
+        // Stale (term, seq) never applies — duplicates and reorders alike.
+        assert_eq!(
+            lc.apply(5, &grant(0, 1, 99.0, 20), NodeId(9)),
+            GrantOutcome::Stale
+        );
+        assert_eq!(
+            lc.apply(5, &grant(0, 0, 99.0, 20), NodeId(9)),
+            GrantOutcome::Stale
+        );
+        assert_eq!(lc.effective_cap(5), 60.0);
+
+        // A grant arriving at/after its own expiry is rejected and cannot
+        // resurrect a cap, even with a newer (term, seq).
+        assert_eq!(
+            lc.apply(14, &grant(0, 2, 80.0, 14), NodeId(9)),
+            GrantOutcome::Expired
+        );
+        assert_eq!(lc.effective_cap(14), 2.0);
+
+        // A newer term always beats a newer seq of an older term.
+        assert_eq!(
+            lc.apply(14, &grant(1, 1, 40.0, 22), NodeId(7)),
+            GrantOutcome::Applied
+        );
+        assert_eq!(lc.leader(), NodeId(7), "server follows the granting leader");
+        assert_eq!(
+            lc.apply(14, &grant(0, 99, 70.0, 30), NodeId(9)),
+            GrantOutcome::Stale
+        );
+    }
+
+    #[test]
+    fn ledger_reserves_until_ack_or_expiry() {
+        let mut lg = LeaseLedger::new(2, 50.0, 8);
+        assert_eq!(lg.total_reserved(), 100.0);
+
+        // A decrease is sent: both old and new grants are reserved-worthy
+        // until the ack proves the old one superseded.
+        lg.note_sent(
+            0,
+            LeaseEntry {
+                term: 0,
+                seq: 1,
+                cap_w: 30.0,
+                expires: 9,
+            },
+        );
+        assert_eq!(lg.reserved_w(0), 50.0, "decrease frees nothing before ack");
+        lg.note_ack(0, 0, 1);
+        assert_eq!(lg.reserved_w(0), 30.0, "ack releases the superseded grant");
+        assert_eq!(lg.total_reserved(), 80.0);
+
+        // A stale ack can never roll the ledger backwards.
+        lg.note_ack(0, 0, 0);
+        assert_eq!(lg.reserved_w(0), 30.0);
+
+        // Expiry releases unacked grants.
+        lg.note_sent(
+            1,
+            LeaseEntry {
+                term: 0,
+                seq: 2,
+                cap_w: 70.0,
+                expires: 10,
+            },
+        );
+        assert_eq!(lg.reserved_w(1), 70.0);
+        // At round 9 the bootstrap grants (expiry 8) and server 0's seq-1
+        // (expiry 9) are gone; server 1's seq-2 (expiry 10) survives.
+        let dropped = lg.expire(9);
+        assert!(dropped >= 1);
+        assert_eq!(lg.reserved_w(1), 70.0, "live entry survives expiry sweep");
+        lg.expire(10);
+        assert_eq!(lg.reserved_w(1), 0.0, "expired entries release their watts");
+    }
+
+    #[test]
+    fn clock_skewed_renewals_keep_the_lease_alive() {
+        // The server's barrier clock runs ahead of the coordinator's by
+        // `skew`; renewals expire relative to the coordinator clock. As
+        // long as lease_rounds exceeds the skew the server stays leased.
+        for skew in 0u64..4 {
+            let mut lc = LeaseClient::new(50.0, 8, 0.0, NodeId(9));
+            let mut rejected = 0u64;
+            for coord_round in 1..40u64 {
+                let server_round = coord_round + skew;
+                let g = grant(0, coord_round, 50.0, coord_round + 8);
+                match lc.apply(server_round, &g, NodeId(9)) {
+                    GrantOutcome::Applied => {
+                        assert!(
+                            !lc.on_floor(server_round),
+                            "skew {skew}: applied a grant yet on floor at {server_round}"
+                        );
+                    }
+                    GrantOutcome::Expired => rejected += 1,
+                    GrantOutcome::Stale => panic!("seqs are strictly increasing"),
+                }
+            }
+            assert_eq!(rejected, 0, "skew {skew} < lease 8 must never reject");
+        }
+        // A skew at/above the lease length rejects every renewal on
+        // arrival: the grant is already expired by the server's clock.
+        let mut lc = LeaseClient::new(50.0, 8, 0.0, NodeId(9));
+        let g = grant(0, 1, 50.0, 9); // coordinator round 1 + lease 8
+        assert_eq!(lc.apply(9 + 3, &g, NodeId(9)), GrantOutcome::Expired);
+    }
+
+    #[test]
+    fn rpc_validation_rejects_bad_inputs() {
+        let names = ["s0", "s1"];
+        let ok = RpcConfig::default();
+        assert!(ok.validate(&names).is_ok());
+        assert!(ok.is_loopback());
+
+        let bad = RpcConfig {
+            loss: 1.5,
+            ..RpcConfig::default()
+        };
+        assert!(bad.validate(&names).is_err());
+        let bad = RpcConfig {
+            latency_us: -1.0,
+            ..RpcConfig::default()
+        };
+        assert!(bad.validate(&names).is_err());
+        let bad = RpcConfig {
+            duplicate: f64::NAN,
+            ..RpcConfig::default()
+        };
+        assert!(bad.validate(&names).is_err());
+        let bad = RpcConfig {
+            lease_rounds: 0,
+            ..RpcConfig::default()
+        };
+        assert!(bad.validate(&names).is_err());
+        let bad = RpcConfig {
+            partitions: vec![PartitionSpec {
+                from_round: 5,
+                to_round: 5,
+                nodes: vec!["s0".into()],
+            }],
+            ..RpcConfig::default()
+        };
+        assert!(bad.validate(&names).is_err(), "empty partition window");
+        let bad = RpcConfig {
+            partitions: vec![PartitionSpec {
+                from_round: 1,
+                to_round: 5,
+                nodes: vec!["ghost".into()],
+            }],
+            ..RpcConfig::default()
+        };
+        assert!(bad.validate(&names).is_err(), "unknown node name");
+        let bad = RpcConfig {
+            partitions: vec![PartitionSpec {
+                from_round: 1,
+                to_round: 5,
+                nodes: vec!["standby".into()],
+            }],
+            ..RpcConfig::default()
+        };
+        assert!(bad.validate(&names).is_err(), "standby without failover");
+    }
+
+    #[test]
+    fn resolve_quantizes_and_guards_the_lease() {
+        let round_s = 1250e-6; // 5 × 250 µs epochs
+        let r = RpcConfig {
+            latency_us: 1.0,
+            ..RpcConfig::default()
+        }
+        .resolve(round_s)
+        .unwrap();
+        assert_eq!(
+            r.latency_rounds, 1,
+            "sub-round latency still costs a barrier"
+        );
+        let r = RpcConfig::default().resolve(round_s).unwrap();
+        assert_eq!(r.latency_rounds, 0);
+        assert_eq!(r.suspect_after, 5, "auto suspicion floor");
+
+        let too_slow = RpcConfig {
+            latency_us: 1250.0 * 9.0,
+            lease_rounds: 8,
+            ..RpcConfig::default()
+        };
+        let err = too_slow.resolve(round_s).unwrap_err();
+        assert!(err.contains("expire in flight"), "{err}");
+    }
+}

@@ -32,6 +32,16 @@
 //! SLA-aware internally while pods share the fleet budget uniformly — see
 //! the [`tree`] module.
 //!
+//! All coordinator ↔ server traffic flows through a simulated **message
+//! plane** ([`ctrlplane`]): telemetry reports, cap grants, acks/nacks, and
+//! coordinator heartbeats are typed messages subject to configurable
+//! latency, jitter, loss, and duplication. Cap grants are **leases** — a
+//! server that misses renewals keeps its last cap until the lease expires,
+//! then falls to a safe floor — and with failover enabled a standby
+//! coordinator takes over by deterministic election when the primary goes
+//! silent. The default [`RpcConfig`] is a perfect loopback under which
+//! everything below is bit-identical to a direct-call coordinator.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -55,6 +65,7 @@
 pub mod balance;
 mod config;
 pub mod coordinator;
+pub mod ctrlplane;
 pub mod engine;
 mod server;
 mod sim;
@@ -65,7 +76,12 @@ pub use config::{
     synthetic_fleet, CapSplit, ChurnAction, ChurnEvent, ChurnSchedule, ClusterConfig, ServerSpec,
 };
 pub use coordinator::{jain_index, split_caps, split_caps_sla, ServerDemand, SlaSignal};
+pub use ctrlplane::{
+    CapGrant, ControlPlane, ControlStats, CtrlMsg, GrantOutcome, GrantRecord, LeaseClient,
+    LeaseEntry, LeaseLedger, PartitionSpec, RpcConfig,
+};
 pub use engine::{split_caps_active, CapCache, EngineKind, FleetEngine, WorkerPool};
+pub use netsim::{LinkConfig, NodeId, PlaneStats};
 pub use server::{CappedPolicy, Server, ServerStatus, SharedCap};
 pub use sim::{run_cluster, ClusterResult, ClusterSim, ServerOutcome};
 pub use tree::{BudgetNode, BudgetTree, GroupShare};

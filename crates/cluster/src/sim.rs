@@ -9,9 +9,17 @@
 //! again, steps servers on a persistent [`WorkerPool`], and replays the
 //! previous cap split whenever no server's telemetry moved. Their results
 //! are digest-identical — see `tests/engine_equivalence.rs`.
+//!
+//! Telemetry and caps flow through the [`ControlPlane`]: each barrier the
+//! engine hands the round's reports to [`ControlPlane::barrier`] and
+//! applies the effective (leased) caps it returns. Under the default
+//! loopback [`RpcConfig`](crate::RpcConfig) the leases converge to the
+//! direct split bit-for-bit, so the pinned digests are unchanged; under a
+//! lossy or delayed plane servers ride their last lease until expiry.
 
-use crate::coordinator::{jain_index, split_caps, ServerDemand};
-use crate::engine::{split_caps_active, CapCache, EngineKind, FleetEngine, WorkerPool};
+use crate::coordinator::{jain_index, ServerDemand};
+use crate::ctrlplane::{ControlPlane, ControlStats};
+use crate::engine::{EngineKind, FleetEngine, WorkerPool};
 use crate::server::{Server, ServerStatus};
 use crate::{CapSplit, ClusterConfig};
 use coscale::RunResult;
@@ -65,8 +73,14 @@ pub struct ClusterResult {
     pub outcomes: Vec<ServerOutcome>,
     /// Coordination rounds executed.
     pub rounds: usize,
-    /// Per-round per-server caps (rounds × servers), watts.
+    /// Per-round per-server caps (rounds × servers), watts. These are the
+    /// caps **in force** at each server — the leased cap, or the floor
+    /// once a lease expired unrenewed.
     pub cap_timeline: Vec<Vec<f64>>,
+    /// Control-plane statistics (messages, grants, leases, elections).
+    /// Deliberately **not** part of [`ClusterResult::digest`]: the digest
+    /// pins the physics, these describe the transport that delivered it.
+    pub control: ControlStats,
 }
 
 impl ClusterResult {
@@ -236,30 +250,13 @@ impl ClusterSim {
         }
     }
 
-    /// One barrier's cap split, shared by both engines. `compact` lets the
-    /// event engine route flat splits through the active-only fast path
-    /// (bit-identical, see [`split_caps_active`]); hierarchical splits
-    /// always walk the full tree, whose aggregation already skips inactive
-    /// leaves.
-    fn compute_caps(config: &ClusterConfig, names: &[&str], demands: &[ServerDemand]) -> Vec<f64> {
-        match &config.topology {
-            Some(tree) => {
-                // Hierarchical: the budget flows down the tree, each
-                // interior node applying its own discipline. Batch
-                // runs carry no latency telemetry, so SLA-aware nodes
-                // use their demand-saturating degrade path.
-                tree.split(config.global_cap_w, names, demands, None, config.quantum_w)
-            }
-            None => split_caps(config.split, config.global_cap_w, demands, config.quantum_w),
-        }
-    }
-
     /// Final aggregation, shared by both engines.
     fn finish(
         config: ClusterConfig,
         servers: Vec<Server>,
         rounds: usize,
         cap_timeline: Vec<Vec<f64>>,
+        control: ControlStats,
     ) -> ClusterResult {
         let outcomes = servers
             .into_iter()
@@ -286,6 +283,7 @@ impl ClusterSim {
             outcomes,
             rounds,
             cap_timeline,
+            control,
         }
     }
 }
@@ -307,14 +305,19 @@ impl FleetEngine for RoundEngine {
             config,
             mut servers,
         } = self.0;
+        let names: Vec<&str> = config.servers.iter().map(|s| s.name.as_str()).collect();
+        let mut plane = ControlPlane::new(&config);
         let mut cap_timeline: Vec<Vec<f64>> = Vec::new();
         let mut rounds = 0usize;
         while servers.iter().any(|s| !s.is_done()) {
-            // --- coordinate: telemetry in, caps out ---
+            // --- coordinate: telemetry in, leased caps out ---
             let statuses: Vec<ServerStatus> = servers.iter_mut().map(Server::status).collect();
-            let demands: Vec<ServerDemand> = statuses.iter().map(|s| s.demand).collect();
-            let names: Vec<&str> = servers.iter().map(|s| s.name.as_str()).collect();
-            let caps = ClusterSim::compute_caps(&config, &names, &demands);
+            let reports: Vec<(usize, ServerDemand)> = statuses
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i, s.demand))
+                .collect();
+            let caps = plane.barrier(rounds as u64, &reports, &config, &names);
             for (server, &cap) in servers.iter_mut().zip(&caps) {
                 server.set_cap(cap);
             }
@@ -340,7 +343,8 @@ impl FleetEngine for RoundEngine {
             }
             rounds += 1;
         }
-        ClusterSim::finish(config, servers, rounds, cap_timeline)
+        let control = plane.finish();
+        ClusterSim::finish(config, servers, rounds, cap_timeline, control)
     }
 }
 
@@ -348,10 +352,12 @@ impl FleetEngine for RoundEngine {
 /// wake in a picosecond-ordered [`EventQueue`]; a server whose workload
 /// completes simply never re-enqueues, so barrier cost scales with the
 /// *active* fleet. Stepping runs on a persistent [`WorkerPool`] (no
-/// per-round thread spawns), flat splits run over the compacted active set
-/// ([`split_caps_active`]), and the split is skipped outright — the cached
-/// allocation replayed — when no server's telemetry moved beyond the
-/// [`ClusterConfig::dead_band_w`] dead-band ([`CapCache`]).
+/// per-round thread spawns). The plane's coordinator routes flat splits
+/// over the compacted active set
+/// ([`split_caps_active`](crate::split_caps_active)) and skips the split
+/// outright — replaying the cached allocation — when no server's telemetry
+/// moved beyond the [`ClusterConfig::dead_band_w`] dead-band
+/// ([`CapCache`](crate::CapCache)).
 ///
 /// At the default zero dead-band the result is bit-identical to
 /// [`RoundEngine`]: a barrier exists exactly when some server is unfinished
@@ -387,9 +393,8 @@ impl FleetEngine for EventEngine {
             queue.push(Ps::ZERO, i);
         }
         // Fleet-wide telemetry. A sleeping (finished) server's entry stays
-        // frozen at its last report with `active: false` — split
-        // disciplines never read inactive demand values, so the frozen
-        // numbers only serve as stable cache-comparison keys.
+        // frozen at its final goodbye report with `active: false` — split
+        // disciplines never read inactive demand values.
         let mut demands: Vec<ServerDemand> = vec![
             ServerDemand {
                 demand_w: 0.0,
@@ -398,33 +403,28 @@ impl FleetEngine for EventEngine {
             };
             n
         ];
-        let mut cache = CapCache::new(config.dead_band_w);
+        let mut plane = ControlPlane::new(&config);
         let mut cap_timeline: Vec<Vec<f64>> = Vec::new();
         let mut rounds = 0usize;
         let mut awake: Vec<usize> = Vec::new();
         let mut just_finished: Vec<usize> = Vec::new();
+        let mut reports: Vec<(usize, ServerDemand)> = Vec::new();
 
         while let Some(now) = queue.peek_time() {
             awake.clear();
+            reports.clear();
             while queue.peek_time() == Some(now) {
                 awake.push(queue.pop().expect("peeked entry vanished").1);
             }
 
             // A server that completed during the previous barrier's step
-            // leaves the membership here: its share returns to the pool
-            // (active flag drops, invalidating any cached allocation) and
-            // its cap is zeroed exactly as the round engine's next split
-            // would have.
-            if !just_finished.is_empty() {
-                cache.invalidate();
-                for &i in &just_finished {
-                    demands[i].active = false;
-                    slots[i]
-                        .as_mut()
-                        .expect("server in pool at barrier")
-                        .set_cap(0.0);
-                }
-                just_finished.clear();
+            // leaves the membership here with one final inactive "goodbye"
+            // report: the coordinator returns its share to the pool and
+            // releases it to a zero cap, exactly as the round engine's
+            // next split would have.
+            for &i in &just_finished {
+                demands[i].active = false;
+                reports.push((i, demands[i]));
             }
 
             // --- coordinate: telemetry in (awake servers only), caps out ---
@@ -434,20 +434,16 @@ impl FleetEngine for EventEngine {
                     .expect("server in pool at barrier")
                     .status()
                     .demand;
+                reports.push((i, demands[i]));
             }
-            let caps = cache.lookup(&demands, None).unwrap_or_else(|| {
-                let caps = match &config.topology {
-                    Some(_) => ClusterSim::compute_caps(&config, &names, &demands),
-                    None => split_caps_active(
-                        config.split,
-                        config.global_cap_w,
-                        &demands,
-                        config.quantum_w,
-                    ),
-                };
-                cache.store(&demands, None, &caps);
-                caps
-            });
+            let caps = plane.barrier(rounds as u64, &reports, &config, &names);
+            for &i in &just_finished {
+                slots[i]
+                    .as_mut()
+                    .expect("server in pool at barrier")
+                    .set_cap(caps[i]);
+            }
+            just_finished.clear();
             for &i in &awake {
                 slots[i]
                     .as_mut()
@@ -491,7 +487,8 @@ impl FleetEngine for EventEngine {
             .into_iter()
             .map(|s| s.expect("server returned to pool"))
             .collect();
-        ClusterSim::finish(config, servers, rounds, cap_timeline)
+        let control = plane.finish();
+        ClusterSim::finish(config, servers, rounds, cap_timeline, control)
     }
 }
 
@@ -553,6 +550,7 @@ mod tests {
             outcomes: vec![never_ran, outcome("ok", Ps::from_us(500), 1_000_000)],
             rounds: 1,
             cap_timeline: vec![vec![50.0, 50.0]],
+            control: ControlStats::default(),
         };
         assert!(r.perf_fairness().is_finite());
         assert!(r.aggregate_throughput_ips().is_finite());

@@ -1,0 +1,196 @@
+//! Property tests for the control plane's lease state machine
+//! ([`LeaseClient`]) and the coordinator's conservative accounting
+//! ([`LeaseLedger`]) — the two halves whose agreement keeps the fleet's
+//! in-force caps under the budget no matter which grants the network
+//! drops, delays, duplicates, or reorders.
+
+use cluster::{CapGrant, GrantOutcome, LeaseClient, LeaseEntry, LeaseLedger, NodeId};
+use proptest::prelude::*;
+
+const LEASE: u64 = 8;
+
+fn grant(term: u64, seq: u64, cap_w: f64, expires: u64) -> CapGrant {
+    CapGrant {
+        server: 0,
+        term,
+        seq,
+        cap_w,
+        expires,
+    }
+}
+
+proptest! {
+    /// The full grant → renew → expire → floor cycle under an arbitrary
+    /// schedule of (possibly reordered, duplicated, late) grants and an
+    /// advancing clock, checked against first principles at every step:
+    ///
+    /// * `(term, seq)` only ever advances, and advances exactly on
+    ///   `Applied`;
+    /// * an applied grant is live on arrival (a grant that would be dead
+    ///   on arrival is refused as `Expired`, so expiry can never *raise*
+    ///   a cap);
+    /// * the effective cap is the applied grant's cap until its expiry
+    ///   barrier, the floor from then on — with no third state.
+    #[test]
+    fn lease_lifecycle_only_moves_forward(
+        floor in 0.0f64..5.0,
+        events in proptest::collection::vec(
+            // (clock advance, term, seq, cap, expiry offset from "now")
+            (0u64..4, 0u64..3, 0u64..40, 0.0f64..100.0, 0i64..12),
+            1..120,
+        ),
+    ) {
+        let mut lc = LeaseClient::new(50.0, LEASE, floor, NodeId(99));
+        let mut now = 0u64;
+        for (advance, term, seq, cap, exp_off) in events {
+            now += advance;
+            let expires = now.saturating_add_signed(exp_off);
+            let before = lc.granted();
+            let g = grant(term, seq, cap, expires);
+            match lc.apply(now, &g, NodeId(7)) {
+                GrantOutcome::Applied => {
+                    prop_assert!((term, seq) > before, "applied a non-newer grant");
+                    prop_assert_eq!(lc.granted(), (term, seq));
+                    prop_assert!(expires > now, "applied a grant already expired on arrival");
+                    prop_assert!(!lc.on_floor(now), "freshly applied lease cannot be on the floor");
+                    prop_assert_eq!(lc.effective_cap(now).to_bits(), cap.to_bits());
+                    prop_assert_eq!(lc.leader(), NodeId(7), "apply must adopt the granting leader");
+                }
+                GrantOutcome::Stale => {
+                    prop_assert!((term, seq) <= before, "refused a newer grant as stale");
+                    prop_assert_eq!(lc.granted(), before, "stale grant mutated the lease");
+                }
+                GrantOutcome::Expired => {
+                    prop_assert!((term, seq) > before, "expired-refusal of a non-newer grant");
+                    prop_assert!(expires <= now, "refused a live grant as expired");
+                    prop_assert_eq!(lc.granted(), before, "expired grant mutated the lease");
+                }
+            }
+            // The two-state invariant holds at every instant.
+            if lc.on_floor(now) {
+                prop_assert_eq!(lc.effective_cap(now).to_bits(), floor.to_bits());
+            }
+        }
+        // With the clock run far enough past any reachable expiry, every
+        // lease ends on the floor.
+        now += LEASE + 12 + 1;
+        prop_assert!(lc.on_floor(now));
+        prop_assert_eq!(lc.effective_cap(now).to_bits(), floor.to_bits());
+    }
+
+    /// Clock-skewed renewals: a coordinator whose clock lags the server's
+    /// by `skew` rounds still keeps the lease alive iff the lease outlasts
+    /// the skew, and every renewal is refused the moment the skew reaches
+    /// the lease length — the server can never be held above the floor by
+    /// grants that are dead on arrival.
+    #[test]
+    fn skewed_renewals_hold_iff_lease_outlasts_skew(
+        skew in 0u64..16,
+        rounds in 10u64..60,
+    ) {
+        let mut lc = LeaseClient::new(50.0, LEASE, 0.0, NodeId(99));
+        let mut refusals = 0u64;
+        for coord_round in 1..rounds {
+            let server_round = coord_round + skew;
+            let g = grant(0, coord_round, 50.0, coord_round + LEASE);
+            match lc.apply(server_round, &g, NodeId(99)) {
+                GrantOutcome::Applied => {
+                    prop_assert!(skew < LEASE, "applied a grant dead on arrival (skew {skew})");
+                    prop_assert!(!lc.on_floor(server_round));
+                }
+                GrantOutcome::Expired => {
+                    refusals += 1;
+                    prop_assert!(skew >= LEASE, "refused a live renewal (skew {skew})");
+                }
+                GrantOutcome::Stale => prop_assert!(false, "strictly increasing seqs can't be stale"),
+            }
+        }
+        if skew >= LEASE {
+            prop_assert_eq!(refusals, rounds - 1, "every renewal must be dead on arrival");
+            // The bootstrap lease ran out long ago; the server sits on the
+            // floor for good.
+            prop_assert!(lc.on_floor(LEASE + skew + rounds));
+        } else {
+            prop_assert_eq!(refusals, 0);
+        }
+    }
+
+    /// Ledger conservation: under any interleaving of sends, acks (in any
+    /// order, including stale ones), and expiry sweeps,
+    ///
+    /// * a server's reserved watts never exceed the largest cap ever
+    ///   offered to it (no invention of watts);
+    /// * reserved watts never drop below the cap of the newest *acked*
+    ///   still-live grant (no premature release: the cap the server is
+    ///   provably running under stays covered until it expires);
+    /// * acks only shrink the reservation, expiry only shrinks it, sends
+    ///   only grow it.
+    #[test]
+    fn ledger_releases_only_on_ack_or_expiry(
+        script in proptest::collection::vec(
+            // (op selector, cap, lease length)
+            (0u8..10, 1.0f64..100.0, 1u64..12),
+            1..150,
+        ),
+    ) {
+        let mut lg = LeaseLedger::new(1, 50.0, LEASE);
+        // Mirror of every grant ever sent: (term=0, seq, cap, expires).
+        let mut sent: Vec<(u64, f64, u64)> = vec![(0, 50.0, LEASE)];
+        let mut next_seq = 1u64;
+        let mut acked_seq = 0u64;
+        let mut now = 0u64;
+        for (op, cap, lease) in script {
+            match op {
+                0..=4 => {
+                    lg.note_sent(
+                        0,
+                        LeaseEntry {
+                            term: 0,
+                            seq: next_seq,
+                            cap_w: cap,
+                            expires: now + lease,
+                        },
+                    );
+                    sent.push((next_seq, cap, now + lease));
+                    next_seq += 1;
+                }
+                5..=7 => {
+                    // Ack some previously sent grant — newest, oldest, or
+                    // repeated; the ledger must be monotone under all.
+                    let pick = (cap as u64) % next_seq;
+                    let before = lg.reserved_w(0);
+                    lg.note_ack(0, 0, pick);
+                    acked_seq = acked_seq.max(pick);
+                    prop_assert!(lg.reserved_w(0) <= before + 1e-12, "ack grew the reservation");
+                }
+                _ => {
+                    now += 1;
+                    let before = lg.reserved_w(0);
+                    lg.expire(now);
+                    prop_assert!(lg.reserved_w(0) <= before + 1e-12, "expiry grew the reservation");
+                }
+            }
+            let reserved = lg.reserved_w(0);
+            let max_live_sent = sent
+                .iter()
+                .filter(|(_, _, exp)| *exp > now)
+                .map(|(_, c, _)| *c)
+                .fold(0.0, f64::max);
+            prop_assert!(
+                reserved <= max_live_sent + 1e-12,
+                "reserved {reserved} exceeds any live sent cap {max_live_sent}"
+            );
+            // The newest acked grant still in force must stay covered:
+            // the server is provably running under it.
+            if let Some((_, c, _)) = sent
+                .iter()
+                .find(|(s, _, exp)| *s == acked_seq && *exp > now)
+            {
+                prop_assert!(
+                    reserved + 1e-12 >= *c,
+                    "reserved {reserved} dropped below the acked in-force cap {c}"
+                );
+            }
+        }
+    }
+}

@@ -40,10 +40,19 @@ impl<E> Ord for Entry<E> {
 
 /// A discrete-event queue ordered by simulated time with FIFO tie-breaking.
 ///
-/// Determinism matters here: two events scheduled for the same picosecond
-/// always pop in the order they were pushed, so simulation outcomes are a
-/// pure function of inputs — a property the test suite and the `Offline`
-/// oracle policy both rely on.
+/// # Total order
+///
+/// Pop order is a **total** order over `(time, insertion sequence)`: events
+/// pop by ascending time, and two events scheduled for the same picosecond
+/// always pop in the order they were pushed, no matter how pushes and pops
+/// interleave. No two entries ever compare equal (the sequence counter is
+/// unique and never reset, even by [`EventQueue::clear`]), so the heap has
+/// no ambiguous orderings for implementation details to resolve — pop
+/// order is a pure function of the push history. Simulation outcomes
+/// therefore cannot depend on heap internals, hash seeds, or thread
+/// timing; the engine-equivalence suite, the message plane's delivery
+/// order, and the `Offline` oracle policy all lean on this guarantee.
+/// The property test `total_order_is_push_history_stable` pins it.
 ///
 /// # Example
 ///
@@ -161,6 +170,49 @@ mod tests {
         let mut c = q.clone();
         assert_eq!(c.pop(), q.pop());
         assert_eq!(c.pop(), q.pop());
+    }
+
+    proptest::proptest! {
+        /// The documented total order, against a reference model run in
+        /// lockstep: at every pop, the queue must return exactly the
+        /// resident event with the smallest `(time, push index)` — pushes
+        /// draw times from a narrow range so same-timestamp ties dominate,
+        /// payloads carry their push index so ties are checked exactly,
+        /// and a mid-stream `clear` must not reset the tie-break counter.
+        #[test]
+        fn total_order_is_push_history_stable(
+            ops in proptest::collection::vec((0u64..8, 0u8..10), 1..200),
+        ) {
+            let mut q = EventQueue::new();
+            let mut model: Vec<(Ps, usize)> = Vec::new();
+            let mut idx = 0usize;
+            for (time, action) in ops {
+                match action {
+                    0..=6 => {
+                        q.push(Ps::new(time), idx);
+                        model.push((Ps::new(time), idx));
+                        idx += 1;
+                    }
+                    7..=8 => {
+                        let expect = model.iter().min().copied();
+                        proptest::prop_assert_eq!(q.pop(), expect, "pop is not the (time, seq) minimum");
+                        if let Some(min) = expect {
+                            model.retain(|e| *e != min);
+                        }
+                    }
+                    _ => {
+                        q.clear();
+                        model.clear();
+                    }
+                }
+            }
+            while let Some(e) = q.pop() {
+                let min = *model.iter().min().expect("queue outlived the model");
+                proptest::prop_assert_eq!(e, min, "drain is not the (time, seq) minimum");
+                model.retain(|x| *x != min);
+            }
+            proptest::prop_assert!(model.is_empty(), "model outlived the queue");
+        }
     }
 
     #[test]

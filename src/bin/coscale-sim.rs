@@ -146,6 +146,8 @@ struct ClusterArgs {
     clients: usize,
     think_ms: f64,
     balance: BalancePolicy,
+    rpc: RpcConfig,
+    rpc_flags_used: bool,
 }
 
 fn cluster_usage() -> ! {
@@ -155,7 +157,10 @@ fn cluster_usage() -> ! {
          [--topology SPEC] [--threads N] [--engine NAME] \
          [--serve] [--rounds N] [--rate HZ] \
          [--p99-target MS] [--seed N] [--join R:SPEC]... [--leave R:NAME]... \
-         [--clients N] [--think-ms F] [--balance NAME]\n\
+         [--clients N] [--think-ms F] [--balance NAME] \
+         [--rpc-latency-us F] [--rpc-jitter-us F] [--rpc-loss P] [--rpc-dup P] \
+         [--rpc-seed N] [--lease-rounds N] [--floor-cap W] [--failover] \
+         [--partition FROM:TO:NODES]...\n\
          \x20 LIST entries: name=mix[:cores][@rate], e.g. heavy=MEM2:8@230000\n\
          \x20 --fleet-size N replaces --servers with a synthetic N-server fleet\n\
          \x20   (batch only); --idle-fraction F makes that share of it near-idle (default 0.9);\n\
@@ -171,7 +176,16 @@ fn cluster_usage() -> ! {
          \x20 --join/--leave change the fleet at round boundaries (--serve only)\n\
          \x20 --clients N replaces open-loop arrivals with a closed-loop client\n\
          \x20   population (--serve only); --balance picks the front-end policy:\n\
-         \x20   round-robin least-queue power-headroom"
+         \x20   round-robin least-queue power-headroom\n\
+         \x20 --rpc-* shape the coordinator<->server message plane (batch only):\n\
+         \x20   one-way latency and jitter in µs, loss and duplication probabilities\n\
+         \x20   in [0, 1]; the default is a perfect loopback plane\n\
+         \x20 --lease-rounds N: cap grants stay in force N rounds unrenewed (default 8);\n\
+         \x20   --floor-cap W is the safe cap after a lease expires (default 0)\n\
+         \x20 --failover runs a standby coordinator with heartbeat takeover;\n\
+         \x20 --partition FROM:TO:NODES cuts the comma-separated nodes off for\n\
+         \x20   rounds FROM..TO (server names, or 'primary'/'standby'), e.g.\n\
+         \x20   --partition 10:30:primary or --partition 20:40:light1,light2"
     );
     std::process::exit(2);
 }
@@ -229,6 +243,37 @@ fn parse_round_prefix(s: &str, flag: &str) -> (usize, String) {
     (round, rest.to_string())
 }
 
+/// Parses a `--partition FROM:TO:NODES` payload: the half-open round window
+/// and the comma-separated node names cut off during it.
+fn parse_partition(s: &str) -> PartitionSpec {
+    let parts: Vec<&str> = s.splitn(3, ':').collect();
+    let [from, to, nodes] = parts[..] else {
+        cluster_fail(&format!(
+            "--partition value '{s}' must look like FROM:TO:NODES (e.g. 10:30:primary)"
+        ));
+    };
+    let from_round: u64 = from
+        .parse()
+        .unwrap_or_else(|_| cluster_fail(&format!("bad FROM round in --partition '{s}'")));
+    let to_round: u64 = to
+        .parse()
+        .unwrap_or_else(|_| cluster_fail(&format!("bad TO round in --partition '{s}'")));
+    let nodes: Vec<String> = nodes
+        .split(',')
+        .map(str::trim)
+        .filter(|n| !n.is_empty())
+        .map(str::to_string)
+        .collect();
+    if nodes.is_empty() {
+        cluster_fail(&format!("--partition '{s}' names no nodes"));
+    }
+    PartitionSpec {
+        from_round,
+        to_round,
+        nodes,
+    }
+}
+
 fn parse_cluster_args() -> ClusterArgs {
     let mut a = ClusterArgs {
         servers: "heavy=MEM2:8@230000,light0=ILP1,light1=ILP2,light2=MID2".into(),
@@ -252,6 +297,8 @@ fn parse_cluster_args() -> ClusterArgs {
         clients: 0,
         think_ms: 0.2,
         balance: BalancePolicy::RoundRobin,
+        rpc: RpcConfig::default(),
+        rpc_flags_used: false,
     };
     let mut it = std::env::args().skip(2);
     while let Some(flag) = it.next() {
@@ -324,9 +371,66 @@ fn parse_cluster_args() -> ClusterArgs {
                     .parse::<BalancePolicy>()
                     .unwrap_or_else(|e: String| cluster_fail(&e))
             }
+            "--rpc-latency-us" => {
+                a.rpc.latency_us = val("--rpc-latency-us")
+                    .parse()
+                    .unwrap_or_else(|_| cluster_fail("--rpc-latency-us must be a number (µs)"));
+                a.rpc_flags_used = true;
+            }
+            "--rpc-jitter-us" => {
+                a.rpc.jitter_us = val("--rpc-jitter-us")
+                    .parse()
+                    .unwrap_or_else(|_| cluster_fail("--rpc-jitter-us must be a number (µs)"));
+                a.rpc_flags_used = true;
+            }
+            "--rpc-loss" => {
+                a.rpc.loss = val("--rpc-loss")
+                    .parse()
+                    .unwrap_or_else(|_| cluster_fail("--rpc-loss must be a probability in [0, 1]"));
+                a.rpc_flags_used = true;
+            }
+            "--rpc-dup" => {
+                a.rpc.duplicate = val("--rpc-dup")
+                    .parse()
+                    .unwrap_or_else(|_| cluster_fail("--rpc-dup must be a probability in [0, 1]"));
+                a.rpc_flags_used = true;
+            }
+            "--rpc-seed" => {
+                a.rpc.seed = val("--rpc-seed")
+                    .parse()
+                    .unwrap_or_else(|_| cluster_fail("--rpc-seed must be an integer"));
+                a.rpc_flags_used = true;
+            }
+            "--lease-rounds" => {
+                a.rpc.lease_rounds = val("--lease-rounds")
+                    .parse()
+                    .unwrap_or_else(|_| cluster_fail("--lease-rounds must be a positive integer"));
+                a.rpc_flags_used = true;
+            }
+            "--floor-cap" => {
+                a.rpc.floor_cap_w = val("--floor-cap")
+                    .parse()
+                    .unwrap_or_else(|_| cluster_fail("--floor-cap must be a wattage"));
+                a.rpc_flags_used = true;
+            }
+            "--failover" => {
+                a.rpc.failover = true;
+                a.rpc_flags_used = true;
+            }
+            "--partition" => {
+                a.rpc.partitions.push(parse_partition(&val("--partition")));
+                a.rpc_flags_used = true;
+            }
             "--help" | "-h" => cluster_usage(),
             other => cluster_fail(&format!("unknown flag {other}")),
         }
+    }
+    if a.serve && a.rpc_flags_used {
+        cluster_fail(
+            "the --rpc-*/--lease-rounds/--floor-cap/--failover/--partition plane flags \
+             apply to batch cluster runs; the serving layer does not route through the \
+             message plane yet",
+        );
     }
     if !a.serve && (!a.joins.is_empty() || !a.leaves.is_empty()) {
         cluster_fail("--join/--leave require --serve (batch fleets run to completion)");
@@ -383,6 +487,7 @@ fn cluster_batch_main(args: &ClusterArgs) {
         cfg = cfg.with_epochs_per_round(args.epochs_per_round);
     }
     cfg.topology = args.topology.clone();
+    cfg.rpc = args.rpc.clone();
     if let Err(e) = cfg.validate() {
         cluster_fail(&format!("invalid cluster configuration: {e}"));
     }
@@ -430,6 +535,32 @@ fn cluster_batch_main(args: &ClusterArgs) {
         r.perf_fairness()
     );
     println!("cap violations : {}", r.total_violations());
+    if args.rpc_flags_used {
+        let c = &r.control;
+        println!();
+        println!(
+            "control plane  : {} msgs sent, {} delivered, {} lost, {} cut by partition, {} duplicated",
+            c.plane.sent,
+            c.plane.delivered,
+            c.plane.dropped_loss,
+            c.plane.dropped_partition,
+            c.plane.duplicated
+        );
+        println!(
+            "grants         : {} sent ({} applied, {} stale, {} expired), {} acks, {} nacks",
+            c.grants_sent, c.grants_applied, c.grants_stale, c.grants_expired, c.acks, c.nacks
+        );
+        println!(
+            "leases         : {} expirations, {} server-rounds on the floor cap",
+            c.lease_expirations, c.floor_rounds
+        );
+        if args.rpc.failover {
+            println!(
+                "failover       : {} elections, {} step-downs, final terms {:?}",
+                c.elections, c.step_downs, c.terms
+            );
+        }
+    }
 }
 
 fn cluster_serve_main(args: &ClusterArgs) {

@@ -14,7 +14,10 @@
 //! 3. an `#[ignore]`d 1024-server / 90%-idle differential smoke for the
 //!    nightly `--release -- --ignored` job.
 
-use cluster::{run_cluster, synthetic_fleet, BudgetTree, ClusterConfig, EngineKind, ServerSpec};
+use cluster::{
+    run_cluster, synthetic_fleet, BudgetTree, ClusterConfig, EngineKind, PartitionSpec, RpcConfig,
+    ServerSpec,
+};
 use proptest::prelude::*;
 use service::{
     run_service, BalancePolicy, CapSplit, ChurnSchedule, ClosedLoopConfig, ServiceConfig,
@@ -186,6 +189,121 @@ fn engines_agree_when_churn_empties_the_fleet() {
 }
 
 // ---------------------------------------------------------------------------
+// Control-plane equivalence. Every test above already proves the loopback
+// message plane reproduces the direct-call coordinator: all cluster and
+// service traffic flows through `ControlPlane`, and the goldens below are
+// the pre-plane constants. These tests pin the remaining failover claims.
+// ---------------------------------------------------------------------------
+
+/// A standby coordinator at loopback is a pure observer: with `failover`
+/// on but no partition, heartbeats replicate state every barrier, no
+/// election ever fires, and the digest is bit-identical to the
+/// failover-less run — under both engines, at every thread count.
+#[test]
+fn loopback_standby_is_a_pure_observer() {
+    let fleet = |rpc: RpcConfig| {
+        let servers: Vec<ServerSpec> = (0..4)
+            .map(|i| {
+                let mut s = ServerSpec::small(&format!("s{i}"), "MID1", 1 + i);
+                s.config.target_instrs *= 10;
+                s
+            })
+            .collect();
+        ClusterConfig::new(servers, 120.0, CapSplit::FastCap).with_rpc(rpc)
+    };
+    let plain = run_cluster(fleet(RpcConfig::default()));
+    let watched = fleet(RpcConfig {
+        failover: true,
+        ..RpcConfig::default()
+    });
+    let reference = run_cluster(watched.clone());
+    assert_eq!(
+        plain.digest(),
+        reference.digest(),
+        "a heartbeating standby changed the physics"
+    );
+    assert_eq!(reference.control.elections, 0);
+    assert_eq!(reference.control.terms, vec![0, 0]);
+    for (engine, threads) in [
+        (EngineKind::Round, 4),
+        (EngineKind::Event, 1),
+        (EngineKind::Event, 8),
+    ] {
+        let d = run_cluster(watched.clone().with_engine(engine).with_threads(threads));
+        assert_eq!(
+            reference.digest(),
+            d.digest(),
+            "standby loopback: round@1 vs {engine:?}@{threads}"
+        );
+    }
+}
+
+/// Loopback failover: partition the primary mid-run and the standby takes
+/// over by exactly one election; at zero latency the replication gap is
+/// empty (each heartbeat reflects its entire barrier, acks included), so
+/// the in-force caps conserve the budget **strictly** through the
+/// partition, the takeover, and the primary's post-heal step-down — and
+/// the whole run stays bit-identical across engines and thread counts.
+#[test]
+fn loopback_failover_conserves_strictly_and_is_deterministic() {
+    let budget = 120.0;
+    let make = || {
+        let servers: Vec<ServerSpec> = (0..4)
+            .map(|i| {
+                let mut s = ServerSpec::small(&format!("s{i}"), "MID1", 1 + i);
+                s.config.target_instrs *= 30;
+                s
+            })
+            .collect();
+        let rpc = RpcConfig {
+            failover: true,
+            partitions: vec![PartitionSpec {
+                from_round: 8,
+                to_round: 24,
+                nodes: vec!["primary".into()],
+            }],
+            ..RpcConfig::default()
+        };
+        ClusterConfig::new(servers, budget, CapSplit::FastCap).with_rpc(rpc)
+    };
+    let reference = run_cluster(make());
+    assert!(
+        reference.rounds > 26,
+        "horizon too short ({} rounds) to cover the partition window",
+        reference.rounds
+    );
+    assert_eq!(reference.control.elections, 1, "exactly one takeover");
+    assert!(
+        reference.control.step_downs >= 1,
+        "the healed primary must step down"
+    );
+    assert_eq!(
+        reference.control.terms,
+        vec![1, 1],
+        "both coordinators converge on the standby's term"
+    );
+    for (round, caps) in reference.cap_timeline.iter().enumerate() {
+        let total: f64 = caps.iter().sum();
+        assert!(
+            total <= budget + 1e-9,
+            "round {round}: in-force caps {total:.6} W exceed the {budget} W budget"
+        );
+    }
+    for (engine, threads) in [
+        (EngineKind::Round, 4),
+        (EngineKind::Event, 1),
+        (EngineKind::Event, 8),
+    ] {
+        let d = run_cluster(make().with_engine(engine).with_threads(threads));
+        assert_eq!(
+            reference.digest(),
+            d.digest(),
+            "failover loopback: round@1 vs {engine:?}@{threads}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Pinned goldens for the four fleet-level bench experiments. These mirror
 // the `--quick` configurations in `crates/bench/src/experiments.rs` (with
 // shortened horizons where the full quick run would dominate the suite);
@@ -342,5 +460,64 @@ fn fleet_1024_differential_smoke() {
         t_round.as_secs_f64() / t_event.as_secs_f64().max(1e-9),
         t_banded.as_secs_f64(),
         t_round.as_secs_f64() / t_banded.as_secs_f64().max(1e-9)
+    );
+}
+
+/// Nightly-scale control-plane smoke: a 1024-server fleet on a loopback
+/// plane with a live standby and a mid-run primary partition. Both engines
+/// must agree bit-for-bit through the election and step-down, and the
+/// in-force caps must conserve the budget strictly (zero-latency failover
+/// has no replication gap). Run with `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "1024-server control-plane smoke; run via cargo test --release -- --ignored"]
+fn fleet_1024_control_plane_failover_smoke() {
+    let budget = 100.0 * 1024.0;
+    let make = || {
+        let mut c = ClusterConfig::new(synthetic_fleet(1024, 0.9), budget, CapSplit::FastCap)
+            .with_epochs_per_round(1)
+            .with_threads(8)
+            .with_rpc(RpcConfig {
+                failover: true,
+                partitions: vec![PartitionSpec {
+                    from_round: 20,
+                    to_round: 45,
+                    nodes: vec!["primary".into()],
+                }],
+                ..RpcConfig::default()
+            });
+        c.quantum_w = 0.02;
+        c
+    };
+    let start = std::time::Instant::now();
+    let round = run_cluster(make().with_engine(EngineKind::Round));
+    let t_round = start.elapsed();
+    let start = std::time::Instant::now();
+    let event = run_cluster(make().with_engine(EngineKind::Event));
+    let t_event = start.elapsed();
+    assert_eq!(
+        round.digest(),
+        event.digest(),
+        "1024-server failover round vs event digests diverged"
+    );
+    assert!(
+        round.rounds > 48,
+        "horizon ({} rounds) too short: the partition must heal well before the run ends",
+        round.rounds
+    );
+    assert_eq!(round.control.elections, 1, "exactly one takeover");
+    assert_eq!(round.control.terms, vec![1, 1]);
+    for (r, caps) in round.cap_timeline.iter().enumerate() {
+        let total: f64 = caps.iter().sum();
+        assert!(
+            total <= budget + 1e-6,
+            "round {r}: in-force caps {total:.3} W exceed the {budget} W budget"
+        );
+    }
+    println!(
+        "1024-server failover smoke: round {:.2}s, event {:.2}s, {} grants, {} heartbeat msgs in flight at end",
+        t_round.as_secs_f64(),
+        t_event.as_secs_f64(),
+        round.control.grants_sent,
+        round.control.in_flight_at_end,
     );
 }

@@ -1,10 +1,15 @@
 //! Cross-layer invariant suite: properties that must hold across the
 //! service, cluster, and kernel layers *together* — request conservation
 //! through the closed loop under churn, topology, and balancing; pinned
-//! determinism digests; hierarchical budget bounds at every tree node; and
-//! a Little's-law concurrency bound on the client population.
+//! determinism digests; hierarchical budget bounds at every tree node; a
+//! Little's-law concurrency bound on the client population; and
+//! message-plane conservation (no grant double-applied, leased fleet power
+//! within budget) under arbitrary loss, delay, and duplication.
 
-use cluster::{BudgetTree, ServerDemand, SlaSignal};
+use cluster::{
+    run_cluster, BudgetTree, ClusterConfig, EngineKind, RpcConfig, ServerDemand,
+    ServerSpec as ClusterServerSpec, SlaSignal,
+};
 use proptest::prelude::*;
 use service::{
     run_service, BalancePolicy, CapSplit, ChurnSchedule, ClosedLoopConfig, ServiceConfig,
@@ -168,6 +173,102 @@ proptest! {
         );
         // The fleet histogram carries exactly the completed requests.
         prop_assert_eq!(r.fleet_hist().count(), r.total_completed());
+    }
+
+    /// Message-plane conservation under arbitrary loss, delay, and
+    /// duplication (no failover — the replication gap is a documented
+    /// exception, see `crates/cluster/src/ctrlplane.rs`):
+    ///
+    /// * no grant is ever applied twice — duplicated or reordered
+    ///   deliveries are refused as stale, so the audit log holds no
+    ///   repeated `(server, term, seq)`;
+    /// * the caps **in force** across the fleet never exceed the budget
+    ///   plus the expired-lease floors — lost decreases stay reserved at
+    ///   the coordinator until acked or expired, so delivery failures can
+    ///   only under-use the budget, never over-commit it;
+    /// * the run is bit-identical across worker thread counts even with
+    ///   a lossy plane: message fates hash from the send counter, not
+    ///   from delivery interleaving.
+    #[test]
+    fn message_plane_never_overcommits_the_budget(
+        seed in any::<u64>(),
+        loss in 0.0f64..0.4,
+        duplicate in 0.0f64..0.2,
+        latency_rounds in 0u64..3,
+        floor_w in 0.0f64..3.0,
+        event_engine in any::<bool>(),
+        // A randomized partition schedule: some subset of the servers
+        // (possibly empty) cut off for a window of rounds. Partitioned
+        // servers ride their lease to the floor; their watts stay
+        // ledger-reserved until expiry, so conservation must not care.
+        part_mask in 0u8..8,
+        part_from in 2u64..12,
+        part_len in 1u64..25,
+    ) {
+        let budget = 90.0;
+        let fleet: Vec<ClusterServerSpec> = (0..3)
+            .map(|i| {
+                let mut s = ClusterServerSpec::small(&format!("s{i}"), "MID1", seed ^ (i + 1));
+                s.config.target_instrs *= 8;
+                s
+            })
+            .collect();
+        let n = fleet.len();
+        let part_nodes: Vec<String> = (0..n)
+            .filter(|i| part_mask & (1 << i) != 0)
+            .map(|i| format!("s{i}"))
+            .collect();
+        let partitions = if part_nodes.is_empty() {
+            vec![]
+        } else {
+            vec![cluster::PartitionSpec {
+                from_round: part_from,
+                to_round: part_from + part_len,
+                nodes: part_nodes,
+            }]
+        };
+        let rpc = RpcConfig {
+            latency_us: 1250.0 * latency_rounds as f64, // whole rounds at 5 x 250 µs
+            loss,
+            duplicate,
+            seed,
+            floor_cap_w: floor_w,
+            audit: true,
+            partitions,
+            ..RpcConfig::default()
+        };
+        let engine = if event_engine { EngineKind::Event } else { EngineKind::Round };
+        let cfg = ClusterConfig::new(fleet, budget, cluster::CapSplit::FastCap)
+            .with_engine(engine)
+            .with_rpc(rpc);
+        let r = run_cluster(cfg.clone());
+
+        // No grant double-applied: the audit log is duplicate-free and
+        // accounts for every applied grant.
+        let mut seen = std::collections::HashSet::new();
+        for g in &r.control.grant_log {
+            prop_assert!(
+                seen.insert((g.server, g.term, g.seq)),
+                "grant (server {}, term {}, seq {}) applied twice", g.server, g.term, g.seq
+            );
+        }
+        prop_assert_eq!(r.control.grant_log.len() as u64, r.control.grants_applied);
+
+        // In-force caps stay under budget + floors, every round: a leased
+        // cap is coordinator-reserved watts; a floored cap is not
+        // coordinator money at all and is bounded separately.
+        for (round, caps) in r.cap_timeline.iter().enumerate() {
+            let total: f64 = caps.iter().sum();
+            prop_assert!(
+                total <= budget + n as f64 * floor_w + 1e-9,
+                "round {round}: in-force caps sum to {total:.6} W > {budget} W budget \
+                 (+ {n} x {floor_w} W floors)"
+            );
+        }
+
+        // Lossy-plane runs are still deterministic across thread counts.
+        let r4 = run_cluster(cfg.with_threads(4));
+        prop_assert_eq!(r.digest(), r4.digest(), "lossy plane broke thread determinism");
     }
 
     /// Hierarchical budget safety at every node: for any demands, signals,
