@@ -157,6 +157,33 @@ impl LoadBalancer {
             }
         }
     }
+
+    /// Tier-aware batch assignment: balances `count` requests over only the
+    /// fleet positions in `members`, returning *fleet* indices. Multi-tier
+    /// topologies route client requests to the entry tier this way — the
+    /// policy sees a compacted view of the eligible servers (round-robin
+    /// state advances over that view), and picks map back to fleet order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty while `count` is not, or when a member
+    /// index is out of `loads`' bounds.
+    pub fn assign_batch_within(
+        &mut self,
+        count: usize,
+        loads: &[ServerLoad],
+        members: &[usize],
+    ) -> Vec<usize> {
+        if count == 0 {
+            return Vec::new();
+        }
+        assert!(!members.is_empty(), "cannot balance over an empty tier");
+        let view: Vec<ServerLoad> = members.iter().map(|&i| loads[i]).collect();
+        self.assign_batch(count, &view)
+            .into_iter()
+            .map(|v| members[v])
+            .collect()
+    }
 }
 
 /// Index of the smallest element, ties toward the lowest index.
@@ -213,6 +240,23 @@ mod tests {
         assert_eq!(lb.assign_batch(4, &loads), vec![0, 1, 2, 0]);
         // The cursor survives the barrier: the next batch resumes at 1.
         assert_eq!(lb.assign_batch(2, &loads), vec![1, 2]);
+    }
+
+    #[test]
+    fn assign_within_restricts_to_members_and_maps_back() {
+        // Fleet of five; only positions 1 and 3 (the entry tier) are
+        // eligible. Results come back as fleet indices and the round-robin
+        // cursor advances over the tier view, not the fleet.
+        let loads = vec![load(50.0, 20.0, 50.0, 0); 5];
+        let mut lb = LoadBalancer::new(BalancePolicy::RoundRobin);
+        assert_eq!(lb.assign_batch_within(3, &loads, &[1, 3]), vec![1, 3, 1]);
+        assert_eq!(lb.assign_batch_within(2, &loads, &[1, 3]), vec![3, 1]);
+        // Least-queue respects per-member depths through the mapping.
+        let mut loads = vec![load(50.0, 20.0, 50.0, 0); 5];
+        loads[1].queue_depth = 4;
+        let mut lb = LoadBalancer::new(BalancePolicy::LeastQueue);
+        assert_eq!(lb.assign_batch_within(3, &loads, &[1, 3]), vec![3, 3, 3]);
+        assert!(lb.assign_batch_within(0, &loads, &[]).is_empty());
     }
 
     #[test]

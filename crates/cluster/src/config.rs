@@ -29,6 +29,12 @@ pub enum CapSplit {
     /// (see [`split_caps_sla`](crate::coordinator::split_caps_sla));
     /// without them it degrades to plain FastCap.
     SlaAware,
+    /// Critical-path aware splitting for groups of service tiers: budget
+    /// shifts toward the child with the largest share of end-to-end
+    /// critical-path time (from request traces), honoring per-tier floors.
+    /// Without trace signals — sparse traces, batch runs, flat splitting —
+    /// it degrades to demand-proportional.
+    CriticalPath,
 }
 
 impl std::fmt::Display for CapSplit {
@@ -38,6 +44,7 @@ impl std::fmt::Display for CapSplit {
             CapSplit::DemandProportional => "demand-proportional",
             CapSplit::FastCap => "fastcap",
             CapSplit::SlaAware => "sla-aware",
+            CapSplit::CriticalPath => "critical-path",
         };
         write!(f, "{s}")
     }
@@ -494,6 +501,7 @@ mod tests {
         );
         assert_eq!(CapSplit::FastCap.to_string(), "fastcap");
         assert_eq!(CapSplit::SlaAware.to_string(), "sla-aware");
+        assert_eq!(CapSplit::CriticalPath.to_string(), "critical-path");
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //!   saturated servers stop bidding.
 //!
 //! All three are deterministic: ties break toward the lowest server index.
+//!
+//! Two signal-driven disciplines build on the same machinery: **SLA-aware**
+//! (see [`split_caps_sla`]) bids tail-latency violators to full demand, and
+//! **critical-path** (see [`split_caps_critical`]) shifts budget toward the
+//! service tier dominating end-to-end request latency. Both degrade to the
+//! signal-free disciplines above when their telemetry is absent.
 
 use crate::CapSplit;
 
@@ -91,8 +97,142 @@ pub fn split_caps(
         // to; degrade to its granting core — FastCap ordering, but keeping
         // the documented "leftover goes unspent" invariant: caps saturate
         // at demand instead of parking surplus budget on servers.
-        CapSplit::SlaAware => fastcap_core(global_cap_w, demands, quantum_w, false),
+        CapSplit::SlaAware => fastcap_core(global_cap_w, demands, quantum_w, false, None)
+            .expect("legacy floors are always feasible"),
+        // Without trace signals the critical-path discipline degrades to
+        // demand-proportional (legacy floors cannot be infeasible).
+        CapSplit::CriticalPath => split_caps_critical(global_cap_w, demands, None, None)
+            .expect("legacy floors are always feasible"),
     }
+}
+
+/// Why a budget split could not be computed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SplitError {
+    /// Configured per-child floors sum above the group budget. Earlier
+    /// callers only ever floored at each server's *scaled* all-minimum
+    /// power, which is feasible by construction; explicit per-tier floor
+    /// configs can genuinely over-commit, and silently clamping them would
+    /// hide a broken configuration behind unreachable caps.
+    InfeasibleFloors {
+        /// Sum of the active children's effective floors, watts.
+        required_w: f64,
+        /// The group budget those floors must fit inside, watts.
+        budget_w: f64,
+    },
+}
+
+impl std::fmt::Display for SplitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SplitError::InfeasibleFloors {
+                required_w,
+                budget_w,
+            } => write!(
+                f,
+                "infeasible floors: required {required_w:.3} W exceeds budget {budget_w:.3} W"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SplitError {}
+
+/// Critical-path aware splitting across children that are service *tiers*.
+///
+/// `shares` is each child's windowed share of end-to-end critical-path
+/// time (from a `TraceCollector`); `floor_w` is an optional explicit floor
+/// per child (e.g. a per-tier fraction of the group budget), raised to the
+/// child's all-minimum power and validated against the budget.
+///
+/// With warm shares, spare budget above the floors water-fills in
+/// proportion to each child's share, clipped at its demand and
+/// re-distributed to unsaturated children; leftover is deliberately
+/// unspent (the energy the discipline saves). With `shares` of `None` or
+/// all-zero — traces too sparse to trust — the split degrades to exactly
+/// the demand-proportional discipline over the same floors.
+pub fn split_caps_critical(
+    global_cap_w: f64,
+    demands: &[ServerDemand],
+    shares: Option<&[f64]>,
+    floor_w: Option<&[f64]>,
+) -> Result<Vec<f64>, SplitError> {
+    let n_active = demands.iter().filter(|d| d.active).count();
+    if n_active == 0 {
+        return Ok(vec![0.0; demands.len()]);
+    }
+    let mut caps = checked_floors(global_cap_w, demands, floor_w)?;
+    let mut spare = (global_cap_w - caps.iter().sum::<f64>()).max(0.0);
+    let warm = shares.is_some_and(|s| {
+        assert_eq!(s.len(), demands.len(), "one share per child");
+        s.iter().any(|&x| x > 0.0)
+    });
+    if !warm {
+        // Sparse traces: exactly the demand-proportional discipline.
+        let total_headroom: f64 = demands
+            .iter()
+            .filter(|d| d.active)
+            .map(ServerDemand::headroom)
+            .sum();
+        for (cap, d) in caps.iter_mut().zip(demands) {
+            if !d.active {
+                continue;
+            }
+            *cap += if total_headroom > 0.0 {
+                spare * d.headroom() / total_headroom
+            } else {
+                spare / n_active as f64
+            };
+        }
+        return Ok(caps);
+    }
+    let shares = shares.expect("warm implies shares");
+    // Water-fill spare budget by critical-path share, clipping each child
+    // at its demand; every pass either spends the spare or saturates a
+    // child, so at most n passes run.
+    for _ in 0..demands.len() {
+        let total_share: f64 = demands
+            .iter()
+            .enumerate()
+            .filter(|&(i, d)| d.active && d.demand_w - caps[i] > CLIP_EPS_W)
+            .map(|(i, _)| shares[i])
+            .sum();
+        if spare <= CLIP_EPS_W || total_share <= 0.0 {
+            break;
+        }
+        let mut granted = 0.0;
+        for (i, d) in demands.iter().enumerate() {
+            if !d.active || shares[i] <= 0.0 {
+                continue;
+            }
+            let room = d.demand_w - caps[i];
+            if room <= CLIP_EPS_W {
+                continue;
+            }
+            let give = (spare * shares[i] / total_share).min(room);
+            caps[i] += give;
+            granted += give;
+        }
+        spare -= granted;
+        if granted <= CLIP_EPS_W {
+            break;
+        }
+    }
+    Ok(caps)
+}
+
+/// SLA-aware splitting with explicit per-child floors; see
+/// [`split_caps_sla`]. Each floor is raised to the child's all-minimum
+/// power, and the call fails with [`SplitError::InfeasibleFloors`] instead
+/// of silently clamping when the floors over-commit the budget.
+pub fn split_caps_sla_floored(
+    global_cap_w: f64,
+    demands: &[ServerDemand],
+    sla: &[SlaSignal],
+    floor_w: &[f64],
+    quantum_w: f64,
+) -> Result<Vec<f64>, SplitError> {
+    sla_core(global_cap_w, demands, sla, quantum_w, Some(floor_w))
 }
 
 /// One server's tail-latency telemetry for SLA-aware splitting.
@@ -137,10 +277,25 @@ pub fn split_caps_sla(
     sla: &[SlaSignal],
     quantum_w: f64,
 ) -> Vec<f64> {
+    sla_core(global_cap_w, demands, sla, quantum_w, None)
+        .expect("legacy floors are always feasible")
+}
+
+/// The SLA granting loop behind [`split_caps_sla`] and
+/// [`split_caps_sla_floored`]. `floor_w` of `None` keeps the legacy
+/// behavior (each server floored at its scaled all-minimum power, feasible
+/// by construction); explicit floors are validated and can fail.
+fn sla_core(
+    global_cap_w: f64,
+    demands: &[ServerDemand],
+    sla: &[SlaSignal],
+    quantum_w: f64,
+    floor_w: Option<&[f64]>,
+) -> Result<Vec<f64>, SplitError> {
     assert_eq!(demands.len(), sla.len(), "one SLA signal per server");
     let n_active = demands.iter().filter(|d| d.active).count();
     if n_active == 0 {
-        return vec![0.0; demands.len()];
+        return Ok(vec![0.0; demands.len()]);
     }
     // Per-server desired cap (the ceiling it may be granted up to).
     let desired: Vec<f64> = demands
@@ -157,7 +312,14 @@ pub fn split_caps_sla(
             }
         })
         .collect();
-    let mut caps = floors(global_cap_w, demands);
+    let mut caps = checked_floors(global_cap_w, demands, floor_w)?;
+    // Explicit floors may sit above a trimmed desire; the grant loop
+    // treats such servers as already saturated and the floor stands.
+    let desired: Vec<f64> = desired
+        .iter()
+        .zip(&caps)
+        .map(|(&want, &floor)| want.max(floor))
+        .collect();
     let mut spare = global_cap_w - caps.iter().sum::<f64>();
     let mut clipped = vec![false; demands.len()];
     // Two passes: violators first, then everyone still below desire.
@@ -213,7 +375,7 @@ pub fn split_caps_sla(
             }
         }
     }
-    caps
+    Ok(caps)
 }
 
 /// Watts below which a server counts as clipped at its granting ceiling:
@@ -234,6 +396,34 @@ fn floors(global_cap_w: f64, demands: &[ServerDemand]) -> Vec<f64> {
         .iter()
         .map(|d| if d.active { d.min_w * scale } else { 0.0 })
         .collect()
+}
+
+/// Starting caps for a granting loop. `floor_w` of `None` keeps the legacy
+/// scaled floors above (always feasible); explicit floors are raised to
+/// each active server's all-minimum power and rejected with
+/// [`SplitError::InfeasibleFloors`] when their sum exceeds the budget.
+fn checked_floors(
+    global_cap_w: f64,
+    demands: &[ServerDemand],
+    floor_w: Option<&[f64]>,
+) -> Result<Vec<f64>, SplitError> {
+    let Some(floor_w) = floor_w else {
+        return Ok(floors(global_cap_w, demands));
+    };
+    assert_eq!(floor_w.len(), demands.len(), "one floor per server");
+    let eff: Vec<f64> = demands
+        .iter()
+        .zip(floor_w)
+        .map(|(d, &f)| if d.active { d.min_w.max(f) } else { 0.0 })
+        .collect();
+    let required_w: f64 = eff.iter().sum();
+    if required_w > global_cap_w + 1e-9 {
+        return Err(SplitError::InfeasibleFloors {
+            required_w,
+            budget_w: global_cap_w,
+        });
+    }
+    Ok(eff)
 }
 
 /// Predicted relative performance (0..=1) of a server allocated `cap`
@@ -261,21 +451,38 @@ pub(crate) fn utility_at(d: &ServerDemand, cap: f64) -> f64 {
 
 /// The marginal-utility greedy allocation, with FastCap's leftover parking.
 fn fastcap_split(global_cap_w: f64, demands: &[ServerDemand], quantum_w: f64) -> Vec<f64> {
-    fastcap_core(global_cap_w, demands, quantum_w, true)
+    fastcap_core(global_cap_w, demands, quantum_w, true, None)
+        .expect("legacy floors are always feasible")
+}
+
+/// FastCap's granting loop with explicit per-child floors; fails with
+/// [`SplitError::InfeasibleFloors`] instead of silently clamping when the
+/// floors over-commit the budget. Leftover budget goes unspent (caps stay
+/// at or below demand).
+pub fn split_caps_fastcap_floored(
+    global_cap_w: f64,
+    demands: &[ServerDemand],
+    floor_w: &[f64],
+    quantum_w: f64,
+) -> Result<Vec<f64>, SplitError> {
+    fastcap_core(global_cap_w, demands, quantum_w, false, Some(floor_w))
 }
 
 /// The FastCap granting loop. `park_leftover` selects what happens to
 /// budget left after every active server saturates at its demand: FastCap
 /// proper parks it uniformly as headroom (transient demand spikes between
 /// rounds stay within budget); the SLA-aware degrade path leaves it unspent
-/// so `cap[i] ≤ demand[i]` holds, matching `split_caps_sla`.
+/// so `cap[i] ≤ demand[i]` holds, matching `split_caps_sla`. `floor_w` of
+/// `None` keeps the legacy scaled floors; explicit floors are validated
+/// and make the call fallible.
 fn fastcap_core(
     global_cap_w: f64,
     demands: &[ServerDemand],
     quantum_w: f64,
     park_leftover: bool,
-) -> Vec<f64> {
-    let mut caps = floors(global_cap_w, demands);
+    floor_w: Option<&[f64]>,
+) -> Result<Vec<f64>, SplitError> {
+    let mut caps = checked_floors(global_cap_w, demands, floor_w)?;
     let mut spare = global_cap_w - caps.iter().sum::<f64>();
     let mut clipped = vec![false; demands.len()];
     // Grant quanta while any server still gains from them.
@@ -334,7 +541,7 @@ fn fastcap_core(
             }
         }
     }
-    caps
+    Ok(caps)
 }
 
 /// Jain's fairness index over a set of non-negative allocations:
@@ -573,6 +780,93 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn infeasible_explicit_floors_surface_structured_error() {
+        // Two servers whose configured floors (70 + 70) over-commit a
+        // 100 W budget. The legacy paths silently scale; the floored
+        // entry points must refuse instead.
+        let ds = vec![d(100.0, 30.0), d(100.0, 30.0)];
+        let floors_w = [70.0, 70.0];
+        let sig = vec![sla(2e-3, 1e-3), sla(0.5e-3, 1e-3)];
+        let expect = SplitError::InfeasibleFloors {
+            required_w: 140.0,
+            budget_w: 100.0,
+        };
+        assert_eq!(
+            split_caps_sla_floored(100.0, &ds, &sig, &floors_w, 1.0),
+            Err(expect)
+        );
+        assert_eq!(
+            split_caps_fastcap_floored(100.0, &ds, &floors_w, 1.0),
+            Err(expect)
+        );
+        assert_eq!(
+            split_caps_critical(100.0, &ds, Some(&[0.5, 0.5]), Some(&floors_w)),
+            Err(expect)
+        );
+        let msg = expect.to_string();
+        assert!(msg.contains("infeasible floors"), "{msg}");
+        assert!(msg.contains("140.000") && msg.contains("100.000"), "{msg}");
+        // The same floors under a sufficient budget succeed and cover them.
+        let caps = split_caps_fastcap_floored(150.0, &ds, &floors_w, 1.0).unwrap();
+        assert!(caps.iter().all(|&c| c >= 70.0 - 1e-9), "{caps:?}");
+    }
+
+    #[test]
+    fn explicit_floors_are_raised_to_min_power() {
+        // A floor below the server's all-minimum power is unreachable;
+        // the effective floor is min_w.
+        let ds = vec![d(100.0, 40.0), d(100.0, 40.0)];
+        let caps = split_caps_critical(80.0, &ds, Some(&[1.0, 0.0]), Some(&[5.0, 5.0])).unwrap();
+        assert!(caps[1] >= 40.0 - 1e-9, "{caps:?}");
+        // And min_w-raised floors count toward infeasibility.
+        assert!(split_caps_critical(70.0, &ds, None, Some(&[5.0, 5.0])).is_err());
+    }
+
+    #[test]
+    fn critical_split_degrades_to_demand_proportional() {
+        let ds = vec![d(130.0, 30.0), d(80.0, 30.0), d(60.0, 25.0)];
+        let dp = split_caps(CapSplit::DemandProportional, 180.0, &ds, 1.0);
+        for shares in [None, Some([0.0, 0.0, 0.0].as_slice())] {
+            let caps = split_caps_critical(180.0, &ds, shares, None).unwrap();
+            assert_eq!(caps, dp, "shares {shares:?}");
+        }
+        // The flat CapSplit arm (batch runs, no traces) matches too.
+        assert_eq!(split_caps(CapSplit::CriticalPath, 180.0, &ds, 1.0), dp);
+    }
+
+    #[test]
+    fn critical_split_shifts_budget_toward_critical_tier() {
+        // Three identical tiers; traces say tier 2 dominates the
+        // critical path.
+        let ds = vec![d(120.0, 30.0), d(120.0, 30.0), d(120.0, 30.0)];
+        let shares = [0.1, 0.2, 0.7];
+        let caps = split_caps_critical(180.0, &ds, Some(&shares), None).unwrap();
+        assert!(caps.iter().sum::<f64>() <= 180.0 + 1e-9, "{caps:?}");
+        assert!(caps[2] > caps[1] && caps[1] > caps[0], "{caps:?}");
+        // Spare above floors (90 W) goes exactly by share.
+        assert!((caps[2] - (30.0 + 0.7 * 90.0)).abs() < 1e-9, "{caps:?}");
+        // A tier entirely off the critical path keeps its floor.
+        let caps = split_caps_critical(180.0, &ds, Some(&[0.0, 0.3, 0.7]), None).unwrap();
+        assert!((caps[0] - 30.0).abs() < 1e-9, "{caps:?}");
+    }
+
+    #[test]
+    fn critical_split_clips_at_demand_and_leaves_leftover_unspent() {
+        // The critical tier saturates at its demand; surplus flows to the
+        // others by share, and budget beyond everyone's demand is unspent.
+        let ds = vec![d(60.0, 20.0), d(60.0, 20.0), d(200.0, 20.0)];
+        let caps = split_caps_critical(400.0, &ds, Some(&[0.0, 0.4, 0.6]), None).unwrap();
+        assert!((caps[1] - 60.0).abs() < 1e-9, "{caps:?}");
+        assert!((caps[2] - 200.0).abs() < 1e-9, "{caps:?}");
+        // Tier 0 has zero share: floor only, even with budget to spare.
+        assert!((caps[0] - 20.0).abs() < 1e-9, "{caps:?}");
+        assert!(
+            caps.iter().sum::<f64>() < 400.0 - 1.0,
+            "leftover spent: {caps:?}"
+        );
     }
 
     #[test]

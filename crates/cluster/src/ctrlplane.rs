@@ -1064,7 +1064,7 @@ impl ControlPlane {
                 }
             }
             co.granted_this_barrier = vec![None; n];
-            co.cache.lookup(&live, None).unwrap_or_else(|| {
+            co.cache.lookup(&live, None, None).unwrap_or_else(|| {
                 let caps = match &config.topology {
                     Some(tree) => {
                         tree.split(config.global_cap_w, names, &live, None, config.quantum_w)
@@ -1076,7 +1076,7 @@ impl ControlPlane {
                         config.quantum_w,
                     ),
                 };
-                co.cache.store(&live, None, &caps);
+                co.cache.store(&live, None, None, &caps);
                 caps
             })
         };

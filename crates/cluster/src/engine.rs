@@ -182,6 +182,7 @@ pub struct CapCache {
     dead_band_w: f64,
     reference: Vec<ServerDemand>,
     reference_sla: Vec<SlaSignal>,
+    reference_crit: Vec<f64>,
     caps: Vec<f64>,
     valid: bool,
     hits: u64,
@@ -199,6 +200,7 @@ impl CapCache {
             dead_band_w,
             reference: Vec::new(),
             reference_sla: Vec::new(),
+            reference_crit: Vec::new(),
             caps: Vec::new(),
             valid: false,
             hits: 0,
@@ -218,8 +220,9 @@ impl CapCache {
         &mut self,
         demands: &[ServerDemand],
         sla: Option<&[SlaSignal]>,
+        crit: Option<&[f64]>,
     ) -> Option<Vec<f64>> {
-        if self.lookup_clean(demands, sla) {
+        if self.lookup_clean(demands, sla, crit) {
             self.hits += 1;
             Some(self.caps.clone())
         } else {
@@ -228,12 +231,21 @@ impl CapCache {
         }
     }
 
-    fn lookup_clean(&self, demands: &[ServerDemand], sla: Option<&[SlaSignal]>) -> bool {
+    fn lookup_clean(
+        &self,
+        demands: &[ServerDemand],
+        sla: Option<&[SlaSignal]>,
+        crit: Option<&[f64]>,
+    ) -> bool {
         if !self.valid || demands.len() != self.reference.len() {
             return false;
         }
         let sla = sla.unwrap_or(&[]);
         if sla.len() != self.reference_sla.len() {
+            return false;
+        }
+        let crit = crit.unwrap_or(&[]);
+        if crit.len() != self.reference_crit.len() {
             return false;
         }
         let clean = |a: f64, b: f64| {
@@ -243,21 +255,36 @@ impl CapCache {
                 (a - b).abs() <= self.dead_band_w
             }
         };
+        // Critical-path shares are dimensionless fractions, not watts — a
+        // watt-denominated dead band has no business blurring them, so any
+        // bit-level movement in the trace signal recomputes the split.
         demands.iter().zip(&self.reference).all(|(d, r)| {
             d.active == r.active && clean(d.demand_w, r.demand_w) && clean(d.min_w, r.min_w)
         }) && sla
             .iter()
             .zip(&self.reference_sla)
             .all(|(s, r)| clean(s.p99_s, r.p99_s) && clean(s.target_s, r.target_s))
+            && crit
+                .iter()
+                .zip(&self.reference_crit)
+                .all(|(c, r)| c.to_bits() == r.to_bits())
     }
 
     /// Records a freshly computed allocation and the telemetry it came
     /// from.
-    pub fn store(&mut self, demands: &[ServerDemand], sla: Option<&[SlaSignal]>, caps: &[f64]) {
+    pub fn store(
+        &mut self,
+        demands: &[ServerDemand],
+        sla: Option<&[SlaSignal]>,
+        crit: Option<&[f64]>,
+        caps: &[f64],
+    ) {
         self.reference.clear();
         self.reference.extend_from_slice(demands);
         self.reference_sla.clear();
         self.reference_sla.extend_from_slice(sla.unwrap_or(&[]));
+        self.reference_crit.clear();
+        self.reference_crit.extend_from_slice(crit.unwrap_or(&[]));
         self.caps.clear();
         self.caps.extend_from_slice(caps);
         self.valid = true;
@@ -373,30 +400,36 @@ mod tests {
     fn cap_cache_replays_only_on_clean_telemetry() {
         let mut cache = CapCache::new(0.0);
         let demands = vec![d(100.0, 30.0, true), d(80.0, 25.0, true)];
-        assert!(cache.lookup(&demands, None).is_none(), "cold cache misses");
-        cache.store(&demands, None, &[60.0, 40.0]);
-        assert_eq!(cache.lookup(&demands, None), Some(vec![60.0, 40.0]));
+        assert!(
+            cache.lookup(&demands, None, None).is_none(),
+            "cold cache misses"
+        );
+        cache.store(&demands, None, None, &[60.0, 40.0]);
+        assert_eq!(cache.lookup(&demands, None, None), Some(vec![60.0, 40.0]));
 
         // Any bit of telemetry movement is a dirty server at dead-band 0.
         let mut moved = demands.clone();
         moved[1].demand_w += 1e-12;
-        assert!(cache.lookup(&moved, None).is_none());
+        assert!(cache.lookup(&moved, None, None).is_none());
 
         // An activity flip is a membership change even at a wide dead-band.
         let mut cache = CapCache::new(5.0);
-        cache.store(&demands, None, &[60.0, 40.0]);
+        cache.store(&demands, None, None, &[60.0, 40.0]);
         let mut jitter = demands.clone();
         jitter[0].demand_w += 3.0;
-        assert!(cache.lookup(&jitter, None).is_some(), "within dead-band");
+        assert!(
+            cache.lookup(&jitter, None, None).is_some(),
+            "within dead-band"
+        );
         let mut idled = demands.clone();
         idled[1].active = false;
-        assert!(cache.lookup(&idled, None).is_none());
+        assert!(cache.lookup(&idled, None, None).is_none());
 
         // Explicit invalidation always recomputes.
         let mut cache = CapCache::new(0.0);
-        cache.store(&demands, None, &[60.0, 40.0]);
+        cache.store(&demands, None, None, &[60.0, 40.0]);
         cache.invalidate();
-        assert!(cache.lookup(&demands, None).is_none());
+        assert!(cache.lookup(&demands, None, None).is_none());
     }
 
     #[test]
@@ -407,15 +440,15 @@ mod tests {
             p99_s: 0.8e-3,
             target_s: 1e-3,
         }];
-        cache.store(&demands, Some(&sla), &[70.0]);
-        assert!(cache.lookup(&demands, Some(&sla)).is_some());
+        cache.store(&demands, Some(&sla), None, &[70.0]);
+        assert!(cache.lookup(&demands, Some(&sla), None).is_some());
         let hot = vec![SlaSignal {
             p99_s: 1.2e-3,
             target_s: 1e-3,
         }];
-        assert!(cache.lookup(&demands, Some(&hot)).is_none());
+        assert!(cache.lookup(&demands, Some(&hot), None).is_none());
         // Presenting signals to a cache stored without them (or vice
         // versa) can never replay.
-        assert!(cache.lookup(&demands, None).is_none());
+        assert!(cache.lookup(&demands, None, None).is_none());
     }
 }

@@ -75,7 +75,10 @@ pub use balance::{BalancePolicy, LoadBalancer, ServerLoad};
 pub use config::{
     synthetic_fleet, CapSplit, ChurnAction, ChurnEvent, ChurnSchedule, ClusterConfig, ServerSpec,
 };
-pub use coordinator::{jain_index, split_caps, split_caps_sla, ServerDemand, SlaSignal};
+pub use coordinator::{
+    jain_index, split_caps, split_caps_critical, split_caps_fastcap_floored, split_caps_sla,
+    split_caps_sla_floored, ServerDemand, SlaSignal, SplitError,
+};
 pub use ctrlplane::{
     CapGrant, ControlPlane, ControlStats, CtrlMsg, GrantOutcome, GrantRecord, LeaseClient,
     LeaseEntry, LeaseLedger, PartitionSpec, RpcConfig,
@@ -84,4 +87,4 @@ pub use engine::{split_caps_active, CapCache, EngineKind, FleetEngine, WorkerPoo
 pub use netsim::{LinkConfig, NodeId, PlaneStats};
 pub use server::{CappedPolicy, Server, ServerStatus, SharedCap};
 pub use sim::{run_cluster, ClusterResult, ClusterSim, ServerOutcome};
-pub use tree::{BudgetNode, BudgetTree, GroupShare};
+pub use tree::{BudgetNode, BudgetTree, GroupShare, TreeSignals};

@@ -24,13 +24,18 @@
 //!   trim curve applies unchanged). A leaf with no samples yet makes the
 //!   whole subtree "unknown", which bids full demand — the conservative
 //!   choice while telemetry warms up.
+//! * **Critical-path share** — the largest per-server share over the
+//!   subtree's active leaves (servers of one tier all carry their tier's
+//!   windowed share, so a tier group aggregates to exactly that share).
 //!
 //! Every discipline spends at most its node budget, so by induction the
 //! leaf caps sum to at most the global budget. Splitting is deterministic
 //! (ties break toward the first child), so tree-coordinated rounds keep the
 //! cluster/service layers' bit-exact thread-count invariance.
 
-use crate::coordinator::{split_caps, split_caps_sla, ServerDemand, SlaSignal};
+use crate::coordinator::{
+    split_caps, split_caps_critical, split_caps_sla, ServerDemand, SlaSignal, SplitError,
+};
 use crate::CapSplit;
 use std::collections::HashMap;
 
@@ -149,6 +154,18 @@ impl BudgetNode {
         }
     }
 
+    /// Aggregated critical-path share of the subtree: the largest share
+    /// over active leaves, 0 without signals.
+    fn aggregate_crit(&self, ctx: &SplitCtx<'_>) -> f64 {
+        let mut share = 0.0f64;
+        self.for_each_leaf(&mut |name| {
+            if ctx.demand_of(name).active {
+                share = share.max(ctx.crit_of(name));
+            }
+        });
+        share
+    }
+
     fn for_each_leaf<'a>(&'a self, f: &mut impl FnMut(&'a str)) {
         match self {
             BudgetNode::Server { name } => f(name),
@@ -169,7 +186,7 @@ impl BudgetNode {
         ctx: &SplitCtx<'_>,
         caps: &mut [f64],
         mut trace: Option<&mut Vec<GroupShare>>,
-    ) {
+    ) -> Result<(), SplitError> {
         match self {
             BudgetNode::Server { name } => {
                 let i = ctx.index_of(name);
@@ -197,13 +214,36 @@ impl BudgetNode {
                             children.iter().map(|c| c.aggregate_sla(ctx)).collect();
                         split_caps_sla(budget_w, &ds, &sigs, ctx.quantum_w)
                     }
+                    (CapSplit::CriticalPath, _) => {
+                        let crit: Option<Vec<f64>> = ctx
+                            .crit
+                            .map(|_| children.iter().map(|c| c.aggregate_crit(ctx)).collect());
+                        // Per-tier floors: an equal fraction of this node's
+                        // budget for every active child, raised to the
+                        // child's power floor inside the split. Infeasible
+                        // floor configs surface as a structured error
+                        // instead of silently clamping.
+                        let floor_w: Option<Vec<f64>> = if ctx.tier_floor_frac > 0.0 {
+                            let n_active = ds.iter().filter(|d| d.active).count().max(1);
+                            let per = ctx.tier_floor_frac * budget_w / n_active as f64;
+                            Some(
+                                ds.iter()
+                                    .map(|d| if d.active { per } else { 0.0 })
+                                    .collect(),
+                            )
+                        } else {
+                            None
+                        };
+                        split_caps_critical(budget_w, &ds, crit.as_deref(), floor_w.as_deref())?
+                    }
                     (s, _) => split_caps(s, budget_w, &ds, ctx.quantum_w),
                 };
                 for (child, share) in children.iter().zip(shares) {
-                    child.allocate(share, ctx, caps, trace.as_deref_mut());
+                    child.allocate(share, ctx, caps, trace.as_deref_mut())?;
                 }
             }
         }
+        Ok(())
     }
 
     fn render(&self, out: &mut String) {
@@ -247,6 +287,8 @@ struct SplitCtx<'a> {
     index: &'a HashMap<&'a str, usize>,
     demands: &'a [ServerDemand],
     sla: Option<&'a [SlaSignal]>,
+    crit: Option<&'a [f64]>,
+    tier_floor_frac: f64,
     quantum_w: f64,
 }
 
@@ -271,6 +313,28 @@ impl SplitCtx<'_> {
             },
         }
     }
+
+    fn crit_of(&self, name: &str) -> f64 {
+        match self.crit {
+            Some(c) => c[self.index_of(name)],
+            None => 0.0,
+        }
+    }
+}
+
+/// Optional per-server signals driving signal-aware tree disciplines; the
+/// all-`None` default reproduces the signal-free [`BudgetTree::split`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TreeSignals<'a> {
+    /// Tail-latency telemetry, indexed like the fleet (SLA-aware nodes).
+    pub sla: Option<&'a [SlaSignal]>,
+    /// Windowed critical-path share per server — every member of a tier
+    /// carries its tier's share (critical-path nodes).
+    pub crit: Option<&'a [f64]>,
+    /// Per-tier floor under critical-path nodes: each active child of such
+    /// a node is floored at `tier_floor_frac × node budget / active
+    /// children`. Zero disables explicit floors (power floors still hold).
+    pub tier_floor_frac: f64,
 }
 
 /// A hierarchical budget topology over a server fleet.
@@ -385,20 +449,60 @@ impl BudgetTree {
         sla: Option<&[SlaSignal]>,
         quantum_w: f64,
     ) -> Vec<f64> {
+        self.split_signals(
+            global_cap_w,
+            names,
+            demands,
+            &TreeSignals {
+                sla,
+                ..TreeSignals::default()
+            },
+            quantum_w,
+        )
+        .expect("without tier floors a tree split cannot fail")
+    }
+
+    /// Like [`BudgetTree::split`], but with the full signal set: SLA
+    /// telemetry, per-server critical-path shares, and per-tier floors for
+    /// critical-path nodes. Without crit signals, critical-path nodes
+    /// degrade to demand-proportional.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SplitError::InfeasibleFloors`] when a critical-path
+    /// node's configured per-tier floors over-commit its budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tree leaf names a server absent from `names` — run
+    /// [`BudgetTree::validate`] against the fleet first.
+    pub fn split_signals(
+        &self,
+        global_cap_w: f64,
+        names: &[&str],
+        demands: &[ServerDemand],
+        signals: &TreeSignals<'_>,
+        quantum_w: f64,
+    ) -> Result<Vec<f64>, SplitError> {
         assert_eq!(names.len(), demands.len(), "one demand per server");
-        if let Some(s) = sla {
+        if let Some(s) = signals.sla {
             assert_eq!(names.len(), s.len(), "one SLA signal per server");
+        }
+        if let Some(c) = signals.crit {
+            assert_eq!(names.len(), c.len(), "one crit share per server");
         }
         let index: HashMap<&str, usize> = names.iter().enumerate().map(|(i, n)| (*n, i)).collect();
         let ctx = SplitCtx {
             index: &index,
             demands,
-            sla,
+            sla: signals.sla,
+            crit: signals.crit,
+            tier_floor_frac: signals.tier_floor_frac,
             quantum_w,
         };
         let mut caps = vec![0.0; demands.len()];
-        self.root.allocate(global_cap_w, &ctx, &mut caps, None);
-        caps
+        self.root.allocate(global_cap_w, &ctx, &mut caps, None)?;
+        Ok(caps)
     }
 
     /// Like [`BudgetTree::split`], but also returns the share every
@@ -426,12 +530,15 @@ impl BudgetTree {
             index: &index,
             demands,
             sla,
+            crit: None,
+            tier_floor_frac: 0.0,
             quantum_w,
         };
         let mut caps = vec![0.0; demands.len()];
         let mut trace = Vec::new();
         self.root
-            .allocate(global_cap_w, &ctx, &mut caps, Some(&mut trace));
+            .allocate(global_cap_w, &ctx, &mut caps, Some(&mut trace))
+            .expect("without tier floors a tree split cannot fail");
         (caps, trace)
     }
 
@@ -498,7 +605,7 @@ impl BudgetTree {
     /// `label:split[child,child,...]` where each child is either a nested
     /// group or a bare server name, and `split` is one of `uniform`,
     /// `demand-proportional` (or `demand`), `fastcap`, `sla-aware` (or
-    /// `sla`). Example:
+    /// `sla`), `critical-path` (or `crit`). Example:
     /// `fleet:uniform[rack0:sla-aware[h0,h1],pod:fastcap[c0,c1]]`.
     ///
     /// # Errors
@@ -604,6 +711,7 @@ impl Parser<'_> {
             "demand-proportional" | "demand" => CapSplit::DemandProportional,
             "fastcap" => CapSplit::FastCap,
             "sla-aware" | "sla" => CapSplit::SlaAware,
+            "critical-path" | "crit" => CapSplit::CriticalPath,
             other => {
                 return Err(format!(
                     "topology: unknown split '{other}' in group '{name}'"
@@ -856,6 +964,83 @@ mod tests {
                 g.budget_w
             );
         }
+    }
+
+    #[test]
+    fn critical_path_node_shifts_budget_by_trace_shares() {
+        let t =
+            BudgetTree::parse("svc:critical-path[fe:fastcap[f0,f1],st:fastcap[s0,s1]]").unwrap();
+        let names = ["f0", "f1", "s0", "s1"];
+        let demands = [
+            d(100.0, 20.0),
+            d(100.0, 20.0),
+            d(100.0, 20.0),
+            d(100.0, 20.0),
+        ];
+        // Traces: the storage tier dominates the critical path. Every
+        // member of a tier carries the tier's share.
+        let crit = [0.2, 0.2, 0.8, 0.8];
+        let sig = TreeSignals {
+            crit: Some(&crit),
+            ..TreeSignals::default()
+        };
+        let caps = t.split_signals(240.0, &names, &demands, &sig, 1.0).unwrap();
+        let fe: f64 = caps[0] + caps[1];
+        let st: f64 = caps[2] + caps[3];
+        assert!(st > fe, "{caps:?}");
+        // Floors (40 W per tier) first, spare 160 W split 0.2 : 0.8.
+        assert!((st - (40.0 + 0.8 * 160.0)).abs() < 1e-6, "{caps:?}");
+        assert!(caps.iter().sum::<f64>() <= 240.0 + 1e-6);
+    }
+
+    #[test]
+    fn critical_path_node_without_traces_is_demand_proportional() {
+        let t = BudgetTree::parse("svc:critical-path[fe:fastcap[f0,f1],st:fastcap[s0]]").unwrap();
+        let dp =
+            BudgetTree::parse("svc:demand-proportional[fe:fastcap[f0,f1],st:fastcap[s0]]").unwrap();
+        let names = ["f0", "f1", "s0"];
+        let demands = [d(120.0, 30.0), d(80.0, 30.0), d(60.0, 25.0)];
+        let caps = t.split(200.0, &names, &demands, None, 1.0);
+        assert_eq!(caps, dp.split(200.0, &names, &demands, None, 1.0));
+        // Zero shares degrade the same way.
+        let sig = TreeSignals {
+            crit: Some(&[0.0, 0.0, 0.0]),
+            ..TreeSignals::default()
+        };
+        assert_eq!(
+            t.split_signals(200.0, &names, &demands, &sig, 1.0).unwrap(),
+            caps
+        );
+    }
+
+    #[test]
+    fn tier_floors_hold_and_infeasible_floors_error() {
+        let t = BudgetTree::parse("svc:critical-path[fe:fastcap[f0],st:fastcap[s0]]").unwrap();
+        let names = ["f0", "s0"];
+        let demands = [d(100.0, 10.0), d(100.0, 10.0)];
+        // Storage takes the whole critical path, but each tier keeps a
+        // 25% floor of the node budget.
+        let sig = TreeSignals {
+            crit: Some(&[0.0, 1.0]),
+            tier_floor_frac: 0.5,
+            ..TreeSignals::default()
+        };
+        let caps = t.split_signals(120.0, &names, &demands, &sig, 1.0).unwrap();
+        assert!((caps[0] - 30.0).abs() < 1e-6, "floor unmet: {caps:?}");
+        assert!((caps[1] - 90.0).abs() < 1e-6, "{caps:?}");
+        // Floors above the child power floors that over-commit the node
+        // budget surface the structured error. Power floors of 70 W each
+        // cannot fit a 120 W node budget once explicit floors force both
+        // tiers to stay powered.
+        let heavy = [d(100.0, 70.0), d(100.0, 70.0)];
+        let err = t
+            .split_signals(120.0, &names, &heavy, &sig, 1.0)
+            .unwrap_err();
+        assert!(
+            matches!(err, SplitError::InfeasibleFloors { required_w, budget_w }
+                if required_w > budget_w),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -130,6 +130,7 @@ impl ClientPool {
                 arrival: at.max(from),
                 remaining_instrs: size,
                 client: Some(i as u32),
+                trace: None,
             });
         }
         batch.sort_by_key(|r| (r.arrival, r.client));

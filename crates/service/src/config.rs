@@ -5,6 +5,7 @@ use crate::arrivals::ArrivalKind;
 use cluster::{BalancePolicy, BudgetTree, CapSplit, ChurnSchedule, EngineKind};
 use coscale::SimConfig;
 use simkernel::Ps;
+use topology::TierGraph;
 
 /// One serving server: an engine configuration plus the request stream it
 /// must absorb and the latency target it is held to.
@@ -142,6 +143,80 @@ impl ClosedLoopConfig {
     }
 }
 
+/// Multi-tier request topology: client requests fan out into a DAG of
+/// sub-requests across service tiers, the SLO binds the *end-to-end* tail,
+/// and the budget shifts toward the tier on the critical path.
+///
+/// Requires a closed-loop workload (roots enter through the client
+/// population and are balanced over the entry tier only) and replaces any
+/// explicit budget topology: the fleet auto-builds a two-level tree — a
+/// critical-path root over per-tier groups, each tier splitting internally
+/// by [`ServiceConfig::split`].
+#[derive(Clone, Debug)]
+pub struct TierConfig {
+    /// The tier graph (e.g. `fe[2] -> app[4]*2 -> storage[3]`); the fleet's
+    /// server names must match [`TierGraph::server_names`] in order.
+    pub graph: TierGraph,
+    /// Per-tier budget floor under the critical-path root: each tier is
+    /// floored at `floor_frac × global budget / tiers`. Zero disables
+    /// explicit floors; infeasible configurations (floors raised to power
+    /// minimums exceeding the budget) fail the split with a structured
+    /// error.
+    pub floor_frac: f64,
+    /// End-to-end p99 sojourn target for closed request DAGs, seconds.
+    pub e2e_target_s: f64,
+    /// How many sealed rounds of critical-path attribution feed the
+    /// split's tier shares.
+    pub window_rounds: usize,
+    /// The discipline the root node applies *across* tiers. The default
+    /// [`CapSplit::CriticalPath`] shifts budget toward the slowest leg;
+    /// static disciplines (uniform, demand-proportional) are the
+    /// comparison baselines of the `multi-tier` experiment.
+    pub tier_split: CapSplit,
+}
+
+impl TierConfig {
+    /// A tier topology with defaults: a 10 % per-tier floor, a 5 ms
+    /// end-to-end p99 target and a 4-round trace window.
+    pub fn new(graph: TierGraph) -> TierConfig {
+        TierConfig {
+            graph,
+            floor_frac: 0.1,
+            e2e_target_s: 5e-3,
+            window_rounds: 4,
+            tier_split: CapSplit::CriticalPath,
+        }
+    }
+
+    /// Sets the per-tier floor fraction.
+    #[must_use]
+    pub fn with_floor_frac(mut self, floor_frac: f64) -> TierConfig {
+        self.floor_frac = floor_frac;
+        self
+    }
+
+    /// Sets the end-to-end p99 target, seconds.
+    #[must_use]
+    pub fn with_e2e_target_s(mut self, target_s: f64) -> TierConfig {
+        self.e2e_target_s = target_s;
+        self
+    }
+
+    /// Sets the trace window length in rounds.
+    #[must_use]
+    pub fn with_window_rounds(mut self, rounds: usize) -> TierConfig {
+        self.window_rounds = rounds;
+        self
+    }
+
+    /// Sets the cross-tier root discipline (default critical-path).
+    #[must_use]
+    pub fn with_tier_split(mut self, split: CapSplit) -> TierConfig {
+        self.tier_split = split;
+        self
+    }
+}
+
 /// Configuration of one serving-fleet simulation.
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
@@ -160,6 +235,9 @@ pub struct ServiceConfig {
     /// must match the initial fleet; churn joiners attach under the root
     /// and leavers' leaves are pruned as the run progresses.
     pub topology: Option<BudgetTree>,
+    /// Optional multi-tier request topology (see [`TierConfig`]). Mutually
+    /// exclusive with an explicit `topology`; requires `closed_loop`.
+    pub tiers: Option<TierConfig>,
     /// Coordination rounds to run (the serving horizon).
     pub rounds: usize,
     /// Engine epochs per round.
@@ -203,6 +281,7 @@ impl ServiceConfig {
             global_cap_w,
             split,
             topology: None,
+            tiers: None,
             rounds: 40,
             epochs_per_round: 4,
             threads: 1,
@@ -266,6 +345,13 @@ impl ServiceConfig {
         self
     }
 
+    /// Sets a multi-tier request topology (see [`TierConfig`]).
+    #[must_use]
+    pub fn with_tiers(mut self, tiers: TierConfig) -> ServiceConfig {
+        self.tiers = Some(tiers);
+        self
+    }
+
     /// Validates cross-field consistency.
     ///
     /// # Errors
@@ -311,6 +397,44 @@ impl ServiceConfig {
         if let Some(tree) = &self.topology {
             let names: Vec<&str> = self.servers.iter().map(|s| s.name.as_str()).collect();
             tree.validate(&names)?;
+        }
+        if let Some(tc) = &self.tiers {
+            tc.graph.validate()?;
+            if self.topology.is_some() {
+                return Err(
+                    "tiers: mutually exclusive with an explicit budget topology \
+                     (the tier runtime builds its own critical-path tree)"
+                        .into(),
+                );
+            }
+            if self.closed_loop.is_none() {
+                return Err("tiers: requires a closed-loop workload \
+                            (roots enter through the client population)"
+                    .into());
+            }
+            if !(0.0..1.0).contains(&tc.floor_frac) || tc.floor_frac.is_nan() {
+                return Err(format!(
+                    "tiers: floor fraction {} must be in [0, 1)",
+                    tc.floor_frac
+                ));
+            }
+            if !tc.e2e_target_s.is_finite() || tc.e2e_target_s <= 0.0 {
+                return Err(format!(
+                    "tiers: end-to-end target {} must be positive",
+                    tc.e2e_target_s
+                ));
+            }
+            if tc.window_rounds == 0 {
+                return Err("tiers: trace window must be positive".into());
+            }
+            let expect = tc.graph.server_names();
+            let got: Vec<&str> = self.servers.iter().map(|s| s.name.as_str()).collect();
+            if got != expect.iter().map(String::as_str).collect::<Vec<_>>() {
+                return Err(format!(
+                    "tiers: fleet names {got:?} must match the tier graph's \
+                     server names {expect:?} in order"
+                ));
+            }
         }
         if let Some(cl) = &self.closed_loop {
             if cl.clients == 0 {
@@ -395,6 +519,53 @@ mod tests {
         let mut c = ok;
         c.rounds = 2_000_000;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn tier_validation_pins_closed_loop_names_and_floors() {
+        use cluster::BalancePolicy;
+        let graph: TierGraph = "fe[1] -> st[2]*2".parse().unwrap();
+        let fleet = |names: &[&str]| -> Vec<ServiceServerSpec> {
+            names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| ServiceServerSpec::small(n, "MID1", i as u64, 1000.0))
+                .collect()
+        };
+        let cl = ClosedLoopConfig::new(8, Ps::from_us(200), BalancePolicy::LeastQueue);
+        let ok = ServiceConfig::new(fleet(&["fe0", "st0", "st1"]), 180.0, CapSplit::FastCap)
+            .with_closed_loop(cl.clone())
+            .with_tiers(TierConfig::new(graph.clone()));
+        assert!(ok.validate().is_ok(), "{:?}", ok.validate());
+
+        let mut open_loop = ok.clone();
+        open_loop.closed_loop = None;
+        assert!(open_loop.validate().is_err(), "tiers need a closed loop");
+
+        let wrong_names =
+            ServiceConfig::new(fleet(&["fe0", "stA", "st1"]), 180.0, CapSplit::FastCap)
+                .with_closed_loop(cl.clone())
+                .with_tiers(TierConfig::new(graph.clone()));
+        assert!(wrong_names.validate().is_err());
+
+        let mut bad_floor = ok.clone();
+        bad_floor.tiers.as_mut().unwrap().floor_frac = 1.0;
+        assert!(bad_floor.validate().is_err());
+
+        let mut with_tree = ok;
+        with_tree.topology = Some(cluster::BudgetTree::new(cluster::BudgetNode::group(
+            "g",
+            CapSplit::Uniform,
+            vec![
+                cluster::BudgetNode::server("fe0"),
+                cluster::BudgetNode::server("st0"),
+                cluster::BudgetNode::server("st1"),
+            ],
+        )));
+        assert!(
+            with_tree.validate().is_err(),
+            "tiers exclude explicit trees"
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use simkernel::{stats::Histogram, Ps};
 use std::collections::VecDeque;
+use topology::SpanCtx;
 
 /// One in-flight request.
 #[derive(Clone, Copy, Debug)]
@@ -27,6 +28,9 @@ pub struct Request {
     /// The closed-loop client that issued the request, if any (open-loop
     /// streams leave this `None`).
     pub client: Option<u32>,
+    /// Trace context, when the request is a span of a multi-tier DAG
+    /// (the root id lives in the tracker; such requests carry no client).
+    pub trace: Option<SpanCtx>,
 }
 
 /// How a closed-loop request reached its terminal state within one
@@ -39,13 +43,15 @@ pub enum Resolution {
     Shed,
 }
 
-/// A closed-loop request's terminal event, reported back to its client so
-/// it can start thinking. Only requests carrying a client id produce
-/// events.
+/// A request's terminal event, reported back so the issuing client can
+/// start thinking (or the DAG tracker can spawn/close spans). Only
+/// requests carrying a client id or a trace context produce events.
 #[derive(Clone, Copy, Debug)]
 pub struct ClientEvent {
-    /// The issuing client.
-    pub client: u32,
+    /// The issuing client, for directly client-tagged requests.
+    pub client: Option<u32>,
+    /// The span that terminated, for traced multi-tier sub-requests.
+    pub trace: Option<SpanCtx>,
     /// When the request completed (or was shed — its arrival instant).
     pub at: Ps,
     /// What happened to it.
@@ -107,9 +113,10 @@ impl RequestQueue {
     fn admit(&mut self, r: Request, events: &mut Vec<ClientEvent>) {
         if self.waiting.len() >= self.capacity {
             self.shed += 1;
-            if let Some(client) = r.client {
+            if r.client.is_some() || r.trace.is_some() {
                 events.push(ClientEvent {
-                    client,
+                    client: r.client,
+                    trace: r.trace,
                     at: r.arrival,
                     resolution: Resolution::Shed,
                 });
@@ -198,9 +205,10 @@ impl RequestQueue {
             if finish <= horizon {
                 let sojourn = finish - head.arrival;
                 hist.record(sojourn.as_ps().max(1));
-                if let Some(client) = head.client {
+                if head.client.is_some() || head.trace.is_some() {
                     events.push(ClientEvent {
-                        client,
+                        client: head.client,
+                        trace: head.trace,
                         at: finish,
                         resolution: Resolution::Completed,
                     });
@@ -239,6 +247,7 @@ mod tests {
             arrival: Ps::from_ns(at_ns),
             remaining_instrs: instrs,
             client: None,
+            trace: None,
         }
     }
 
@@ -357,14 +366,52 @@ mod tests {
             .iter()
             .find(|e| e.resolution == Resolution::Shed)
             .unwrap();
-        assert_eq!(shed.client, 2);
+        assert_eq!(shed.client, Some(2));
         assert_eq!(shed.at, Ps::from_ns(100));
-        let done: Vec<u32> = events
+        let done: Vec<Option<u32>> = events
             .iter()
             .filter(|e| e.resolution == Resolution::Completed)
             .map(|e| e.client)
             .collect();
-        assert_eq!(done, vec![0, 1], "FIFO completion order");
+        assert_eq!(done, vec![Some(0), Some(1)], "FIFO completion order");
+    }
+
+    #[test]
+    fn traced_requests_report_terminal_events_without_a_client() {
+        let mut q = RequestQueue::new(1);
+        let mut h = Histogram::new();
+        let span = |root: u32| SpanCtx {
+            root,
+            span: 1,
+            parent: 0,
+            tier: 1,
+        };
+        let traced = |at_ns: u64, root: u32| Request {
+            trace: Some(span(root)),
+            ..req(at_ns, 1_000.0)
+        };
+        // Root 0's span is admitted; root 1's is shed at arrival.
+        let events = q
+            .advance(
+                Ps::ZERO,
+                Ps::from_us(10),
+                1e9,
+                &[traced(0, 0), traced(100, 1)],
+                &mut h,
+            )
+            .unwrap();
+        assert_eq!(events.len(), 2);
+        let shed = events
+            .iter()
+            .find(|e| e.resolution == Resolution::Shed)
+            .unwrap();
+        assert_eq!(shed.client, None);
+        assert_eq!(shed.trace.unwrap().root, 1);
+        let done = events
+            .iter()
+            .find(|e| e.resolution == Resolution::Completed)
+            .unwrap();
+        assert_eq!(done.trace.unwrap().root, 0);
     }
 
     #[test]

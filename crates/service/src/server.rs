@@ -159,6 +159,7 @@ impl ServiceServer {
                     arrival,
                     remaining_instrs: self.mean_request_instrs * (0.5 + self.size_rng.f64()),
                     client: None,
+                    trace: None,
                 })
                 .collect()
         };

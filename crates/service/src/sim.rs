@@ -12,12 +12,15 @@
 
 use crate::clients::ClientPool;
 use crate::config::ServiceConfig;
+use crate::queue::{ClientEvent, Request, Resolution};
 use crate::server::ServiceServer;
 use cluster::{
-    split_caps, split_caps_sla, BalancePolicy, CapCache, CapSplit, ChurnAction, EngineKind,
-    FleetEngine, LoadBalancer, ServerDemand, ServerLoad, SlaSignal, WorkerPool,
+    split_caps, split_caps_sla, BalancePolicy, BudgetNode, BudgetTree, CapCache, CapSplit,
+    ChurnAction, EngineKind, FleetEngine, LoadBalancer, ServerDemand, ServerLoad, SlaSignal,
+    TreeSignals, WorkerPool,
 };
 use simkernel::{stats::Histogram, EventQueue, Ps};
+use topology::{DagTracker, TierGraph, TraceCollector, TraceStats};
 
 /// One server's final accounting (final fleet members and churn departures
 /// alike).
@@ -89,6 +92,61 @@ pub struct ClientSummary {
     pub waiting_at_end: usize,
 }
 
+/// The multi-tier runtime's final accounting: DAG conservation counters,
+/// lifetime critical-path attribution and the end-to-end sojourn
+/// distribution of closed request DAGs.
+#[derive(Clone, Debug)]
+pub struct TierSummary {
+    /// The tier graph, rendered (`Display` round-trips).
+    pub graph: String,
+    /// Tier names in request-flow order.
+    pub tier_names: Vec<String>,
+    /// The DAG tracker's lifetime conservation counters.
+    pub stats: TraceStats,
+    /// Lifetime critical-path time attributed to each tier, picoseconds.
+    pub crit_total_ps: Vec<u64>,
+    /// How often each tier was a closed DAG's slowest leg.
+    pub slowest_counts: Vec<u64>,
+    /// DAGs folded into the trace collector (non-failed closures).
+    pub roots_recorded: u64,
+    /// End-to-end sojourns of non-failed closed DAGs.
+    pub e2e_hist: Histogram,
+    /// The end-to-end p99 target, seconds.
+    pub e2e_target_s: f64,
+}
+
+impl TierSummary {
+    /// The `q`-quantile end-to-end sojourn in seconds (zero if no DAG
+    /// closed).
+    pub fn e2e_percentile_s(&self, q: f64) -> f64 {
+        self.e2e_hist.percentile(q) as f64 / 1e12
+    }
+
+    /// Whole-run end-to-end p99, seconds.
+    pub fn e2e_p99_s(&self) -> f64 {
+        self.e2e_percentile_s(0.99)
+    }
+
+    /// Whether the end-to-end p99 met the target (vacuously true with no
+    /// closures).
+    pub fn meets_e2e_slo(&self) -> bool {
+        self.e2e_hist.count() == 0 || self.e2e_p99_s() <= self.e2e_target_s
+    }
+
+    /// Lifetime per-tier share of critical-path time (all zeros before any
+    /// closure).
+    pub fn crit_shares(&self) -> Vec<f64> {
+        let sum: u64 = self.crit_total_ps.iter().sum();
+        if sum == 0 {
+            return vec![0.0; self.crit_total_ps.len()];
+        }
+        self.crit_total_ps
+            .iter()
+            .map(|&c| c as f64 / sum as f64)
+            .collect()
+    }
+}
+
 /// Everything one serving-fleet simulation produces.
 #[derive(Clone, Debug)]
 pub struct ServiceResult {
@@ -108,6 +166,8 @@ pub struct ServiceResult {
     pub cap_timeline: Vec<Vec<f64>>,
     /// The client population's accounting, when the run was closed-loop.
     pub closed_loop: Option<ClientSummary>,
+    /// The multi-tier runtime's accounting, when tiers were configured.
+    pub tiers: Option<TierSummary>,
 }
 
 impl ServiceResult {
@@ -196,6 +256,47 @@ impl ServiceResult {
                 o.hist.percentile(0.99),
                 o.hist.percentile(0.999),
                 o.now.as_ps(),
+            );
+        }
+        if let Some(t) = &self.tiers {
+            let st = &t.stats;
+            let _ = writeln!(
+                s,
+                "tiers graph={} roots={}/{}/{} spans={}/{}/{} open={}/{} dom={}",
+                t.graph,
+                st.roots_opened,
+                st.roots_closed,
+                st.roots_failed,
+                st.spans_opened,
+                st.spans_closed,
+                st.spans_failed,
+                st.open_roots,
+                st.open_spans,
+                st.sojourn_dominance,
+            );
+            let join = |xs: &[u64]| {
+                xs.iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            let _ = writeln!(
+                s,
+                "tiers spawned={} completed={} crit={} slow={} recorded={}",
+                join(&st.spawned_by_tier),
+                join(&st.completed_by_tier),
+                join(&t.crit_total_ps),
+                join(&t.slowest_counts),
+                t.roots_recorded,
+            );
+            let _ = writeln!(
+                s,
+                "tiers e2e n={} p50={} p99={} p999={} target={:016x}",
+                t.e2e_hist.count(),
+                t.e2e_hist.percentile(0.50),
+                t.e2e_hist.percentile(0.99),
+                t.e2e_hist.percentile(0.999),
+                t.e2e_target_s.to_bits(),
             );
         }
         for (r, caps) in self.cap_timeline.iter().enumerate() {
@@ -304,13 +405,97 @@ struct FleetRun {
     round_d: Ps,
     // The event engine's cap-split replay; `None` under the round engine.
     cache: Option<CapCache>,
+    // The multi-tier runtime: request DAGs, trace aggregation, the
+    // end-to-end histogram. `None` without a tier topology.
+    tiers: Option<TierRuntime>,
+}
+
+/// The moving state of a multi-tier run: the tier graph, the in-flight
+/// request DAGs, the windowed critical-path collector and the end-to-end
+/// latency accounting.
+struct TierRuntime {
+    graph: TierGraph,
+    floor_frac: f64,
+    e2e_target_s: f64,
+    dag: DagTracker,
+    collector: TraceCollector,
+    e2e_hist: Histogram,
+    base_instrs: f64,
+}
+
+/// The auto-built budget tree for a tier topology: a root applying the
+/// configured cross-tier discipline (critical-path by default) over
+/// per-tier groups (labelled by tier name, so churn joiners attach to
+/// their tier), each tier splitting internally by the configured flat
+/// discipline.
+fn tier_tree(graph: &TierGraph, tier_split: CapSplit, split: CapSplit) -> BudgetTree {
+    let children = graph
+        .tiers()
+        .iter()
+        .map(|t| {
+            BudgetNode::group(
+                &t.name,
+                split,
+                (0..t.servers)
+                    .map(|i| BudgetNode::server(&format!("{}{i}", t.name)))
+                    .collect(),
+            )
+        })
+        .collect();
+    BudgetTree::new(BudgetNode::group("tiers", tier_split, children))
+}
+
+/// Fleet indices of the servers currently serving `tier`, in fleet order
+/// (shard picks index into this list).
+fn tier_members(graph: &TierGraph, servers: &[ServiceServer], tier: usize) -> Vec<usize> {
+    servers
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| graph.tier_of(&s.name) == Some(tier))
+        .map(|(i, _)| i)
+        .collect()
 }
 
 impl FleetRun {
     fn new(sim: ServiceSim, cache: Option<CapCache>) -> FleetRun {
         let ServiceSim { config, servers } = sim;
         let churn = config.churn.clone();
-        let topology = config.topology.clone();
+        let tiers = config.tiers.as_ref().map(|tc| {
+            let seed = config
+                .closed_loop
+                .as_ref()
+                .map(|cl| cl.seed ^ 0x7134_c0de)
+                .unwrap_or(0x7134_c0de);
+            let base_instrs = config
+                .closed_loop
+                .as_ref()
+                .map(|cl| cl.mean_request_instrs)
+                .unwrap_or(40_000.0);
+            TierRuntime {
+                graph: tc.graph.clone(),
+                floor_frac: tc.floor_frac,
+                e2e_target_s: tc.e2e_target_s,
+                dag: DagTracker::new(&tc.graph, seed),
+                collector: TraceCollector::new(tc.graph.n_tiers(), tc.window_rounds),
+                e2e_hist: Histogram::new(),
+                base_instrs,
+            }
+        });
+        let topology = match &tiers {
+            Some(t) => {
+                let tree = tier_tree(
+                    &t.graph,
+                    config.tiers.as_ref().map(|tc| tc.tier_split).unwrap(),
+                    config.split,
+                );
+                let names: Vec<&str> = config.servers.iter().map(|s| s.name.as_str()).collect();
+                if let Err(e) = tree.validate(&names) {
+                    panic!("tier topology: {e}");
+                }
+                Some(tree)
+            }
+            None => config.topology.clone(),
+        };
         let topology_spec = topology.as_ref().map(|t| t.to_string());
         let closed = config.closed_loop.clone();
         let pool = closed.as_ref().map(ClientPool::new);
@@ -333,6 +518,7 @@ impl FleetRun {
             balancer,
             round_d,
             cache,
+            tiers,
         }
     }
 
@@ -361,9 +547,23 @@ impl FleetRun {
                     // Joiners enter with a zero cap but participate in
                     // this same round's split, which grants their
                     // share immediately. Under a topology they attach
-                    // as direct children of the root group.
+                    // as direct children of the root group; under a tier
+                    // topology they must name an existing tier and attach
+                    // to that tier's group.
                     if let Some(tree) = &mut self.topology {
-                        if let Err(e) = tree.attach_server(&spec.name, None) {
+                        let group = match &self.tiers {
+                            Some(t) => {
+                                let ti = t.graph.tier_of(&spec.name).unwrap_or_else(|| {
+                                    panic!(
+                                        "churn join {}: name does not match any tier of {}",
+                                        spec.name, t.graph
+                                    )
+                                });
+                                Some(t.graph.tiers()[ti].name.clone())
+                            }
+                            None => None,
+                        };
+                        if let Err(e) = tree.attach_server(&spec.name, group.as_deref()) {
                             panic!("churn join {}: {e}", spec.name);
                         }
                     }
@@ -385,14 +585,22 @@ impl FleetRun {
                         let mut server = self.servers.remove(i);
                         // Closed loop: the departing server's queued
                         // requests are lost; their clients learn at
-                        // this barrier and go back to thinking.
+                        // this barrier and go back to thinking. Traced
+                        // spans fail their DAG (the client learns when
+                        // the root closes).
                         let orphans = server.abandon_queue();
                         let now = self.global_time(round);
-                        if let Some(pool) = self.pool.as_mut() {
-                            for r in orphans {
-                                if let Some(client) = r.client {
-                                    pool.deliver(client, now);
-                                }
+                        for r in orphans {
+                            if let Some(ctx) = r.trace {
+                                self.tiers
+                                    .as_mut()
+                                    .expect("traced request without tier runtime")
+                                    .dag
+                                    .fail(ctx, now);
+                            } else if let (Some(client), Some(pool)) =
+                                (r.client, self.pool.as_mut())
+                            {
+                                pool.deliver(client, now);
                             }
                         }
                         self.departures.push(ServiceSim::outcome(server, true));
@@ -412,8 +620,10 @@ impl FleetRun {
         }
         if self.servers.is_empty() {
             // Degenerate round: no caps, and no requests issued —
-            // ready clients simply wait for the fleet to refill.
+            // ready clients simply wait for the fleet to refill. DAGs
+            // failed by the churn above still close and are delivered.
             self.cap_timeline.push(Vec::new());
+            self.drain_traces();
             return;
         }
 
@@ -425,25 +635,44 @@ impl FleetRun {
         let signals: Option<Vec<SlaSignal>> = (self.topology.is_some()
             || self.config.split == CapSplit::SlaAware)
             .then(|| self.servers.iter().map(ServiceServer::sla_signal).collect());
+        // Critical-path shares per server: every member of a tier carries
+        // its tier's windowed share (all zeros while traces are sparse —
+        // the discipline degrades to demand-proportional). Shares only
+        // cover *sealed* rounds, so the signal — and the split — is
+        // identical for any worker-thread count.
+        let crit: Option<Vec<f64>> = self.tiers.as_ref().map(|t| {
+            let shares = t.collector.shares();
+            self.servers
+                .iter()
+                .map(|s| t.graph.tier_of(&s.name).map_or(0.0, |ti| shares[ti]))
+                .collect()
+        });
+        let tier_floor_frac = self.tiers.as_ref().map_or(0.0, |t| t.floor_frac);
         let cached = self
             .cache
             .as_mut()
-            .and_then(|c| c.lookup(&demands, signals.as_deref()));
+            .and_then(|c| c.lookup(&demands, signals.as_deref(), crit.as_deref()));
         let caps = cached.unwrap_or_else(|| {
             let caps = match (&self.topology, self.config.split) {
                 (Some(tree), _) => {
                     // Hierarchical: the budget flows down the tree with
-                    // both power and latency telemetry, so SLA-aware
-                    // interior nodes react to their subtree's worst
-                    // violation ratio.
+                    // power, latency and critical-path telemetry, so
+                    // SLA-aware interior nodes react to their subtree's
+                    // worst violation ratio and critical-path nodes shift
+                    // budget toward the slowest tier.
                     let names: Vec<&str> = self.servers.iter().map(|s| s.name.as_str()).collect();
-                    tree.split(
+                    tree.split_signals(
                         self.config.global_cap_w,
                         &names,
                         &demands,
-                        signals.as_deref(),
+                        &TreeSignals {
+                            sla: signals.as_deref(),
+                            crit: crit.as_deref(),
+                            tier_floor_frac,
+                        },
                         self.config.quantum_w,
                     )
+                    .unwrap_or_else(|e| panic!("budget tree split: {e}"))
                 }
                 (None, CapSplit::SlaAware) => split_caps_sla(
                     self.config.global_cap_w,
@@ -459,7 +688,7 @@ impl FleetRun {
                 ),
             };
             if let Some(cache) = self.cache.as_mut() {
-                cache.store(&demands, signals.as_deref(), &caps);
+                cache.store(&demands, signals.as_deref(), crit.as_deref(), &caps);
             }
             caps
         });
@@ -483,9 +712,41 @@ impl FleetRun {
                         queue_depth: server.queue_depth(),
                     })
                     .collect();
-                let targets = balancer.assign_batch(batch.len(), &loads);
-                for (req, &target) in batch.iter().zip(&targets) {
-                    self.servers[target].assign_requests([*req]);
+                if let Some(tr) = self.tiers.as_mut() {
+                    // Multi-tier: every client request opens a DAG and its
+                    // root span is balanced over the *entry* tier only.
+                    // The request carries the trace context instead of the
+                    // client id — the client lives in the DAG record and
+                    // is released when the root closes.
+                    let entry = tier_members(&tr.graph, &self.servers, 0);
+                    let work0 = tr.graph.tiers()[0].work;
+                    if entry.is_empty() {
+                        // The entry tier churned away entirely: roots
+                        // cannot be placed. Fail them at the barrier so
+                        // their clients learn and go back to thinking.
+                        for req in &batch {
+                            let client = req.client.expect("closed-loop issue tags clients");
+                            let ctx = tr.dag.open_root(client, req.arrival);
+                            tr.dag.fail(ctx, t0);
+                        }
+                    } else {
+                        let targets = balancer.assign_batch_within(batch.len(), &loads, &entry);
+                        for (req, &target) in batch.iter().zip(&targets) {
+                            let client = req.client.expect("closed-loop issue tags clients");
+                            let ctx = tr.dag.open_root(client, req.arrival);
+                            self.servers[target].assign_requests([Request {
+                                remaining_instrs: req.remaining_instrs * work0,
+                                client: None,
+                                trace: Some(ctx),
+                                ..*req
+                            }]);
+                        }
+                    }
+                } else {
+                    let targets = balancer.assign_batch(batch.len(), &loads);
+                    for (req, &target) in batch.iter().zip(&targets) {
+                        self.servers[target].assign_requests([*req]);
+                    }
                 }
             }
         }
@@ -496,18 +757,96 @@ impl FleetRun {
 
         // --- closed loop: deliver the round's responses ---
         // Fleet order then event order — but each client draws from
-        // its own stream and holds one request at a time, so delivery
-        // order cannot leak into the result.
-        if let Some(pool) = self.pool.as_mut() {
-            for server in &mut self.servers {
-                for ev in server.take_events() {
-                    pool.deliver(ev.client, ev.at);
+        // its own stream and holds one request at a time, and traced
+        // spans draw shard picks and sizes from per-span streams, so
+        // delivery order cannot leak into the result beyond the (already
+        // deterministic) span-id assignment order.
+        if self.pool.is_some() {
+            let events: Vec<ClientEvent> = self
+                .servers
+                .iter_mut()
+                .flat_map(ServiceServer::take_events)
+                .collect();
+            let next_start = self.global_time(round + 1);
+            for ev in events {
+                match (ev.trace, ev.client) {
+                    (Some(ctx), _) => self.resolve_span(ctx, ev.resolution, ev.at, next_start),
+                    (None, Some(client)) => {
+                        self.pool
+                            .as_mut()
+                            .expect("checked above")
+                            .deliver(client, ev.at);
+                    }
+                    (None, None) => unreachable!("queue events carry a client or a trace"),
                 }
             }
+            self.drain_traces();
         }
     }
 
+    /// Handles one traced span's terminal event: completions spawn the
+    /// next tier's fan-out of children (sharded by per-span PRNG streams,
+    /// arriving at the next barrier), sheds fail the DAG.
+    fn resolve_span(&mut self, ctx: topology::SpanCtx, res: Resolution, at: Ps, next_start: Ps) {
+        let tr = self
+            .tiers
+            .as_mut()
+            .expect("traced event without tier runtime");
+        match res {
+            Resolution::Completed => {
+                for child in tr.dag.complete(ctx, at, next_start) {
+                    let ti = child.tier as usize;
+                    let members = tier_members(&tr.graph, &self.servers, ti);
+                    if members.is_empty() {
+                        // The child's whole tier churned away: the span
+                        // cannot be placed, so the DAG fails.
+                        tr.dag.fail(child, next_start);
+                        continue;
+                    }
+                    let mut rng = tr.dag.child_rng(child);
+                    let shard = members[rng.below(members.len() as u64) as usize];
+                    let size = tr.base_instrs * tr.graph.tiers()[ti].work * (0.5 + rng.f64());
+                    self.servers[shard].assign_requests([Request {
+                        arrival: next_start,
+                        remaining_instrs: size,
+                        client: None,
+                        trace: Some(child),
+                    }]);
+                }
+            }
+            Resolution::Shed => tr.dag.fail(ctx, at),
+        }
+    }
+
+    /// Drains DAGs that closed since the last call: releases their clients,
+    /// records end-to-end sojourns and critical-path attributions for
+    /// non-failed closures, and seals the trace collector's round.
+    fn drain_traces(&mut self) {
+        let Some(tr) = self.tiers.as_mut() else {
+            return;
+        };
+        let pool = self.pool.as_mut().expect("tiers require a closed loop");
+        for root in tr.dag.take_closed() {
+            pool.deliver(root.client, root.close);
+            if !root.failed {
+                tr.e2e_hist.record(root.e2e().as_ps().max(1));
+                tr.collector.record(&root.crit_ps);
+            }
+        }
+        tr.collector.end_round();
+    }
+
     fn finish(self) -> ServiceResult {
+        let tiers = self.tiers.map(|t| TierSummary {
+            graph: t.graph.to_string(),
+            tier_names: t.graph.tiers().iter().map(|x| x.name.clone()).collect(),
+            stats: t.dag.stats().clone(),
+            crit_total_ps: t.collector.total_ps().to_vec(),
+            slowest_counts: t.collector.slowest_counts().to_vec(),
+            roots_recorded: t.collector.roots_recorded(),
+            e2e_hist: t.e2e_hist,
+            e2e_target_s: t.e2e_target_s,
+        });
         let closed_loop = match (&self.closed, &self.pool) {
             (Some(cl), Some(pool)) => Some(ClientSummary {
                 clients: pool.len(),
@@ -534,6 +873,7 @@ impl FleetRun {
             rounds: self.config.rounds,
             cap_timeline: self.cap_timeline,
             closed_loop,
+            tiers,
         }
     }
 }

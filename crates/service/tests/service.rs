@@ -4,7 +4,7 @@
 
 use service::{
     run_service, ArrivalKind, BalancePolicy, BudgetTree, CapSplit, ChurnSchedule, ClosedLoopConfig,
-    ServiceConfig, ServiceServerSpec,
+    EngineKind, ServiceConfig, ServiceServerSpec, TierConfig,
 };
 use simkernel::Ps;
 
@@ -338,6 +338,147 @@ fn closed_loop_run_is_deterministic_across_thread_counts() {
         .map(|o| o.completed + o.shed + o.abandoned)
         .sum();
     assert_eq!(cl.generated, terminal);
+}
+
+/// A three-tier serving fleet: client requests fan out `fe -> app -> st`
+/// into DAGs whose spans ride the ordinary queue machinery.
+fn tier_fleet(names: &[&str], mixes: &[&str]) -> Vec<ServiceServerSpec> {
+    names
+        .iter()
+        .zip(mixes)
+        .enumerate()
+        .map(|(i, (n, m))| ServiceServerSpec::small(n, m, 70 + i as u64, 0.0))
+        .collect()
+}
+
+fn tier_config(threads: usize, engine: EngineKind) -> ServiceConfig {
+    let fleet = tier_fleet(
+        &["fe0", "app0", "app1", "st0", "st1"],
+        &["ILP1", "MID1", "MID2", "MEM1", "MEM2"],
+    );
+    let graph = "fe[1] -> app[2]*2 -> st[2]".parse().unwrap();
+    ServiceConfig::new(fleet, 260.0, CapSplit::FastCap)
+        .with_rounds(12)
+        .with_threads(threads)
+        .with_engine(engine)
+        .with_closed_loop(ClosedLoopConfig::new(
+            48,
+            Ps::from_us(150),
+            BalancePolicy::LeastQueue,
+        ))
+        .with_tiers(TierConfig::new(graph).with_e2e_target_s(0.5))
+}
+
+/// Multi-tier DAG bookkeeping conserves spans end to end — every completed
+/// parent spawns exactly its fan-out of children, every span terminates or
+/// stays counted as open, the end-to-end sojourn dominates every child's —
+/// and the whole run is bit-identical for any worker thread count and for
+/// both engines.
+#[test]
+fn multi_tier_run_conserves_dags_and_is_deterministic() {
+    let r = run_service(tier_config(1, EngineKind::Round));
+    let t = r.tiers.as_ref().expect("tier summary");
+    let s = &t.stats;
+    assert!(s.roots_opened > 0, "no DAGs opened");
+    assert!(s.roots_closed > 0, "no DAGs closed");
+    assert_eq!(s.roots_opened, s.roots_closed + s.open_roots);
+    assert_eq!(s.spans_opened, s.spans_closed + s.open_spans);
+    // Fan-out conservation: tier 1 spawns 2 per completed fe span, tier 2
+    // spawns 1 per completed app span.
+    assert_eq!(s.spawned_by_tier[1], s.completed_by_tier[0] * 2);
+    assert_eq!(s.spawned_by_tier[2], s.completed_by_tier[1]);
+    assert!(s.sojourn_dominance, "a child outlived its root's sojourn");
+    // End-to-end accounting: one histogram entry per non-failed closure,
+    // one client release per closure.
+    assert_eq!(t.e2e_hist.count(), s.roots_closed - s.roots_failed);
+    let cl = r.closed_loop.as_ref().unwrap();
+    assert_eq!(cl.generated, s.roots_opened);
+    assert_eq!(cl.responses, s.roots_closed);
+    assert_eq!(cl.waiting_at_end as u64, s.open_roots);
+    // The digest carries the tier lines.
+    assert!(r
+        .digest()
+        .contains("tiers graph=fe[1] -> app[2]*2 -> st[2]"));
+
+    for threads in [2, 8] {
+        let d = run_service(tier_config(threads, EngineKind::Round)).digest();
+        assert_eq!(r.digest(), d, "1 vs {threads} threads");
+    }
+    let ev = run_service(tier_config(4, EngineKind::Event)).digest();
+    assert_eq!(r.digest(), ev, "round vs event engine");
+}
+
+/// With a storage tier doing 4× the work at 2× the fan-out, critical-path
+/// attribution concentrates there and the warm split visibly shifts budget
+/// toward it relative to the cold (demand-proportional) rounds.
+#[test]
+fn critical_path_shifts_budget_toward_the_slow_tier() {
+    let fleet = tier_fleet(
+        &["fe0", "fe1", "st0", "st1"],
+        &["ILP1", "ILP2", "MID1", "MID2"],
+    );
+    let graph = "fe[2] -> st[2]*2@4".parse().unwrap();
+    let cfg = ServiceConfig::new(fleet, 220.0, CapSplit::FastCap)
+        .with_rounds(16)
+        .with_closed_loop(
+            ClosedLoopConfig::new(96, Ps::from_us(100), BalancePolicy::LeastQueue)
+                .with_mean_request_instrs(60_000.0),
+        )
+        .with_tiers(TierConfig::new(graph).with_e2e_target_s(0.5));
+    let r = run_service(cfg);
+    let t = r.tiers.as_ref().unwrap();
+    let shares = t.crit_shares();
+    assert!(
+        shares[1] > 0.6,
+        "storage should dominate the critical path: {shares:?}"
+    );
+    assert!(
+        t.slowest_counts[1] > t.slowest_counts[0],
+        "slowest-leg counts: {:?}",
+        t.slowest_counts
+    );
+    // Budget share of the storage tier (fleet positions 2..4) grows from
+    // the cold demand-proportional split to the warm critical-path one.
+    let st_frac = |caps: &[f64]| (caps[2] + caps[3]) / caps.iter().sum::<f64>();
+    let cold = st_frac(&r.cap_timeline[0]);
+    let warm = st_frac(r.cap_timeline.last().unwrap());
+    assert!(
+        warm > cold + 0.05,
+        "no budget shift: cold {cold:.3} -> warm {warm:.3}"
+    );
+}
+
+/// Tier churn: a storage server leaves mid-run (its queued spans fail their
+/// DAGs; clients are released when the root closes) and a replacement joins
+/// its tier by name. Conservation and determinism survive.
+#[test]
+fn tier_churn_fails_orphaned_dags_and_stays_deterministic() {
+    let build = |threads: usize| {
+        let mut churn = ChurnSchedule::new();
+        churn.leave(5, "st1").unwrap();
+        churn
+            .join(8, "st2", ServiceServerSpec::small("st2", "MEM1", 99, 0.0))
+            .unwrap();
+        tier_config(threads, EngineKind::Round)
+            .with_churn(churn)
+            .with_rounds(14)
+    };
+    let r = run_service(build(1));
+    let t = r.tiers.as_ref().unwrap();
+    let s = &t.stats;
+    assert_eq!(s.roots_opened, s.roots_closed + s.open_roots);
+    assert_eq!(s.spans_opened, s.spans_closed + s.open_spans);
+    let cl = r.closed_loop.as_ref().unwrap();
+    assert_eq!(cl.responses, s.roots_closed);
+    assert_eq!(cl.thinking_at_end + cl.waiting_at_end, 48);
+    let st2 = r.outcomes.iter().find(|o| o.name == "st2").unwrap();
+    assert!(!st2.departed);
+    assert!(
+        r.outcomes.iter().any(|o| o.name == "st1" && o.departed),
+        "st1 should have departed"
+    );
+    let d4 = run_service(build(4)).digest();
+    assert_eq!(r.digest(), d4, "tier churn not thread-deterministic");
 }
 
 /// A fleet that churns down to empty and back keeps running (degenerate

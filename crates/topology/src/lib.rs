@@ -1,0 +1,40 @@
+//! # topology — multi-tier request topologies for the serving layer
+//!
+//! Real serving stacks are pipelines: a front-end request fans out to app
+//! servers, which fan out again to storage shards, and the SLA binds the
+//! *end-to-end* tail — not any single hop. PowerTracer showed that tracing
+//! requests through such a stack and steering power toward the tier on the
+//! critical path saves cluster power without violating latency targets.
+//! This crate provides the pieces the `service` and `cluster` crates wire
+//! together to reproduce that result:
+//!
+//! * [`TierGraph`] — a parsed tier specification such as
+//!   `fe[2] -> app[4]*2 -> storage[3]*2@2.5`: per-tier server counts,
+//!   per-edge fan-out degrees (children spawned per completed parent
+//!   request) and relative work factors.
+//! * [`SpanCtx`] — the trace context (root id, span id, parent span, tier)
+//!   each sub-request carries through the ordinary `RequestQueue`/server
+//!   machinery.
+//! * [`DagTracker`] — turns client requests into DAGs of spans: a parent
+//!   completes only when all children return, closes cascade bottom-up,
+//!   and each closed root yields a per-tier **critical-path attribution**
+//!   plus its end-to-end sojourn.
+//! * [`TraceCollector`] — windowed, deterministic per-round aggregation of
+//!   critical-path time per tier, feeding the `CapSplit::CriticalPath`
+//!   budget discipline.
+//!
+//! Everything here is a pure function of the inputs: span ids are assigned
+//! in delivery order at round barriers (which is itself deterministic for
+//! any worker-thread count), and shard selection uses a PRNG stream keyed
+//! on `(seed, root, span)` so a pick never depends on global draw order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collector;
+mod graph;
+mod trace;
+
+pub use collector::TraceCollector;
+pub use graph::{TierGraph, TierSpec};
+pub use trace::{ClosedRoot, DagTracker, SpanCtx, TraceStats};

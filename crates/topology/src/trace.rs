@@ -1,0 +1,492 @@
+//! Request DAG tracking: spans, close cascades, critical-path attribution.
+
+use std::collections::HashMap;
+
+use simkernel::{Ps, SimRng};
+
+use crate::TierGraph;
+
+/// Trace context carried by every sub-request through the queue machinery.
+///
+/// `root` identifies the client request's DAG, `span` the node within it
+/// (span 0 is the root), `parent` the spawning span (self for the root),
+/// and `tier` the tier the sub-request executes on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanCtx {
+    /// DAG id, unique per tracker.
+    pub root: u32,
+    /// Span id within the DAG, assigned in spawn order (root = 0).
+    pub span: u32,
+    /// Spawning span id (self for the root span).
+    pub parent: u32,
+    /// Tier index the span executes on.
+    pub tier: u8,
+}
+
+/// A fully terminated request DAG, emitted once every span has closed.
+#[derive(Clone, Debug)]
+pub struct ClosedRoot {
+    /// DAG id.
+    pub root: u32,
+    /// Closed-loop client that issued the root request.
+    pub client: u32,
+    /// Root request arrival time.
+    pub arrival: Ps,
+    /// Time the last span closed (end-to-end completion).
+    pub close: Ps,
+    /// True if any span was shed or abandoned instead of completing.
+    pub failed: bool,
+    /// Critical-path time attributed to each tier, in picoseconds: the
+    /// chain of slowest legs from root to leaf, local service time per hop.
+    pub crit_ps: Vec<u64>,
+    /// Largest sojourn (`close - start`) over all non-root spans.
+    pub max_child_sojourn: Ps,
+}
+
+impl ClosedRoot {
+    /// End-to-end sojourn of the client request.
+    pub fn e2e(&self) -> Ps {
+        self.close.saturating_sub(self.arrival)
+    }
+}
+
+/// Conservation counters over a tracker's lifetime.
+///
+/// Invariants (checked by the DAG-conservation suite): `spans_opened =
+/// spans_closed + open_spans`, `roots_opened = roots_closed + open_roots`,
+/// and for every tier `t > 0`,
+/// `spawned_by_tier[t] = completed_by_tier[t-1] * fanout[t]` — every
+/// completed parent spawns exactly its fan-out.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Root requests opened.
+    pub roots_opened: u64,
+    /// Root DAGs fully terminated (including failed ones).
+    pub roots_closed: u64,
+    /// Terminated DAGs containing at least one shed/abandoned span.
+    pub roots_failed: u64,
+    /// Spans created (roots + spawned children).
+    pub spans_opened: u64,
+    /// Spans terminated (completed or failed).
+    pub spans_closed: u64,
+    /// Spans terminated by shed/abandon rather than completion.
+    pub spans_failed: u64,
+    /// Spans created per tier (tier 0 counts roots).
+    pub spawned_by_tier: Vec<u64>,
+    /// Spans whose own service completed, per tier.
+    pub completed_by_tier: Vec<u64>,
+    /// DAGs still in flight.
+    pub open_roots: u64,
+    /// Spans still in flight.
+    pub open_spans: u64,
+    /// True while every closed root satisfied
+    /// `e2e sojourn >= max child sojourn`.
+    pub sojourn_dominance: bool,
+}
+
+#[derive(Clone, Debug)]
+struct SpanState {
+    tier: u8,
+    parent: u32,
+    start: Ps,
+    own_finish: Option<Ps>,
+    pending: u32,
+    crit_close: Ps,
+    crit_child: Option<u32>,
+    crit: Vec<u64>,
+    close: Ps,
+    closed: bool,
+    failed: bool,
+}
+
+#[derive(Clone, Debug)]
+struct RootDag {
+    client: u32,
+    arrival: Ps,
+    spans: Vec<SpanState>,
+    open_spans: u32,
+    failed: bool,
+    max_child_sojourn: Ps,
+}
+
+/// Tracks every in-flight request DAG and emits [`ClosedRoot`]s.
+///
+/// A span *completes* when its own service finishes (`complete`), which —
+/// on non-leaf tiers — spawns `fanout` children into the next tier. A span
+/// *closes* once its own service finished **and** all children closed;
+/// closes cascade bottom-up, and the DAG terminates when the root span
+/// closes. Critical-path attribution is computed at close time: a span's
+/// vector is its slowest child's vector (latest close, first wins ties)
+/// plus its own local service time at its tier.
+///
+/// All operations run at round barriers in deterministic order, so span
+/// ids — and therefore the per-span PRNG streams from [`child_rng`] — are
+/// identical for any worker-thread count.
+///
+/// [`child_rng`]: DagTracker::child_rng
+#[derive(Clone, Debug)]
+pub struct DagTracker {
+    fanouts: Vec<u32>,
+    seed: u64,
+    next_root: u32,
+    roots: HashMap<u32, RootDag>,
+    closed: Vec<ClosedRoot>,
+    stats: TraceStats,
+}
+
+impl DagTracker {
+    /// Creates a tracker for `graph`, with `seed` keying per-span PRNGs.
+    pub fn new(graph: &TierGraph, seed: u64) -> Self {
+        let n = graph.n_tiers();
+        DagTracker {
+            fanouts: graph.fanouts().iter().map(|&f| f as u32).collect(),
+            seed,
+            next_root: 0,
+            roots: HashMap::new(),
+            closed: Vec::new(),
+            stats: TraceStats {
+                spawned_by_tier: vec![0; n],
+                completed_by_tier: vec![0; n],
+                sojourn_dominance: true,
+                ..TraceStats::default()
+            },
+        }
+    }
+
+    /// Number of tiers in the underlying graph.
+    pub fn n_tiers(&self) -> usize {
+        self.fanouts.len()
+    }
+
+    /// Opens a new DAG for a client request arriving at `arrival`.
+    pub fn open_root(&mut self, client: u32, arrival: Ps) -> SpanCtx {
+        let root = self.next_root;
+        self.next_root += 1;
+        self.roots.insert(
+            root,
+            RootDag {
+                client,
+                arrival,
+                spans: vec![SpanState::open(0, 0, arrival)],
+                open_spans: 1,
+                failed: false,
+                max_child_sojourn: Ps::ZERO,
+            },
+        );
+        self.stats.roots_opened += 1;
+        self.stats.open_roots += 1;
+        self.stats.spans_opened += 1;
+        self.stats.open_spans += 1;
+        self.stats.spawned_by_tier[0] += 1;
+        SpanCtx {
+            root,
+            span: 0,
+            parent: 0,
+            tier: 0,
+        }
+    }
+
+    /// Records a span's own service completing at `at`. On non-leaf tiers
+    /// this spawns the tier's fan-out of children, each starting at
+    /// `child_start` (the next round barrier); the returned contexts must
+    /// be enqueued by the caller. On leaf tiers the close cascade runs.
+    pub fn complete(&mut self, ctx: SpanCtx, at: Ps, child_start: Ps) -> Vec<SpanCtx> {
+        let tier = ctx.tier as usize;
+        self.stats.completed_by_tier[tier] += 1;
+        let next_tier = tier + 1;
+        let dag = self
+            .roots
+            .get_mut(&ctx.root)
+            .unwrap_or_else(|| panic!("complete for unknown root {}", ctx.root));
+        let span = &mut dag.spans[ctx.span as usize];
+        assert!(
+            span.own_finish.is_none(),
+            "span {}/{} terminated twice",
+            ctx.root,
+            ctx.span
+        );
+        span.own_finish = Some(at);
+        if next_tier < self.fanouts.len() {
+            let fanout = self.fanouts[next_tier];
+            span.pending = fanout;
+            let first = dag.spans.len() as u32;
+            let children: Vec<SpanCtx> = (0..fanout)
+                .map(|k| SpanCtx {
+                    root: ctx.root,
+                    span: first + k,
+                    parent: ctx.span,
+                    tier: next_tier as u8,
+                })
+                .collect();
+            for c in &children {
+                dag.spans
+                    .push(SpanState::open(c.tier, ctx.span, child_start));
+            }
+            dag.open_spans += fanout;
+            self.stats.spans_opened += fanout as u64;
+            self.stats.open_spans += fanout as u64;
+            self.stats.spawned_by_tier[next_tier] += fanout as u64;
+            children
+        } else {
+            self.cascade(ctx.root, ctx.span);
+            Vec::new()
+        }
+    }
+
+    /// Records a span terminating without completing (shed, abandoned, or
+    /// unplaceable because its tier emptied out). The DAG is marked failed
+    /// and the close cascade runs as usual.
+    pub fn fail(&mut self, ctx: SpanCtx, at: Ps) {
+        let dag = self
+            .roots
+            .get_mut(&ctx.root)
+            .unwrap_or_else(|| panic!("fail for unknown root {}", ctx.root));
+        let span = &mut dag.spans[ctx.span as usize];
+        assert!(
+            span.own_finish.is_none(),
+            "span {}/{} terminated twice",
+            ctx.root,
+            ctx.span
+        );
+        span.own_finish = Some(at);
+        span.failed = true;
+        dag.failed = true;
+        self.stats.spans_failed += 1;
+        self.cascade(ctx.root, ctx.span);
+    }
+
+    /// An independent PRNG stream for a span's shard pick and size draw,
+    /// keyed on `(tracker seed, root, span)` — independent of global draw
+    /// order.
+    pub fn child_rng(&self, ctx: SpanCtx) -> SimRng {
+        let key = ((ctx.root as u64) << 32) | ctx.span as u64;
+        SimRng::new(self.seed ^ key.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+
+    /// Drains DAGs that terminated since the last call, in close order.
+    pub fn take_closed(&mut self) -> Vec<ClosedRoot> {
+        std::mem::take(&mut self.closed)
+    }
+
+    /// Lifetime conservation counters.
+    pub fn stats(&self) -> &TraceStats {
+        &self.stats
+    }
+
+    /// Closes `span` (own service done, no pending children) and walks up
+    /// toward the root, closing every ancestor that becomes closeable.
+    fn cascade(&mut self, root: u32, mut span: u32) {
+        let n_tiers = self.fanouts.len();
+        let dag = self.roots.get_mut(&root).expect("cascade on live root");
+        loop {
+            let s = &dag.spans[span as usize];
+            if s.closed || s.own_finish.is_none() || s.pending > 0 {
+                break;
+            }
+            let own_finish = s.own_finish.expect("checked above");
+            let close = own_finish.max(s.crit_close);
+            let mut crit = match s.crit_child {
+                Some(c) => dag.spans[c as usize].crit.clone(),
+                None => vec![0; n_tiers],
+            };
+            crit[s.tier as usize] += (own_finish.saturating_sub(s.start)).as_ps();
+            let parent = s.parent;
+            {
+                let s = &mut dag.spans[span as usize];
+                s.close = close;
+                s.crit = crit;
+                s.closed = true;
+            }
+            dag.open_spans -= 1;
+            self.stats.spans_closed += 1;
+            self.stats.open_spans -= 1;
+            if span == 0 {
+                break;
+            }
+            dag.max_child_sojourn = dag
+                .max_child_sojourn
+                .max(close.saturating_sub(dag.spans[span as usize].start));
+            let p = &mut dag.spans[parent as usize];
+            p.pending -= 1;
+            if close > p.crit_close {
+                p.crit_close = close;
+                p.crit_child = Some(span);
+            }
+            span = parent;
+        }
+        if dag.spans[0].closed {
+            debug_assert_eq!(dag.open_spans, 0, "root closed with open spans");
+            let dag = self.roots.remove(&root).expect("root present");
+            let r = &dag.spans[0];
+            let closed = ClosedRoot {
+                root,
+                client: dag.client,
+                arrival: dag.arrival,
+                close: r.close,
+                failed: dag.failed,
+                crit_ps: r.crit.clone(),
+                max_child_sojourn: dag.max_child_sojourn,
+            };
+            self.stats.roots_closed += 1;
+            self.stats.open_roots -= 1;
+            if dag.failed {
+                self.stats.roots_failed += 1;
+            }
+            if closed.e2e() < closed.max_child_sojourn {
+                self.stats.sojourn_dominance = false;
+            }
+            self.closed.push(closed);
+        }
+    }
+}
+
+impl SpanState {
+    fn open(tier: u8, parent: u32, start: Ps) -> Self {
+        SpanState {
+            tier,
+            parent,
+            start,
+            own_finish: None,
+            pending: 0,
+            crit_close: Ps::ZERO,
+            crit_child: None,
+            crit: Vec::new(),
+            close: Ps::ZERO,
+            closed: false,
+            failed: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(spec: &str) -> TierGraph {
+        spec.parse().unwrap()
+    }
+
+    #[test]
+    fn single_tier_root_closes_immediately() {
+        let g = graph("fe[1]");
+        let mut d = DagTracker::new(&g, 1);
+        let ctx = d.open_root(7, Ps::from_us(10));
+        let children = d.complete(ctx, Ps::from_us(30), Ps::from_us(40));
+        assert!(children.is_empty());
+        let closed = d.take_closed();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].client, 7);
+        assert!(!closed[0].failed);
+        assert_eq!(closed[0].e2e(), Ps::from_us(20));
+        assert_eq!(closed[0].crit_ps, vec![Ps::from_us(20).as_ps()]);
+        assert_eq!(d.stats().open_roots, 0);
+    }
+
+    #[test]
+    fn fanout_spawns_and_critical_path_picks_slowest_leg() {
+        let g = graph("fe[1] -> st[2]*2");
+        let mut d = DagTracker::new(&g, 1);
+        let ctx = d.open_root(0, Ps::from_us(0));
+        // Root's own service: 0..10us; spawns 2 children starting at 20us.
+        let kids = d.complete(ctx, Ps::from_us(10), Ps::from_us(20));
+        assert_eq!(kids.len(), 2);
+        assert_eq!(kids[0].tier, 1);
+        assert_eq!(kids[0].parent, 0);
+        assert!(d.take_closed().is_empty());
+        // Fast child closes at 25us, slow child at 50us.
+        assert!(d.complete(kids[0], Ps::from_us(25), Ps::ZERO).is_empty());
+        assert!(d.take_closed().is_empty(), "one child still pending");
+        assert!(d.complete(kids[1], Ps::from_us(50), Ps::ZERO).is_empty());
+        let closed = d.take_closed();
+        assert_eq!(closed.len(), 1);
+        let r = &closed[0];
+        assert_eq!(r.close, Ps::from_us(50));
+        // Critical path: slow child 30us at tier 1 + root local 10us at tier 0.
+        assert_eq!(
+            r.crit_ps,
+            vec![Ps::from_us(10).as_ps(), Ps::from_us(30).as_ps()]
+        );
+        assert_eq!(r.max_child_sojourn, Ps::from_us(30));
+        assert!(r.e2e() >= r.max_child_sojourn);
+        let s = d.stats();
+        assert_eq!(s.spans_opened, 3);
+        assert_eq!(s.spans_closed, 3);
+        assert_eq!(s.spawned_by_tier, vec![1, 2]);
+        assert_eq!(s.completed_by_tier, vec![1, 2]);
+        assert!(s.sojourn_dominance);
+    }
+
+    #[test]
+    fn three_tier_attribution_chains() {
+        let g = graph("fe[1] -> app[1] -> st[1]");
+        let mut d = DagTracker::new(&g, 3);
+        let root = d.open_root(0, Ps::from_us(0));
+        let app = d.complete(root, Ps::from_us(5), Ps::from_us(10));
+        assert_eq!(app.len(), 1);
+        let st = d.complete(app[0], Ps::from_us(18), Ps::from_us(20));
+        assert_eq!(st.len(), 1);
+        assert!(d.complete(st[0], Ps::from_us(45), Ps::ZERO).is_empty());
+        let closed = d.take_closed();
+        assert_eq!(closed.len(), 1);
+        // fe local 5us, app local 8us, storage local 25us.
+        assert_eq!(
+            closed[0].crit_ps,
+            vec![
+                Ps::from_us(5).as_ps(),
+                Ps::from_us(8).as_ps(),
+                Ps::from_us(25).as_ps()
+            ]
+        );
+        assert_eq!(closed[0].close, Ps::from_us(45));
+    }
+
+    #[test]
+    fn failed_child_marks_root_failed_but_dag_terminates() {
+        let g = graph("fe[1] -> st[1]*2");
+        let mut d = DagTracker::new(&g, 5);
+        let root = d.open_root(2, Ps::from_us(0));
+        let kids = d.complete(root, Ps::from_us(10), Ps::from_us(12));
+        d.complete(kids[0], Ps::from_us(20), Ps::ZERO);
+        d.fail(kids[1], Ps::from_us(30));
+        let closed = d.take_closed();
+        assert_eq!(closed.len(), 1);
+        assert!(closed[0].failed);
+        assert_eq!(closed[0].close, Ps::from_us(30));
+        assert_eq!(d.stats().spans_failed, 1);
+        assert_eq!(d.stats().roots_failed, 1);
+        assert_eq!(d.stats().open_spans, 0);
+    }
+
+    #[test]
+    fn child_rng_is_stable_per_span() {
+        let g = graph("fe[1] -> st[4]*2");
+        let d = DagTracker::new(&g, 99);
+        let ctx = SpanCtx {
+            root: 3,
+            span: 1,
+            parent: 0,
+            tier: 1,
+        };
+        let a: Vec<u64> = {
+            let mut r = d.child_rng(ctx);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = d.child_rng(ctx);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let other = d.child_rng(SpanCtx { span: 2, ..ctx });
+        assert_ne!(a[0], { other }.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated twice")]
+    fn double_completion_panics() {
+        let g = graph("fe[1] -> st[1]");
+        let mut d = DagTracker::new(&g, 0);
+        let ctx = d.open_root(0, Ps::ZERO);
+        d.complete(ctx, Ps::from_us(1), Ps::from_us(2));
+        d.complete(ctx, Ps::from_us(2), Ps::from_us(3));
+    }
+}

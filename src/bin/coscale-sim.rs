@@ -27,8 +27,9 @@
 //!                       event = wake queue + persistent worker pool,
 //!                       digest-identical, built for 1000-server fleets)
 //!   --cap WATTS         global power budget (default 280)
-//!   --split NAME        uniform|demand-proportional|fastcap|sla-aware
-//!                       (default fastcap; sla-aware needs --serve)
+//!   --split NAME        uniform|demand-proportional|fastcap|sla-aware|
+//!                       critical-path (default fastcap; sla-aware needs
+//!                       --serve, critical-path needs --tiers)
 //!   --topology SPEC     hierarchical budget tree, e.g.
 //!                       dc:uniform[rack:sla-aware[a,b],pod:fastcap[c,d]]
 //!                       (flat splitting by --split is the default)
@@ -45,6 +46,15 @@
 //!   --think-ms F        mean client think time in milliseconds (default 0.2)
 //!   --balance NAME      front-end balancer: round-robin|least-queue|
 //!                       power-headroom (default round-robin)
+//!   --tiers SPEC        multi-tier request topology, e.g.
+//!                       "fe[2] -> app[4]*2 -> storage[3]" (--serve with
+//!                       --clients only); requests fan out as sub-request
+//!                       DAGs and per-tier critical-path traces drive the
+//!                       budget split
+//!   --tier-floor F      per-tier budget floor as a fraction of the global
+//!                       cap (default 0.1; --tiers only)
+//!   --e2e-target MS     end-to-end p99 SLO for multi-tier requests in
+//!                       milliseconds (default 5.0; --tiers only)
 //! ```
 
 use coscale::PowerCapPolicy;
@@ -146,6 +156,10 @@ struct ClusterArgs {
     clients: usize,
     think_ms: f64,
     balance: BalancePolicy,
+    tiers: Option<TierGraph>,
+    tier_floor: f64,
+    e2e_target_ms: f64,
+    servers_set: bool,
     rpc: RpcConfig,
     rpc_flags_used: bool,
 }
@@ -158,6 +172,7 @@ fn cluster_usage() -> ! {
          [--serve] [--rounds N] [--rate HZ] \
          [--p99-target MS] [--seed N] [--join R:SPEC]... [--leave R:NAME]... \
          [--clients N] [--think-ms F] [--balance NAME] \
+         [--tiers SPEC] [--tier-floor F] [--e2e-target MS] \
          [--rpc-latency-us F] [--rpc-jitter-us F] [--rpc-loss P] [--rpc-dup P] \
          [--rpc-seed N] [--lease-rounds N] [--floor-cap W] [--failover] \
          [--partition FROM:TO:NODES]...\n\
@@ -165,7 +180,8 @@ fn cluster_usage() -> ! {
          \x20 --fleet-size N replaces --servers with a synthetic N-server fleet\n\
          \x20   (batch only); --idle-fraction F makes that share of it near-idle (default 0.9);\n\
          \x20   the default budget scales to 100 W per server (named fleets default to 280 W)\n\
-         \x20 splits: uniform demand-proportional fastcap sla-aware (sla-aware needs --serve)\n\
+         \x20 splits: uniform demand-proportional fastcap sla-aware critical-path\n\
+         \x20   (sla-aware needs --serve; critical-path needs --tiers)\n\
          \x20 --engine picks the coordination engine: round (reference) or event\n\
          \x20   (wake queue + worker pool; digest-identical, scales to 1000+ servers)\n\
          \x20 --dead-band W lets the event engine replay the cached cap split while no\n\
@@ -177,6 +193,14 @@ fn cluster_usage() -> ! {
          \x20 --clients N replaces open-loop arrivals with a closed-loop client\n\
          \x20   population (--serve only); --balance picks the front-end policy:\n\
          \x20   round-robin least-queue power-headroom\n\
+         \x20 --tiers SPEC turns each client request into a DAG of sub-requests\n\
+         \x20   across tiers, e.g. \"fe[2] -> app[4]*2 -> storage[3]\" (--serve\n\
+         \x20   with --clients only). With --tiers, --servers entries name TIERS\n\
+         \x20   (tier=mix[:cores][@rate], one per tier) and are expanded to the\n\
+         \x20   graph's servers; omit --servers for an all-MID1 fleet. Budgets\n\
+         \x20   split per tier by critical-path share, floored at --tier-floor\n\
+         \x20   of the global cap per tier; --e2e-target MS sets the\n\
+         \x20   end-to-end p99 SLO\n\
          \x20 --rpc-* shape the coordinator<->server message plane (batch only):\n\
          \x20   one-way latency and jitter in µs, loss and duplication probabilities\n\
          \x20   in [0, 1]; the default is a perfect loopback plane\n\
@@ -297,6 +321,10 @@ fn parse_cluster_args() -> ClusterArgs {
         clients: 0,
         think_ms: 0.2,
         balance: BalancePolicy::RoundRobin,
+        tiers: None,
+        tier_floor: 0.1,
+        e2e_target_ms: 5.0,
+        servers_set: false,
         rpc: RpcConfig::default(),
         rpc_flags_used: false,
     };
@@ -307,7 +335,10 @@ fn parse_cluster_args() -> ClusterArgs {
                 .unwrap_or_else(|| cluster_fail(&format!("missing value for {name}")))
         };
         match flag.as_str() {
-            "--servers" => a.servers = val("--servers"),
+            "--servers" => {
+                a.servers = val("--servers");
+                a.servers_set = true;
+            }
             "--cap" => a.cap = Some(val("--cap").parse().unwrap_or_else(|_| cluster_usage())),
             "--quantum" => a.quantum = val("--quantum").parse().unwrap_or_else(|_| cluster_usage()),
             "--dead-band" => {
@@ -326,6 +357,7 @@ fn parse_cluster_args() -> ClusterArgs {
                     "demand-proportional" | "demand" => CapSplit::DemandProportional,
                     "fastcap" => CapSplit::FastCap,
                     "sla-aware" | "sla" => CapSplit::SlaAware,
+                    "critical-path" | "crit" => CapSplit::CriticalPath,
                     other => cluster_fail(&format!("unknown split '{other}'")),
                 }
             }
@@ -370,6 +402,23 @@ fn parse_cluster_args() -> ClusterArgs {
                 a.balance = val("--balance")
                     .parse::<BalancePolicy>()
                     .unwrap_or_else(|e: String| cluster_fail(&e))
+            }
+            "--tiers" => {
+                let spec = val("--tiers");
+                a.tiers = Some(
+                    spec.parse::<TierGraph>()
+                        .unwrap_or_else(|e: String| cluster_fail(&e)),
+                );
+            }
+            "--tier-floor" => {
+                a.tier_floor = val("--tier-floor")
+                    .parse()
+                    .unwrap_or_else(|_| cluster_fail("--tier-floor must be a fraction in [0, 1)"))
+            }
+            "--e2e-target" => {
+                a.e2e_target_ms = val("--e2e-target")
+                    .parse()
+                    .unwrap_or_else(|_| cluster_fail("--e2e-target must be milliseconds"))
             }
             "--rpc-latency-us" => {
                 a.rpc.latency_us = val("--rpc-latency-us")
@@ -451,6 +500,22 @@ fn parse_cluster_args() -> ClusterArgs {
         eprintln!(
             "note: sla-aware without --serve has no latency signal; using the fastcap fallback"
         );
+    }
+    if a.tiers.is_some() && (!a.serve || a.clients == 0) {
+        cluster_fail("--tiers needs --serve and a closed-loop --clients population");
+    }
+    if a.tiers.is_some() && a.topology.is_some() {
+        cluster_fail(
+            "--tiers builds its own per-tier budget tree; it does not mix with --topology",
+        );
+    }
+    if a.tiers.is_some() && a.fleet_size > 0 {
+        cluster_fail(
+            "--tiers derives the fleet from the tier graph; it does not mix with --fleet-size",
+        );
+    }
+    if a.tiers.is_none() && a.split == CapSplit::CriticalPath {
+        cluster_fail("the critical-path split needs per-tier traces; pass --tiers");
     }
     a
 }
@@ -563,21 +628,77 @@ fn cluster_batch_main(args: &ClusterArgs) {
     }
 }
 
+/// Builds one serving-fleet spec from a `name=mix[:cores][@rate]` entry,
+/// advancing the shared seed counter.
+fn serve_spec(entry: &str, default_rate: f64, target_s: f64, seed: &mut u64) -> ServiceServerSpec {
+    let (name, mix_name, cores, rate) = parse_server_entry(entry, default_rate);
+    *seed += 1;
+    ServiceServerSpec::small_with_cores(&name, &mix_name, *seed, rate, cores)
+        .with_p99_target_s(target_s)
+}
+
+/// Expands a tier graph into the `{tier}{index}` serving fleet it implies.
+/// With `--tiers`, each `--servers` entry names a TIER (`tier=mix[:cores]
+/// [@rate]`) and styles every server in it; unnamed tiers default to MID1.
+fn tier_serve_fleet(
+    args: &ClusterArgs,
+    graph: &TierGraph,
+    target_s: f64,
+    seed: &mut u64,
+) -> Vec<ServiceServerSpec> {
+    let mut style: Vec<(String, usize, f64)> = graph
+        .tiers()
+        .iter()
+        .map(|_| ("MID1".to_string(), 4, args.rate))
+        .collect();
+    if args.servers_set {
+        for entry in args.servers.split(',') {
+            let (name, mix_name, cores, rate) = parse_server_entry(entry, args.rate);
+            let Some(ti) = graph.tiers().iter().position(|t| t.name == name) else {
+                cluster_fail(&format!(
+                    "--servers entry '{entry}' names no tier of the --tiers graph \
+                     (with --tiers, entries look like tier=mix[:cores][@rate])"
+                ));
+            };
+            style[ti] = (mix_name, cores, rate);
+        }
+    }
+    let mut fleet = Vec::new();
+    for (ti, tier) in graph.tiers().iter().enumerate() {
+        let (mix_name, cores, rate) = style[ti].clone();
+        for i in 0..tier.servers {
+            *seed += 1;
+            fleet.push(
+                ServiceServerSpec::small_with_cores(
+                    &format!("{}{}", tier.name, i),
+                    &mix_name,
+                    *seed,
+                    rate,
+                    cores,
+                )
+                .with_p99_target_s(target_s),
+            );
+        }
+    }
+    fleet
+}
+
 fn cluster_serve_main(args: &ClusterArgs) {
     let target_s = args.p99_target_ms * 1e-3;
     let mut seed = args.seed;
-    let mut spec_of = |entry: &str| -> ServiceServerSpec {
-        let (name, mix_name, cores, rate) = parse_server_entry(entry, args.rate);
-        seed += 1;
-        ServiceServerSpec::small_with_cores(&name, &mix_name, seed, rate, cores)
-            .with_p99_target_s(target_s)
-    };
 
-    let fleet: Vec<ServiceServerSpec> = args.servers.split(',').map(&mut spec_of).collect();
+    let fleet: Vec<ServiceServerSpec> = match &args.tiers {
+        Some(graph) => tier_serve_fleet(args, graph, target_s, &mut seed),
+        None => args
+            .servers
+            .split(',')
+            .map(|entry| serve_spec(entry, args.rate, target_s, &mut seed))
+            .collect(),
+    };
     let mut churn = ChurnSchedule::new();
     for j in &args.joins {
         let (round, rest) = parse_round_prefix(j, "--join");
-        let spec = spec_of(&rest);
+        let spec = serve_spec(&rest, args.rate, target_s, &mut seed);
         let name = spec.name.clone();
         if let Err(e) = churn.join(round, &name, spec) {
             cluster_fail(&e);
@@ -604,6 +725,13 @@ fn cluster_serve_main(args: &ClusterArgs) {
         ));
     }
     cfg.topology = args.topology.clone();
+    if let Some(graph) = &args.tiers {
+        cfg = cfg.with_tiers(
+            TierConfig::new(graph.clone())
+                .with_floor_frac(args.tier_floor)
+                .with_e2e_target_s(args.e2e_target_ms * 1e-3),
+        );
+    }
     if let Err(e) = cfg.validate() {
         cluster_fail(&format!("invalid service configuration: {e}"));
     }
@@ -674,6 +802,33 @@ fn cluster_serve_main(args: &ClusterArgs) {
         println!(
             "clients at end : {} generated, {} responses; {} thinking, {} waiting",
             cl.generated, cl.responses, cl.thinking_at_end, cl.waiting_at_end
+        );
+    }
+    if let Some(t) = &r.tiers {
+        let shares = t.crit_shares();
+        println!();
+        println!("tier graph     : {}", t.graph);
+        println!(
+            "request DAGs   : {} opened, {} closed ({} failed), {} still open; {} spans done",
+            t.stats.roots_opened,
+            t.stats.roots_closed,
+            t.stats.roots_failed,
+            t.stats.open_roots,
+            t.stats.spans_closed,
+        );
+        for (ti, name) in t.tier_names.iter().enumerate() {
+            println!(
+                "  {:<12} crit share {:.3}, slowest in {:>6} DAGs, {:>8} sub-requests done",
+                name, shares[ti], t.slowest_counts[ti], t.stats.completed_by_tier[ti],
+            );
+        }
+        println!(
+            "end-to-end     : p50 {:.3} ms, p99 {:.3} ms over {} DAGs (target {:.3} ms, {})",
+            t.e2e_percentile_s(0.50) * 1e3,
+            t.e2e_p99_s() * 1e3,
+            t.e2e_hist.count(),
+            t.e2e_target_s * 1e3,
+            if t.meets_e2e_slo() { "met" } else { "MISSED" },
         );
     }
 }

@@ -61,7 +61,7 @@ pub mod prelude {
     pub use cpusim::{CoreConfig, PipelineMode};
     pub use service::{
         run_service, ArrivalKind, ClientPool, ClosedLoopConfig, ServiceConfig, ServiceResult,
-        ServiceServerSpec, ServiceSim,
+        ServiceServerSpec, ServiceSim, TierConfig, TierGraph, TierSummary,
     };
     pub use simkernel::{Freq, Ps};
     pub use workloads::{all_mixes, mix, Mix, MixClass};

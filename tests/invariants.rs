@@ -13,7 +13,7 @@ use cluster::{
 use proptest::prelude::*;
 use service::{
     run_service, BalancePolicy, CapSplit, ChurnSchedule, ClosedLoopConfig, ServiceConfig,
-    ServiceServerSpec,
+    ServiceServerSpec, TierConfig, TierGraph,
 };
 use simkernel::Ps;
 
@@ -109,6 +109,192 @@ fn zero_think_population_bounds_concurrency() {
     );
 }
 
+/// Fleet used by the replication-gap reproducer: heterogeneous mixes and
+/// staggered work so demand (and therefore the cap split) shifts while
+/// grants are in flight.
+fn gap_fleet(seed: u64) -> Vec<ClusterServerSpec> {
+    let mixes = ["ILP1", "MID1", "MEM2"];
+    (0..3u64)
+        .map(|i| {
+            let mut s =
+                ClusterServerSpec::small(&format!("s{i}"), mixes[i as usize], seed ^ (i + 1));
+            s.config.target_instrs *= 4 + 3 * i;
+            s
+        })
+        .collect()
+}
+
+/// Reproduces DESIGN §10's documented replication-gap anomaly: when the
+/// primary coordinator dies with grants in flight that the standby's
+/// heartbeat replication never saw, the standby's post-takeover quarantine
+/// *bounds* — but does not eliminate — a transient conservation overshoot
+/// under combined loss and latency.
+///
+/// At this pinned seed the primary shifts budget between servers, the
+/// heartbeat carrying that shift is lost, heartbeats go quiet, and the
+/// standby elects itself with a stale ledger: its renewal restores one
+/// server's *old, higher* cap while another server still rides the
+/// primary's unreplicated increase — in-force caps sum to ~103 W against
+/// the 90 W budget for one round before renewals and lease expiry pull the
+/// fleet back under. The same schedule at loopback (zero loss/latency)
+/// conserves strictly through failover, which is why this is a documented
+/// lossy-path limitation and not a ledger bug. Ignored by default: it
+/// demonstrates the known gap (a candidate for an acked-state handoff
+/// protocol, see ROADMAP) rather than guarding a fixed invariant.
+#[test]
+#[ignore = "demonstrates the documented replication-gap overshoot (DESIGN §10)"]
+fn replication_gap_overshoots_transiently_under_loss_and_failover() {
+    let budget = 90.0;
+    let seed = 24;
+    let partition = cluster::PartitionSpec {
+        from_round: 13,
+        to_round: 25,
+        nodes: vec!["primary".into()],
+    };
+    let rpc = RpcConfig {
+        latency_us: 1250.0, // one whole round
+        jitter_us: 1250.0,
+        loss: 0.35,
+        seed,
+        failover: true,
+        lease_rounds: 10,
+        partitions: vec![partition.clone()],
+        ..RpcConfig::default()
+    };
+    let cfg = ClusterConfig::new(gap_fleet(seed), budget, cluster::CapSplit::FastCap).with_rpc(rpc);
+    let r = run_cluster(cfg.clone());
+    let sums: Vec<f64> = r
+        .cap_timeline
+        .iter()
+        .map(|caps| caps.iter().sum())
+        .collect();
+
+    // The overshoot exists and is material (well past quantum rounding)...
+    let worst = sums.iter().copied().fold(0.0f64, f64::max);
+    assert!(
+        worst > budget + 5.0,
+        "expected a material in-force overshoot, worst sum {worst:.3} W vs {budget} W budget \
+         — if a handoff protocol closed the gap, delete this reproducer and DESIGN §10's caveat"
+    );
+    // ...but transient and bounded: the quarantine keeps it to a short
+    // window (old leases expire, renewals land), never a runaway, and the
+    // fleet ends the run back under budget.
+    let over_rounds = sums.iter().filter(|&&s| s > budget + 1e-6).count();
+    assert!(
+        (1..=3).contains(&over_rounds),
+        "overshoot window should be a transient few rounds, saw {over_rounds}"
+    );
+    assert!(
+        worst < budget + 0.5 * budget,
+        "quarantine failed to bound the overshoot: {worst:.3} W"
+    );
+    assert!(
+        *sums.last().unwrap() <= budget + 1e-6,
+        "fleet did not return under budget by the end of the run"
+    );
+    // The lossy failover run is still bit-identical across thread counts.
+    let r4 = run_cluster(cfg.with_threads(4));
+    assert_eq!(
+        r.digest(),
+        r4.digest(),
+        "reproducer broke thread determinism"
+    );
+
+    // Control: the identical schedule at loopback (zero latency, zero
+    // loss) conserves strictly through the same failover — the anomaly
+    // needs the lossy plane, exactly as DESIGN §10 documents.
+    let rpc0 = RpcConfig {
+        failover: true,
+        lease_rounds: 10,
+        partitions: vec![partition],
+        ..RpcConfig::default()
+    };
+    let c0 = ClusterConfig::new(gap_fleet(seed), budget, cluster::CapSplit::FastCap).with_rpc(rpc0);
+    let r0 = run_cluster(c0);
+    for (round, caps) in r0.cap_timeline.iter().enumerate() {
+        let total: f64 = caps.iter().sum();
+        assert!(
+            total <= budget + 1e-9,
+            "loopback failover must conserve strictly; round {round} sums to {total:.6} W"
+        );
+    }
+}
+
+/// Nightly-scale topology smoke: a 1024-server three-tier DAG fleet
+/// (`fe[64] -> app[192]*2 -> st[768]*2@3`) under the critical-path split,
+/// conserving every root and span, digest-equal between the round and
+/// event engines at a zero dead-band, and bit-identical across worker
+/// thread counts. Run with `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "1024-server DAG conservation smoke; run via cargo test --release -- --ignored"]
+fn tier_dags_1024_conservation_smoke() {
+    let graph: TierGraph = "fe[64] -> app[192]*2 -> st[768]*2@3".parse().unwrap();
+    let mixes = ["MID1", "ILP1", "MEM1", "MID2"];
+    let make = |threads: usize, engine: EngineKind| {
+        let fleet: Vec<ServiceServerSpec> = graph
+            .server_names()
+            .iter()
+            .enumerate()
+            .map(|(i, n)| ServiceServerSpec::small(n, mixes[i % mixes.len()], 90 + i as u64, 0.0))
+            .collect();
+        let budget = 55.0 * fleet.len() as f64;
+        let mut cfg = ServiceConfig::new(fleet, budget, CapSplit::FastCap)
+            .with_rounds(6)
+            .with_threads(threads)
+            .with_engine(engine)
+            .with_closed_loop(
+                ClosedLoopConfig::new(512, Ps::from_us(150), BalancePolicy::LeastQueue)
+                    .with_seed(9),
+            )
+            .with_tiers(TierConfig::new(graph.clone()));
+        // Nightly-sized, like the 1024-server differential smoke: one
+        // epoch per round and coarse quanta keep the run in minutes.
+        cfg.epochs_per_round = 1;
+        cfg.quantum_w = 20.0;
+        cfg
+    };
+    let start = std::time::Instant::now();
+    let r = run_service(make(8, EngineKind::Round));
+    let t_round = start.elapsed();
+    let t = r.tiers.as_ref().expect("tier summary");
+    let s = &t.stats;
+
+    assert!(s.roots_closed > 0, "no DAG closed at 1024-server scale");
+    assert_eq!(s.roots_opened, s.roots_closed + s.open_roots);
+    assert_eq!(s.spans_opened, s.spans_closed + s.open_spans);
+    for (tier, &fanout) in graph.fanouts().iter().enumerate().skip(1) {
+        assert_eq!(
+            s.spawned_by_tier[tier],
+            s.completed_by_tier[tier - 1] * fanout as u64,
+            "fan-out conservation broken entering tier {tier}"
+        );
+    }
+    assert!(s.sojourn_dominance, "a child outlived its root's sojourn");
+    assert_eq!(t.e2e_hist.count(), s.roots_closed - s.roots_failed);
+    let cl = r.closed_loop.as_ref().unwrap();
+    assert_eq!(cl.generated, s.roots_opened);
+    assert_eq!(cl.responses, s.roots_closed);
+    assert_eq!(cl.waiting_at_end as u64, s.open_roots);
+
+    // Engine and thread determinism at scale.
+    let start = std::time::Instant::now();
+    let event = run_service(make(8, EngineKind::Event));
+    let t_event = start.elapsed();
+    assert_eq!(
+        r.digest(),
+        event.digest(),
+        "1024-server tier round vs event digests diverged"
+    );
+    let r4 = run_service(make(4, EngineKind::Round));
+    assert_eq!(r.digest(), r4.digest(), "1024-server tier 8 vs 4 threads");
+    println!(
+        "1024-server tier smoke: {} DAGs closed, round {:.2}s, event {:.2}s",
+        s.roots_closed,
+        t_round.as_secs_f64(),
+        t_event.as_secs_f64()
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -173,6 +359,82 @@ proptest! {
         );
         // The fleet histogram carries exactly the completed requests.
         prop_assert_eq!(r.fleet_hist().count(), r.total_completed());
+    }
+
+    /// Multi-tier DAG conservation, whatever the seed, population, graph
+    /// shape, engine, tier floor, and churn: every span a completed parent
+    /// spawns is exactly its tier's fan-out (`spawned_by_tier[t] =
+    /// completed_by_tier[t-1] x fanout[t]`), every root and span
+    /// terminates or stays counted as open, the end-to-end sojourn
+    /// dominates every child's, and the client population is released
+    /// exactly once per closed DAG.
+    #[test]
+    fn tier_dags_conserve_spans_under_churn_and_both_engines(
+        seed in any::<u64>(),
+        clients in 8usize..40,
+        think_us in 0u64..300,
+        shape in 0u8..3,
+        floor_frac in 0.0f64..0.3,
+        event_engine in any::<bool>(),
+        churn in any::<bool>(),
+        rounds in 6usize..10,
+    ) {
+        let spec = [
+            "fe[1] -> app[2]*2",
+            "fe[2] -> app[2]*2 -> st[2]",
+            "a[1] -> b[3]*3@2",
+        ][shape as usize];
+        let graph: TierGraph = spec.parse().unwrap();
+        let mixes = ["MID1", "ILP1", "MEM1", "MID2"];
+        let fleet: Vec<ServiceServerSpec> = graph
+            .server_names()
+            .iter()
+            .enumerate()
+            .map(|(i, n)| ServiceServerSpec::small(n, mixes[i % mixes.len()], seed ^ i as u64, 0.0))
+            .collect();
+        let budget = 50.0 * fleet.len() as f64;
+        let engine = if event_engine { EngineKind::Event } else { EngineKind::Round };
+        let mut cfg = ServiceConfig::new(fleet, budget, CapSplit::FastCap)
+            .with_rounds(rounds)
+            .with_threads(4)
+            .with_engine(engine)
+            .with_closed_loop(
+                ClosedLoopConfig::new(clients, Ps::from_us(think_us), BalancePolicy::LeastQueue)
+                    .with_seed(seed),
+            )
+            .with_tiers(TierConfig::new(graph.clone()).with_floor_frac(floor_frac));
+        if churn {
+            // The last tier loses its highest-numbered server and gains a
+            // fresh one two rounds later, joining by tier-name prefix.
+            let last = graph.tiers().last().unwrap();
+            let mut sched = ChurnSchedule::new();
+            sched.leave(2, &format!("{}{}", last.name, last.servers - 1)).unwrap();
+            sched.join(4, &format!("{}{}", last.name, last.servers), ServiceServerSpec::small(
+                &format!("{}{}", last.name, last.servers), "MEM2", seed ^ 77, 0.0,
+            )).unwrap();
+            cfg = cfg.with_churn(sched);
+        }
+        let r = run_service(cfg);
+        let t = r.tiers.as_ref().expect("tier summary");
+        let s = &t.stats;
+
+        prop_assert_eq!(s.roots_opened, s.roots_closed + s.open_roots);
+        prop_assert_eq!(s.spans_opened, s.spans_closed + s.open_spans);
+        for (tier, &fanout) in graph.fanouts().iter().enumerate().skip(1) {
+            prop_assert_eq!(
+                s.spawned_by_tier[tier],
+                s.completed_by_tier[tier - 1] * fanout as u64,
+                "fan-out conservation broken entering tier {}", tier
+            );
+        }
+        prop_assert!(s.sojourn_dominance, "a child outlived its root's sojourn");
+        prop_assert_eq!(t.e2e_hist.count(), s.roots_closed - s.roots_failed);
+
+        let cl = r.closed_loop.as_ref().unwrap();
+        prop_assert_eq!(cl.generated, s.roots_opened, "a client request opened no DAG");
+        prop_assert_eq!(cl.responses, s.roots_closed, "a closed DAG released no client");
+        prop_assert_eq!(cl.waiting_at_end as u64, s.open_roots);
+        prop_assert_eq!(cl.thinking_at_end + cl.waiting_at_end, clients);
     }
 
     /// Message-plane conservation under arbitrary loss, delay, and
