@@ -1346,6 +1346,13 @@ pub fn fleet_scale(ctx: &mut Ctx) {
 /// together would put them on the same island and let the exiled primary
 /// keep granting the rack.) Every claim above is asserted, per round,
 /// before the table is written.
+///
+/// **Lossy failover** (`control_plane_lossy_failover.tsv`) — the same
+/// primary outage re-run on a hostile plane (one round of latency, one of
+/// jitter, 20% loss, 5% duplication): the acked-state handoff must keep
+/// the in-force caps within budget + floors through the takeover round
+/// itself, the window the pre-handoff protocol used to overshoot.
+/// Asserted per round before the table is written.
 pub fn control_plane(ctx: &mut Ctx) {
     use cluster::{
         run_cluster, CapSplit, ClusterConfig, ClusterResult, EngineKind, PartitionSpec, RpcConfig,
@@ -1556,6 +1563,73 @@ pub fn control_plane(ctx: &mut Ctx) {
         ]);
     }
     ctx.emit(&t, "control_plane_failover.tsv");
+
+    // -- (c) failover on a lossy, high-latency plane -----------------------
+    eprintln!(
+        "  running control-plane lossy failover [primary cut {fail_from}..{fail_to}, \
+         20% loss, 1-round latency + jitter] ..."
+    );
+    let rpc = RpcConfig {
+        latency_us: 1250.0,
+        jitter_us: 1250.0,
+        loss: 0.2,
+        duplicate: 0.05,
+        failover: true,
+        floor_cap_w: floor_w,
+        partitions: vec![PartitionSpec {
+            from_round: fail_from,
+            to_round: fail_to,
+            nodes: vec!["primary".into()],
+        }],
+        ..RpcConfig::default()
+    };
+    let cfg = ClusterConfig::new(fleet(90), budget, CapSplit::FastCap).with_rpc(rpc);
+    let n = cfg.servers.len();
+    let r: ClusterResult = run_cluster(cfg);
+    let c = &r.control;
+    assert!(
+        c.elections >= 1,
+        "the lossy outage must still elect the standby: {c:?}"
+    );
+    let mut max_sum = 0.0_f64;
+    for (round, caps) in r.cap_timeline.iter().enumerate() {
+        let total: f64 = caps.iter().sum();
+        max_sum = max_sum.max(total);
+        assert!(
+            total <= budget + n as f64 * floor_w + 1e-6,
+            "lossy failover, round {round}: in-force caps {total:.3} W bust \
+             budget + floors — the takeover window must conserve"
+        );
+    }
+
+    let mut t = Table::new(
+        "Control plane — failover through a lossy plane \
+         (4×MID1, 120 W FastCap, 1-round latency + jitter, 20% loss, 5% duplication, \
+         primary cut rounds 8..16; conservation asserted every round incl. takeover)",
+        &[
+            "rounds",
+            "elections",
+            "step-downs",
+            "grants applied/sent",
+            "expired leases",
+            "floor rounds",
+            "max Σcaps (W)",
+            "budget+floors (W)",
+            "makespan (ms)",
+        ],
+    );
+    t.row(vec![
+        format!("{}", r.rounds),
+        format!("{}", c.elections),
+        format!("{}", c.step_downs),
+        format!("{}/{}", c.grants_applied, c.grants_sent),
+        format!("{}", c.lease_expirations),
+        format!("{}", c.floor_rounds),
+        format!("{max_sum:.1}"),
+        format!("{:.1}", budget + n as f64 * floor_w),
+        format!("{:.3}", r.makespan().as_secs_f64() * 1e3),
+    ]);
+    ctx.emit(&t, "control_plane_lossy_failover.tsv");
 }
 
 /// Multi-tier request topologies: client requests fan out into DAGs over

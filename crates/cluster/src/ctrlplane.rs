@@ -31,9 +31,30 @@
 //!   deterministic and tie-free by construction. Servers follow the highest
 //!   term they have applied and nack lower-term grants with their current
 //!   term, which makes a healed stale leader adopt the new term and step
-//!   down. A fresh leader quarantines the free pool for one lease period
-//!   (grants at most what its inherited ledger already reserved), letting
-//!   any grants it never saw expire before their watts are re-issued.
+//!   down — immediately, mid-batch: the first higher-term nack aborts the
+//!   round's remaining grants.
+//! * **The acked-state handoff** — replication is *acknowledged*: every
+//!   heartbeat carries a sequence number, the follower answers each
+//!   adoption with a [`CtrlMsg::HeartbeatAck`], and the leader tracks the
+//!   highest acked sequence as its **replication watermark**. Watts freed
+//!   at the leader (a decrease acked by a server, or a lease expiring) are
+//!   not returned to the free pool immediately — the freeing entry is
+//!   *pinned* in the ledger, tagged with the heartbeat sequence current at
+//!   release time, and only dropped once the watermark proves the follower
+//!   adopted a snapshot in which the entry had already left `outstanding`.
+//!   The leader therefore never re-spends watts its follower might still
+//!   believe in force. On takeover the new leader rebuilds the ledger
+//!   **conservatively**: for every server it replaces its (possibly stale)
+//!   entries with one synthetic reservation at the maximum outstanding cap
+//!   it replicated — the worst case over the un-acked suffix it may never
+//!   have seen — expiring one full quarantine later, and it quarantines
+//!   the free pool for `max link latency + jitter + lease` rounds (see
+//!   [`RpcConfig::quarantine_rounds`]), so late-arriving grants from the
+//!   dead leader can never land outside the reserved window. Conservation
+//!   — in-force caps ≤ budget + expired-lease floors — thereby holds
+//!   through failover under any loss/dup/latency/partition schedule, at
+//!   the price that a leader cut off from its follower stops re-spending
+//!   freed watts until contact resumes (frozen, never over-committed).
 //!
 //! # Loopback equivalence
 //!
@@ -43,19 +64,10 @@
 //! (bit-identical) caps of the direct [`split_caps_active`] /
 //! [`BudgetTree`](crate::BudgetTree) computation, and both engines
 //! reproduce their pre-plane digests exactly — proven in
-//! `tests/engine_equivalence.rs`.
-//!
-//! # Known limitation: the replication gap
-//!
-//! Heartbeat replication is best-effort (one follower, no quorum). If the
-//! primary re-grants watts freed by a decrease-ack *after* the heartbeat
-//! the standby last received, and then fails, the standby's quarantined
-//! renewals can transiently re-raise the decreased server while the
-//! unknown grant is still in force — exceeding the budget by at most the
-//! watts re-allocated inside that gap, for at most one lease period. At
-//! zero latency the gap is empty (each heartbeat reflects the whole
-//! barrier, including every ack), so loopback failover conserves strictly.
-//! DESIGN.md discusses the trade-off.
+//! `tests/engine_equivalence.rs`. With failover on, the leader also
+//! heartbeats *between* reconcile passes, so at zero latency each pass's
+//! freed watts are confirmed by the standby within the barrier and the
+//! caps still match the direct computation bit for bit.
 
 use crate::coordinator::ServerDemand;
 use crate::engine::{split_caps_active, CapCache, EngineKind};
@@ -112,6 +124,14 @@ pub struct RpcConfig {
     /// Barriers of leader silence before a coordinator elects itself
     /// (auto-raised to cover the resolved latency).
     pub heartbeat_timeout_rounds: u64,
+    /// Barriers a freshly elected leader quarantines the free pool —
+    /// granting at most what its reconstructed ledger reserves — before
+    /// funding increases. `0` (default) derives the safe bound
+    /// automatically: the plane's maximum one-way latency + jitter (in
+    /// rounds) + the lease length, which outlasts every grant the dead
+    /// leader could have issued, including those still in flight. Explicit
+    /// values below that bound are raised to it.
+    pub quarantine_rounds: u64,
     /// Barriers of telemetry silence before the leader suspects a server
     /// and stops granting to it. `0` (default) picks
     /// `max(5, 2·(latency + jitter in rounds) + 1)` automatically.
@@ -137,6 +157,7 @@ impl Default for RpcConfig {
             floor_cap_w: 0.0,
             failover: false,
             heartbeat_timeout_rounds: 3,
+            quarantine_rounds: 0,
             suspect_after_rounds: 0,
             partitions: Vec::new(),
             audit: false,
@@ -241,6 +262,9 @@ impl RpcConfig {
             self.suspect_after_rounds
         };
         let heartbeat_timeout = self.heartbeat_timeout_rounds.max(latency + jitter + 1);
+        let quarantine = self
+            .quarantine_rounds
+            .max(latency + jitter + self.lease_rounds);
         Ok(ResolvedRpc {
             latency_rounds: latency,
             jitter_rounds: jitter,
@@ -251,6 +275,7 @@ impl RpcConfig {
             floor_cap_w: self.floor_cap_w,
             failover: self.failover,
             heartbeat_timeout,
+            quarantine,
             suspect_after,
             audit: self.audit,
         })
@@ -279,6 +304,9 @@ pub struct ResolvedRpc {
     pub failover: bool,
     /// Resolved leader-silence threshold, rounds.
     pub heartbeat_timeout: u64,
+    /// Resolved post-takeover quarantine length, rounds (at least
+    /// latency + jitter + lease).
+    pub quarantine: u64,
     /// Resolved server-silence threshold, rounds.
     pub suspect_after: u64,
     /// Grant auditing enabled.
@@ -361,6 +389,16 @@ pub enum CtrlMsg {
     },
     /// Leader → standby: state replication and liveness.
     Heartbeat(Box<Heartbeat>),
+    /// Standby → leader: replication acknowledgement. The sender has
+    /// adopted the leader's heartbeat `seq`, so every ledger release that
+    /// snapshot reflected is confirmed replicated — the leader advances
+    /// its watermark and may re-spend those watts.
+    HeartbeatAck {
+        /// Acking coordinator's current term.
+        term: u64,
+        /// The highest heartbeat sequence the sender has adopted.
+        seq: u64,
+    },
 }
 
 /// Heartbeat payload (boxed to keep [`CtrlMsg`] small).
@@ -368,6 +406,11 @@ pub enum CtrlMsg {
 pub struct Heartbeat {
     /// Sender's term.
     pub term: u64,
+    /// Sender's heartbeat sequence: monotone per coordinator, echoed by
+    /// [`CtrlMsg::HeartbeatAck`]. Followers adopt only strictly newer
+    /// sequences within a term, so jitter-reordered heartbeats can never
+    /// roll replicated state backwards.
+    pub seq: u64,
     /// Barrier it was sent at.
     pub round: u64,
     /// Snapshot of the sender's replicated state.
@@ -494,9 +537,28 @@ pub struct LeaseEntry {
 /// in force — and the leader only funds cap increases from
 /// `budget − Σ reserved`. Decreases therefore free watts only when acked
 /// or expired, never on hope.
+///
+/// With failover enabled the leader uses the **deferred** release variants
+/// ([`note_ack_deferred`](Self::note_ack_deferred) /
+/// [`expire_deferred`](Self::expire_deferred)): a released entry is not
+/// dropped but *pinned*, tagged with the heartbeat sequence current at
+/// release time, and still counts as reserved. Only
+/// [`release_confirmed`](Self::release_confirmed) — called when the
+/// replication watermark proves the follower adopted a snapshot in which
+/// the entry had already left `outstanding` — drops it. A takeover then
+/// rebuilds via [`reconstruct`](Self::reconstruct): the maximum
+/// *outstanding* cap per server becomes a synthetic reservation (pinned
+/// entries are provably not in force — superseded-and-acked or expired on
+/// the shared barrier clock — and are exactly what the old leader is
+/// licensed to re-spend once confirmed, so they must not be re-reserved).
 #[derive(Clone, Debug)]
 pub struct LeaseLedger {
     outstanding: Vec<Vec<LeaseEntry>>,
+    /// Released entries awaiting replication confirmation, tagged with the
+    /// heartbeat sequence at release. Kept as an antichain in
+    /// `(cap, tag)`: an entry is dropped when another pins at least as
+    /// many watts at least as long — observable state is identical.
+    pinned: Vec<Vec<(u64, LeaseEntry)>>,
     acked: Vec<(u64, u64)>,
     last_sent_cap: Vec<f64>,
 }
@@ -517,6 +579,7 @@ impl LeaseLedger {
                     }]
                 })
                 .collect(),
+            pinned: vec![Vec::new(); n],
             acked: vec![(0, 0); n],
             last_sent_cap: vec![initial_cap_w; n],
         }
@@ -532,6 +595,28 @@ impl LeaseLedger {
             dropped += (before - entries.len()) as u64;
         }
         dropped
+    }
+
+    /// [`expire`](Self::expire), deferred: expired entries are pinned
+    /// under `tag` instead of dropped, so their watts stay reserved until
+    /// the follower confirms having seen the release. Returns how many
+    /// expired. Pinned entries never re-expire — expiry is what proves
+    /// they are not in force, so only confirmation may drop them.
+    pub fn expire_deferred(&mut self, round: u64, tag: u64) -> u64 {
+        let mut expired = 0;
+        for i in 0..self.outstanding.len() {
+            let mut kept = Vec::with_capacity(self.outstanding[i].len());
+            for e in std::mem::take(&mut self.outstanding[i]) {
+                if e.expires > round {
+                    kept.push(e);
+                } else {
+                    expired += 1;
+                    Self::pin(&mut self.pinned[i], tag, e);
+                }
+            }
+            self.outstanding[i] = kept;
+        }
+        expired
     }
 
     /// Records a sent grant.
@@ -550,12 +635,86 @@ impl LeaseLedger {
         self.outstanding[server].retain(|e| (e.term, e.seq) >= (term, seq));
     }
 
+    /// [`note_ack`](Self::note_ack), deferred: superseded entries are
+    /// pinned under `tag` instead of dropped.
+    pub fn note_ack_deferred(&mut self, server: usize, term: u64, seq: u64, tag: u64) {
+        if server >= self.acked.len() || (term, seq) <= self.acked[server] {
+            return;
+        }
+        self.acked[server] = (term, seq);
+        let mut kept = Vec::with_capacity(self.outstanding[server].len());
+        for e in std::mem::take(&mut self.outstanding[server]) {
+            if (e.term, e.seq) >= (term, seq) {
+                kept.push(e);
+            } else {
+                Self::pin(&mut self.pinned[server], tag, e);
+            }
+        }
+        self.outstanding[server] = kept;
+    }
+
+    fn pin(pinned: &mut Vec<(u64, LeaseEntry)>, tag: u64, entry: LeaseEntry) {
+        // Antichain pruning: `a` dominates `b` when it reserves at least
+        // as many watts (cap) at least as long (tag) — max-over-pinned is
+        // unchanged at every future watermark, so dominated entries are
+        // dead weight.
+        if pinned
+            .iter()
+            .any(|(t, e)| *t >= tag && e.cap_w >= entry.cap_w)
+        {
+            return;
+        }
+        pinned.retain(|(t, e)| *t > tag || e.cap_w > entry.cap_w);
+        pinned.push((tag, entry));
+    }
+
+    /// Drops every pinned entry whose release the follower has confirmed:
+    /// `tag < watermark` means a heartbeat sent *after* the release was
+    /// adopted, so the follower's snapshot no longer counts the entry as
+    /// outstanding and a takeover would not re-reserve it.
+    pub fn release_confirmed(&mut self, watermark: u64) {
+        for pinned in &mut self.pinned {
+            pinned.retain(|(tag, _)| *tag >= watermark);
+        }
+    }
+
+    /// Rebuilds the ledger for a takeover at `round`: each server's
+    /// entries are replaced by one synthetic reservation at its maximum
+    /// **outstanding** cap — the worst case over the un-acked suffix the
+    /// dead leader may have granted unseen — held until `expires` (one
+    /// full quarantine out, so it outlives every lease the dead leader
+    /// could have issued). The synthetic carries `(term, seq 0)`: the new
+    /// leader's own grants start at seq 1, so a server ack of any fresh
+    /// grant releases it, while stragglers acking the dead leader's terms
+    /// cannot. Inherited pinned entries are dropped — they are provably
+    /// not in force, and their tags belong to the dead leader's heartbeat
+    /// counter.
+    pub fn reconstruct(&mut self, term: u64, expires: u64) {
+        for i in 0..self.outstanding.len() {
+            let worst = self.outstanding[i]
+                .iter()
+                .map(|e| e.cap_w)
+                .fold(0.0, f64::max);
+            self.outstanding[i].clear();
+            self.pinned[i].clear();
+            if worst > 0.0 {
+                self.outstanding[i].push(LeaseEntry {
+                    term,
+                    seq: 0,
+                    cap_w: worst,
+                    expires,
+                });
+            }
+        }
+    }
+
     /// Watts that may be in force at `server`: the max over its surviving
-    /// entries (0 when none).
+    /// entries, pinned included (0 when none).
     pub fn reserved_w(&self, server: usize) -> f64 {
         self.outstanding[server]
             .iter()
             .map(|e| e.cap_w)
+            .chain(self.pinned[server].iter().map(|(_, e)| e.cap_w))
             .fold(0.0, f64::max)
     }
 
@@ -642,6 +801,15 @@ struct Coordinator {
     last_peer_heard: u64,
     quarantine_until: u64,
     granted_this_barrier: Vec<Option<f64>>,
+    /// Heartbeats this coordinator has sent (the next heartbeat's seq is
+    /// `hb_seq + 1`); doubles as the release tag for deferred ledger
+    /// frees.
+    hb_seq: u64,
+    /// Highest own-term heartbeat seq the peer has acked: releases tagged
+    /// strictly below it are confirmed replicated.
+    repl_watermark: u64,
+    /// Highest heartbeat seq adopted from the current term's leader.
+    last_adopted_hb: u64,
 }
 
 impl Coordinator {
@@ -675,6 +843,9 @@ impl Coordinator {
             last_peer_heard: 0,
             quarantine_until: 0,
             granted_this_barrier: vec![None; n],
+            hb_seq: 0,
+            repl_watermark: 0,
+            last_adopted_hb: 0,
         }
     }
 
@@ -690,6 +861,7 @@ impl Coordinator {
     fn adopt(&mut self, hb: Heartbeat) {
         self.term = hb.term;
         self.is_leader = false;
+        self.last_adopted_hb = hb.seq;
         self.view = hb.state.view;
         self.view_round = hb.state.view_round;
         self.ledger = hb.state.ledger;
@@ -711,6 +883,10 @@ pub struct ControlPlane {
     budget: f64,
     partitions: Vec<(u64, u64, Vec<usize>)>,
     stats: ControlStats,
+    /// Post-takeover quarantine, rounds: the resolved knob raised to the
+    /// plane's own worst-case delay + lease (authoritative even if links
+    /// are ever configured per-pair).
+    quarantine: u64,
 }
 
 impl ControlPlane {
@@ -787,6 +963,9 @@ impl ControlPlane {
                 )
             })
             .collect();
+        let quarantine = rpc
+            .quarantine
+            .max(plane.max_delay().as_ps() + rpc.lease_rounds);
         ControlPlane {
             plane,
             coords,
@@ -796,6 +975,7 @@ impl ControlPlane {
             budget: config.global_cap_w,
             partitions,
             stats: ControlStats::default(),
+            quarantine,
         }
     }
 
@@ -976,15 +1156,27 @@ impl ControlPlane {
             }
             CtrlMsg::Ack { server, term, seq } => {
                 self.stats.acks += 1;
-                self.coords[c].ledger.note_ack(server, term, seq);
+                let co = &mut self.coords[c];
+                if self.rpc.failover {
+                    // Defer the release until the standby confirms having
+                    // replicated it — tagged with the current heartbeat
+                    // seq, droppable once the watermark passes it.
+                    let tag = co.hb_seq;
+                    co.ledger.note_ack_deferred(server, term, seq, tag);
+                } else {
+                    co.ledger.note_ack(server, term, seq);
+                }
             }
             CtrlMsg::Nack { term, .. } => {
                 self.stats.nacks += 1;
                 let co = &mut self.coords[c];
                 if term > co.term {
                     // A server already follows a newer leader: adopt the
-                    // term and stop acting as leader.
+                    // term and stop acting as leader. The new term's
+                    // heartbeats start from scratch — nothing is adopted
+                    // yet, so nothing may be re-acked.
                     co.term = term;
+                    co.last_adopted_hb = 0;
                     if co.is_leader {
                         co.is_leader = false;
                         self.stats.step_downs += 1;
@@ -993,13 +1185,33 @@ impl ControlPlane {
             }
             CtrlMsg::Heartbeat(hb) => {
                 let co = &mut self.coords[c];
-                if hb.term > co.term || (hb.term == co.term && !co.is_leader) {
+                let newer = hb.term > co.term
+                    || (hb.term == co.term && !co.is_leader && hb.seq > co.last_adopted_hb);
+                if newer {
                     let was_leader = co.is_leader;
                     co.adopt(*hb);
                     co.last_peer_heard = round;
                     if was_leader {
                         self.stats.step_downs += 1;
                     }
+                } else if hb.term == co.term && !co.is_leader {
+                    // A duplicate or jitter-reordered heartbeat: never
+                    // adopt (state must not roll backwards), but it is
+                    // still leader liveness, and re-acking the newest
+                    // adopted seq lets a lost ack converge.
+                    co.last_peer_heard = round;
+                } else {
+                    return;
+                }
+                let co = &self.coords[c];
+                let (term, seq) = (co.term, co.last_adopted_hb);
+                self.plane
+                    .send(t, co.node, env.from, CtrlMsg::HeartbeatAck { term, seq });
+            }
+            CtrlMsg::HeartbeatAck { term, seq } => {
+                let co = &mut self.coords[c];
+                if term == co.term && co.is_leader && seq > co.repl_watermark {
+                    co.repl_watermark = seq;
                 }
             }
             CtrlMsg::Grant(_) => {}
@@ -1009,12 +1221,18 @@ impl ControlPlane {
     /// A coordinator that hasn't heard a live leader for the timeout
     /// elects itself at the next term of its own parity (primary even,
     /// standby odd — terms are leader-unique by construction). The new
-    /// leader quarantines the free pool for one lease period and resets
-    /// its suspicion clocks so servers get a fresh window to reach it.
+    /// leader reconstructs its ledger conservatively (one synthetic
+    /// reservation per server at the worst replicated outstanding cap),
+    /// quarantines the free pool for the full handoff horizon — max link
+    /// latency + jitter + lease, so every grant the dead leader could
+    /// have issued, even one still in flight, expires inside the reserved
+    /// window — and resets its suspicion clocks so servers get a fresh
+    /// window to reach it.
     fn maybe_elect(&mut self, round: u64) {
         if !self.rpc.failover {
             return;
         }
+        let quarantine = self.quarantine;
         for (c, co) in self.coords.iter_mut().enumerate() {
             if co.is_leader || round <= co.last_peer_heard + self.rpc.heartbeat_timeout {
                 continue;
@@ -1025,7 +1243,12 @@ impl ControlPlane {
             }
             co.term = term;
             co.is_leader = true;
-            co.quarantine_until = round + self.rpc.lease_rounds;
+            co.quarantine_until = round + quarantine;
+            co.ledger.reconstruct(term, round + quarantine);
+            // The peer has confirmed nothing of this leadership yet.
+            co.repl_watermark = 0;
+            co.hb_seq = 0;
+            co.last_adopted_hb = 0;
             for r in &mut co.view_round {
                 *r = round;
             }
@@ -1041,12 +1264,22 @@ impl ControlPlane {
     /// suspicion, compute the desired split over the live view, then
     /// reconcile — send renewals/decreases, fund increases from the free
     /// pool, and repeat as zero-latency acks free more watts, until the
-    /// barrier is quiet. Ends with a heartbeat to the peer.
+    /// barrier is quiet. With failover on, a heartbeat goes out between
+    /// passes so the standby's acks confirm each pass's releases before
+    /// the next pass spends them, and the first higher-term nack aborts
+    /// the batch — a deposed leader stops granting immediately. Ends with
+    /// a heartbeat to the peer.
     fn decide(&mut self, c: usize, round: u64, t: Ps, config: &ClusterConfig, names: &[&str]) {
         let n = self.n;
         let desired = {
             let co = &mut self.coords[c];
-            self.stats.lease_expirations += co.ledger.expire(round);
+            self.stats.lease_expirations += if self.rpc.failover {
+                let tag = co.hb_seq;
+                co.ledger.expire_deferred(round, tag)
+            } else {
+                co.ledger.expire(round)
+            };
+            co.ledger.release_confirmed(co.repl_watermark);
             for i in 0..n {
                 co.suspected[i] = co.view[i].active
                     && round.saturating_sub(co.view_round[i]) > self.rpc.suspect_after;
@@ -1087,41 +1320,111 @@ impl ControlPlane {
         // finds nothing new and the deficit waits for future barriers.
         let mut passes = 0;
         loop {
-            let outgoing = self.reconcile_pass(c, round, &desired);
-            let sent = outgoing.len() as u64;
-            let from = self.coords[c].node;
-            for (to, msg) in outgoing {
-                self.plane.send(t, from, to, msg);
+            let planned = self.reconcile_pass(c, round, &desired);
+            let sent = planned.len() as u64;
+            let mut delivered = 0;
+            if self.rpc.failover {
+                // Send one grant at a time, pumping between sends: a
+                // higher-term nack delivered mid-batch deposes this
+                // leader *before* the rest of the batch goes out.
+                for (i, cap) in planned {
+                    if !self.coords[c].is_leader {
+                        break;
+                    }
+                    self.send_grant(c, i, cap, round, t);
+                    delivered += self.pump(t, round);
+                }
+                if !self.coords[c].is_leader {
+                    // Stepped down: no more passes, and the final
+                    // heartbeat below belongs to the new leader, not us.
+                    return;
+                }
+            } else {
+                // Without a standby no higher term can exist, so the
+                // batch order (all grants, then the pump) is safe — and
+                // keeps the plane's message-fate sequence identical to
+                // the pre-handoff protocol.
+                for (i, cap) in planned {
+                    self.send_grant(c, i, cap, round, t);
+                }
+                delivered = self.pump(t, round);
             }
-            let delivered = self.pump(t, round);
             passes += 1;
             if (sent == 0 && delivered == 0) || passes > n + 4 {
                 break;
             }
+            // Mid-barrier replication: at zero latency the standby adopts
+            // and acks within this pump, confirming the releases this
+            // pass's acks pinned, so the next pass may spend them.
+            self.heartbeat(c, t, round);
+            let co = &mut self.coords[c];
+            co.ledger.release_confirmed(co.repl_watermark);
         }
 
-        let co = &self.coords[c];
-        if let Some(peer) = co.peer {
-            let hb = Heartbeat {
-                term: co.term,
-                round,
-                state: co.repl_state(),
-            };
-            let from = co.node;
-            self.plane
-                .send(t, from, peer, CtrlMsg::Heartbeat(Box::new(hb)));
-            self.pump(t, round);
-        }
+        self.heartbeat(c, t, round);
+        let co = &mut self.coords[c];
+        co.ledger.release_confirmed(co.repl_watermark);
     }
 
-    /// One reconcile pass: decide what to send each server given the
-    /// ledger's current reservations and the free pool. Decreases and
-    /// renewals always go out (they keep leases alive); increases are
-    /// funded from `budget − Σ reserved`, granted at the exact target when
-    /// the pool covers the deficit. A new leader in quarantine has an
-    /// empty pool, so its grants never exceed what its inherited ledger
-    /// already reserved.
-    fn reconcile_pass(&mut self, c: usize, round: u64, desired: &[f64]) -> Vec<(NodeId, CtrlMsg)> {
+    /// Sends a state-replicating heartbeat to the peer (if any) and pumps
+    /// so a zero-latency ack advances the watermark within the barrier.
+    fn heartbeat(&mut self, c: usize, t: Ps, round: u64) {
+        let co = &mut self.coords[c];
+        let Some(peer) = co.peer else {
+            return;
+        };
+        co.hb_seq += 1;
+        let hb = Heartbeat {
+            term: co.term,
+            seq: co.hb_seq,
+            round,
+            state: co.repl_state(),
+        };
+        let from = co.node;
+        self.plane
+            .send(t, from, peer, CtrlMsg::Heartbeat(Box::new(hb)));
+        self.pump(t, round);
+    }
+
+    /// Materializes one planned grant: ledger entry, stats, and the
+    /// message onto the plane. Kept separate from planning so a leader
+    /// deposed mid-batch leaves no trace of the grants it never sent.
+    fn send_grant(&mut self, c: usize, i: usize, cap: f64, round: u64, t: Ps) {
+        let co = &mut self.coords[c];
+        let entry = LeaseEntry {
+            term: co.term,
+            seq: co.next_seq,
+            cap_w: cap,
+            expires: round + self.rpc.lease_rounds,
+        };
+        co.next_seq += 1;
+        co.ledger.note_sent(i, entry);
+        co.granted_this_barrier[i] = Some(cap);
+        self.stats.grants_sent += 1;
+        let from = co.node;
+        self.plane.send(
+            t,
+            from,
+            NodeId(i),
+            CtrlMsg::Grant(CapGrant {
+                server: i,
+                term: entry.term,
+                seq: entry.seq,
+                cap_w: cap,
+                expires: entry.expires,
+            }),
+        );
+    }
+
+    /// One reconcile pass: plan what to send each server given the
+    /// ledger's current reservations and the free pool — pure planning,
+    /// `(server, cap)` pairs with no ledger or stats side effects.
+    /// Decreases and renewals always go out (they keep leases alive);
+    /// increases are funded from `budget − Σ reserved`, granted at the
+    /// exact target when the pool covers the deficit. A new leader in
+    /// quarantine has an empty pool, so its grants never exceed what its
+    /// reconstructed ledger already reserved.
+    fn reconcile_pass(&mut self, c: usize, round: u64, desired: &[f64]) -> Vec<(usize, f64)> {
         let n = self.n;
         let co = &mut self.coords[c];
         let quarantined = round < co.quarantine_until;
@@ -1144,26 +1447,7 @@ impl ControlPlane {
                 if co.granted_this_barrier[i].is_none()
                     && co.ledger.last_sent_cap(i).to_bits() != 0.0f64.to_bits()
                 {
-                    let entry = LeaseEntry {
-                        term: co.term,
-                        seq: co.next_seq,
-                        cap_w: 0.0,
-                        expires: round + self.rpc.lease_rounds,
-                    };
-                    co.next_seq += 1;
-                    co.ledger.note_sent(i, entry);
-                    co.granted_this_barrier[i] = Some(0.0);
-                    self.stats.grants_sent += 1;
-                    out.push((
-                        NodeId(i),
-                        CtrlMsg::Grant(CapGrant {
-                            server: i,
-                            term: entry.term,
-                            seq: entry.seq,
-                            cap_w: 0.0,
-                            expires: entry.expires,
-                        }),
-                    ));
+                    out.push((i, 0.0));
                 }
                 continue;
             }
@@ -1185,29 +1469,9 @@ impl ControlPlane {
                 // Later passes: only a strict top-up is news.
                 Some(prev) => cap > prev,
             };
-            if !send {
-                continue;
+            if send {
+                out.push((i, cap));
             }
-            let entry = LeaseEntry {
-                term: co.term,
-                seq: co.next_seq,
-                cap_w: cap,
-                expires: round + self.rpc.lease_rounds,
-            };
-            co.next_seq += 1;
-            co.ledger.note_sent(i, entry);
-            co.granted_this_barrier[i] = Some(cap);
-            self.stats.grants_sent += 1;
-            out.push((
-                NodeId(i),
-                CtrlMsg::Grant(CapGrant {
-                    server: i,
-                    term: entry.term,
-                    seq: entry.seq,
-                    cap_w: cap,
-                    expires: entry.expires,
-                }),
-            ));
         }
         out
     }
@@ -1438,5 +1702,123 @@ mod tests {
         };
         let err = too_slow.resolve(round_s).unwrap_err();
         assert!(err.contains("expire in flight"), "{err}");
+    }
+
+    #[test]
+    fn quarantine_resolves_to_the_handoff_horizon() {
+        let round_s = 1250e-6;
+        // Auto (0): latency + jitter + lease, in rounds. 2 latency rounds
+        // + 1 jitter round + 8 lease rounds = 11.
+        let r = RpcConfig {
+            latency_us: 2500.0,
+            jitter_us: 1250.0,
+            quarantine_rounds: 0,
+            ..RpcConfig::default()
+        }
+        .resolve(round_s)
+        .unwrap();
+        assert_eq!(r.quarantine, 11, "auto horizon = latency + jitter + lease");
+
+        // An explicit value below the horizon is raised to it — a grant
+        // from the dead leader may still be in flight for latency + jitter
+        // rounds and then lives a full lease, so anything shorter would
+        // let it land outside the reserved window.
+        let r = RpcConfig {
+            latency_us: 2500.0,
+            jitter_us: 1250.0,
+            quarantine_rounds: 4,
+            ..RpcConfig::default()
+        }
+        .resolve(round_s)
+        .unwrap();
+        assert_eq!(
+            r.quarantine, 11,
+            "explicit values below the horizon are raised"
+        );
+
+        // An explicit value above the horizon is honored.
+        let r = RpcConfig {
+            quarantine_rounds: 20,
+            ..RpcConfig::default()
+        }
+        .resolve(round_s)
+        .unwrap();
+        assert_eq!(r.quarantine, 20);
+
+        // Loopback auto: just the lease length (zero latency, zero jitter).
+        let r = RpcConfig::default().resolve(round_s).unwrap();
+        assert_eq!(r.quarantine, RpcConfig::default().lease_rounds);
+    }
+
+    /// Drives a full `ControlPlane` through a partition-and-heal schedule
+    /// at loopback and pins the deposed-primary step-down path: when the
+    /// healed primary (still leader at its old term) starts its grant
+    /// batch, the **first** higher-term nack must depose it mid-batch —
+    /// exactly one stale grant reaches a server, not the whole batch.
+    #[test]
+    fn deposed_primary_aborts_its_grant_batch_on_first_nack() {
+        use crate::{CapSplit, ServerSpec};
+
+        // Primary cut off for rounds 2..6: the standby (heartbeat timeout
+        // 3, last heard at round 1) elects itself at round 5; the heal at
+        // round 6 has both coordinators acting as leader, and barrier
+        // order runs the stale primary's decide first.
+        let rpc = RpcConfig {
+            failover: true,
+            partitions: vec![PartitionSpec {
+                from_round: 2,
+                to_round: 6,
+                nodes: vec!["primary".into()],
+            }],
+            ..RpcConfig::default()
+        };
+        let fleet: Vec<ServerSpec> = (0..3)
+            .map(|i| ServerSpec::small(&format!("s{i}"), "MID1", i as u64))
+            .collect();
+        let config = ClusterConfig::new(fleet, 90.0, CapSplit::FastCap).with_rpc(rpc);
+        let names = ["s0", "s1", "s2"];
+        let mut plane = ControlPlane::new(&config);
+
+        // Skewed demands so the split is non-uniform and every server gets
+        // a fresh grant each barrier.
+        let reports: Vec<(usize, ServerDemand)> = (0..3)
+            .map(|i| {
+                (
+                    i,
+                    ServerDemand {
+                        demand_w: 30.0 + 10.0 * i as f64,
+                        min_w: 0.0,
+                        active: true,
+                    },
+                )
+            })
+            .collect();
+        for round in 0..8u64 {
+            let caps = plane.barrier(round, &reports, &config, &names);
+            let total: f64 = caps.iter().sum();
+            assert!(
+                total <= 90.0 + 1e-9,
+                "round {round}: caps sum to {total:.6} W over the 90 W budget"
+            );
+        }
+        let stats = plane.finish();
+
+        assert_eq!(stats.elections, 1, "standby must take over: {stats:?}");
+        assert_eq!(
+            stats.step_downs, 1,
+            "healed primary must step down exactly once: {stats:?}"
+        );
+        // The pin: one stale grant, then the batch aborts. A primary that
+        // finished its batch before pumping would land one stale grant per
+        // server (3 here).
+        assert_eq!(
+            stats.grants_stale, 1,
+            "first higher-term nack must abort the rest of the batch: {stats:?}"
+        );
+        assert_eq!(
+            stats.terms,
+            vec![1, 1],
+            "deposed primary adopts the standby's term: {stats:?}"
+        );
     }
 }

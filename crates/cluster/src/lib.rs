@@ -80,8 +80,8 @@ pub use coordinator::{
     split_caps_sla_floored, ServerDemand, SlaSignal, SplitError,
 };
 pub use ctrlplane::{
-    CapGrant, ControlPlane, ControlStats, CtrlMsg, GrantOutcome, GrantRecord, LeaseClient,
-    LeaseEntry, LeaseLedger, PartitionSpec, RpcConfig,
+    CapGrant, ControlPlane, ControlStats, CtrlMsg, GrantOutcome, GrantRecord, Heartbeat,
+    LeaseClient, LeaseEntry, LeaseLedger, PartitionSpec, ReplState, ResolvedRpc, RpcConfig,
 };
 pub use engine::{split_caps_active, CapCache, EngineKind, FleetEngine, WorkerPool};
 pub use netsim::{LinkConfig, NodeId, PlaneStats};

@@ -193,4 +193,161 @@ proptest! {
             }
         }
     }
+
+    /// The acked-state handoff, end to end over the ledger pair: a primary
+    /// runs the failover-mode discipline (deferred releases tagged by
+    /// heartbeat seq, confirmation-gated drops, funding from
+    /// `budget − Σ reserved`) against two lease clients over a lossy,
+    /// delaying plane; the standby's state is whichever heartbeat snapshot
+    /// it last adopted (a ledger clone, exactly what [`ReplState`]
+    /// replicates), and only adopted snapshots advance the primary's
+    /// watermark. For **any** send/ack/loss/heartbeat schedule and **any**
+    /// takeover point:
+    ///
+    /// * while the primary lives, each server's in-force cap never exceeds
+    ///   the primary's reservation for it, and reservations sum within
+    ///   budget;
+    /// * the reconstructed standby ledger (worst outstanding cap per
+    ///   server, pinned cleared) also sums within budget — the replication
+    ///   prefix can lag arbitrarily, but every snapshot entry it reserves
+    ///   is still reserved at the primary, because un-confirmed releases
+    ///   stay pinned;
+    /// * after takeover, even if the new leader immediately re-grants
+    ///   every server its full reconstructed reserve while the dead
+    ///   primary's in-flight grants keep landing, the fleet's in-force
+    ///   caps stay within budget every round until everything old expires.
+    #[test]
+    fn reconstructed_ledger_dominates_in_force_caps(
+        script in proptest::collection::vec(
+            // (op selector, server, desired cap, delivery delay, fate)
+            (0u8..10, 0usize..2, 1.0f64..90.0, 0u64..4, 0u8..4),
+            10..120,
+        ),
+        standby_fates in 0u8..4,
+    ) {
+        let budget = 100.0;
+        let n = 2;
+        let mut primary = LeaseLedger::new(n, 40.0, LEASE);
+        let mut standby = primary.clone(); // bootstrap state is shared
+        let mut clients: Vec<LeaseClient> =
+            (0..n).map(|_| LeaseClient::new(40.0, LEASE, 0.0, NodeId(9))).collect();
+        // (due round, server, grant, ack lost?)
+        let mut in_flight: Vec<(u64, usize, CapGrant, bool)> = Vec::new();
+        let mut hb_seq = 0u64;
+        let mut watermark = 0u64;
+        let mut next_seq = 1u64;
+        let mut now = 0u64;
+
+        // Delivers every grant due by `now`; surviving acks release
+        // deferred under the current heartbeat tag.
+        macro_rules! deliver_due {
+            () => {
+                let due: Vec<_> = in_flight
+                    .iter()
+                    .filter(|(d, _, _, _)| *d <= now)
+                    .cloned()
+                    .collect();
+                in_flight.retain(|(d, _, _, _)| *d > now);
+                for (_, i, g, ack_lost) in due {
+                    let outcome = clients[i].apply(now, &g, NodeId(9));
+                    if outcome != GrantOutcome::Expired && !ack_lost {
+                        // Acks (and re-acks of stale duplicates) carry the
+                        // client's now-current state.
+                        let (term, seq) = clients[i].granted();
+                        primary.note_ack_deferred(i, term, seq, hb_seq);
+                    }
+                }
+            };
+        }
+
+        for (op, i, desired, delay, fate) in script {
+            match op {
+                0..=4 => {
+                    // Send: fund the increase from the free pool, exactly
+                    // like `reconcile_pass`.
+                    let reserved = primary.reserved_w(i);
+                    let free = (budget - primary.total_reserved()).max(0.0);
+                    let cap = if desired <= reserved {
+                        desired
+                    } else {
+                        desired.min(reserved + free)
+                    };
+                    primary.note_sent(
+                        i,
+                        LeaseEntry { term: 0, seq: next_seq, cap_w: cap, expires: now + LEASE },
+                    );
+                    let g = grant(0, next_seq, cap, now + LEASE);
+                    next_seq += 1;
+                    if fate != 0 {
+                        in_flight.push((now + delay, i, g, fate == 1));
+                    }
+                }
+                5..=6 => {
+                    // A barrier passes: clock, deliveries, deferred expiry.
+                    now += 1;
+                    deliver_due!();
+                    primary.expire_deferred(now, hb_seq);
+                    primary.release_confirmed(watermark);
+                }
+                _ => {
+                    // Heartbeat: the snapshot is the ledger as sent —
+                    // including releases still pinned awaiting this very
+                    // confirmation. A lost heartbeat leaves the standby
+                    // (and the watermark) behind.
+                    hb_seq += 1;
+                    if fate != 0 {
+                        standby = primary.clone();
+                        watermark = hb_seq;
+                        primary.release_confirmed(watermark);
+                    }
+                }
+            }
+            prop_assert!(
+                primary.total_reserved() <= budget + 1e-9,
+                "primary over-reserved: {} W", primary.total_reserved()
+            );
+            for (i, lc) in clients.iter().enumerate() {
+                prop_assert!(
+                    lc.effective_cap(now) <= primary.reserved_w(i) + 1e-9,
+                    "server {i} in force at {} W over the primary's {} W reservation",
+                    lc.effective_cap(now), primary.reserved_w(i)
+                );
+            }
+        }
+
+        // Takeover: the standby rebuilds from its (arbitrarily stale)
+        // snapshot, reserving the worst outstanding cap per server.
+        let horizon = LEASE + 4;
+        standby.reconstruct(99, now + horizon);
+        prop_assert!(
+            standby.total_reserved() <= budget + 1e-9,
+            "reconstructed ledger over-reserved: {} W vs {} W at the primary",
+            standby.total_reserved(), primary.total_reserved()
+        );
+
+        // Worst-case quarantine spend: the new leader immediately grants
+        // every server its full reconstructed reserve (per-server, the
+        // most `reconcile_pass` can send with an empty free pool). Some of
+        // those grants are lost, leaving servers riding the dead
+        // primary's leases.
+        for (i, lc) in clients.iter_mut().enumerate() {
+            let cap = standby.reserved_w(i);
+            if cap > 0.0 && standby_fates & (1 << i) != 0 {
+                lc.apply(now, &grant(99, 1 + i as u64, cap, now + LEASE), NodeId(10));
+            }
+        }
+        // The dead primary's in-flight grants keep landing; conservation
+        // must hold every round until every old lease has expired.
+        let takeover = now;
+        for r in takeover..=takeover + horizon {
+            now = r;
+            deliver_due!();
+            let total: f64 = clients.iter().map(|lc| lc.effective_cap(r)).sum();
+            prop_assert!(
+                total <= budget + 1e-9,
+                "takeover + {}: in-force caps sum to {total} W",
+                r - takeover
+            );
+        }
+    }
 }

@@ -184,6 +184,20 @@ impl<M: Clone> MsgPlane<M> {
         self.overrides.insert((from.0, to.0), link);
     }
 
+    /// The worst-case one-way delay any message can experience on this
+    /// plane: the maximum of `latency + jitter` over the default link and
+    /// every override. Loss and partitions make messages *later than
+    /// never*, not later than this bound, so control protocols can use it
+    /// to size conservative windows (a delivered message sent at `t` has
+    /// landed by `t + max_delay()`).
+    pub fn max_delay(&self) -> Ps {
+        let delay = |l: &LinkConfig| Ps::new(l.latency.as_ps() + l.jitter.as_ps());
+        self.overrides
+            .values()
+            .map(delay)
+            .fold(delay(&self.default_link), Ps::max)
+    }
+
     /// Moves `node` onto (or off) the minority side of the partition.
     /// Messages between nodes with differing flags are dropped.
     pub fn set_partitioned(&mut self, node: NodeId, cut: bool) {

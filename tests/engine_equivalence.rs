@@ -521,3 +521,65 @@ fn fleet_1024_control_plane_failover_smoke() {
         round.control.in_flight_at_end,
     );
 }
+
+/// Nightly-scale handoff smoke: the same 1024-server primary outage on a
+/// hostile plane — one round of latency, one of jitter, 25% loss, 5%
+/// duplication — the regime where failover used to overshoot the budget
+/// (DESIGN §10). With the acked-state handoff the in-force caps must stay
+/// within budget every round, including the takeover round, at fleet
+/// scale; the run must stay bit-identical across thread counts. Run with
+/// `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "1024-server lossy-failover conservation smoke; run via cargo test --release -- --ignored"]
+fn fleet_1024_lossy_failover_conserves() {
+    let budget = 100.0 * 1024.0;
+    let make = |threads: usize| {
+        let mut c = ClusterConfig::new(synthetic_fleet(1024, 0.9), budget, CapSplit::FastCap)
+            .with_epochs_per_round(1)
+            .with_threads(threads)
+            .with_rpc(RpcConfig {
+                latency_us: 1250.0,
+                jitter_us: 1250.0,
+                loss: 0.25,
+                duplicate: 0.05,
+                failover: true,
+                partitions: vec![PartitionSpec {
+                    from_round: 20,
+                    to_round: 45,
+                    nodes: vec!["primary".into()],
+                }],
+                ..RpcConfig::default()
+            });
+        c.quantum_w = 0.02;
+        c
+    };
+    let start = std::time::Instant::now();
+    let r = run_cluster(make(8));
+    let elapsed = start.elapsed();
+    assert!(
+        r.control.elections >= 1,
+        "the outage must elect the standby: {:?}",
+        r.control
+    );
+    for (round, caps) in r.cap_timeline.iter().enumerate() {
+        let total: f64 = caps.iter().sum();
+        assert!(
+            total <= budget + 1e-6,
+            "round {round}: in-force caps {total:.3} W exceed the {budget} W budget \
+             under lossy failover"
+        );
+    }
+    let r4 = run_cluster(make(4));
+    assert_eq!(
+        r.digest(),
+        r4.digest(),
+        "1024-server lossy failover 8 vs 4 threads"
+    );
+    println!(
+        "1024-server lossy-failover smoke: {:.2}s, {} elections, {}/{} grants applied",
+        elapsed.as_secs_f64(),
+        r.control.elections,
+        r.control.grants_applied,
+        r.control.grants_sent,
+    );
+}
