@@ -6,8 +6,8 @@
 //! Commands: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //!           fig14 fig15 fig16 fig17 fig18 search-cost
 //!           ablation-grouping ablation-phase cluster-capping service-sla
-//!           hierarchical-capping closed-loop-balancing multi-tier
-//!           fleet-scale control-plane all
+//!           hierarchical-capping closed-loop-balancing fluid-clients
+//!           multi-tier fleet-scale control-plane all
 //! ```
 
 use bench::{experiments, Ctx, Opts};
@@ -19,8 +19,8 @@ fn usage() -> ! {
          \x20         fig14 fig15 fig16 fig17 fig18 search-cost\n\
          \x20         ablation-grouping ablation-phase ablation-page-policy\n\
          \x20         ablation-idle-states cluster-capping service-sla\n\
-         \x20         hierarchical-capping closed-loop-balancing multi-tier\n\
-         \x20         fleet-scale control-plane report all"
+         \x20         hierarchical-capping closed-loop-balancing fluid-clients\n\
+         \x20         multi-tier fleet-scale control-plane report all"
     );
     std::process::exit(2);
 }
@@ -68,6 +68,7 @@ fn main() {
             "service-sla" => experiments::service_sla(&mut ctx),
             "hierarchical-capping" => experiments::hierarchical_capping(&mut ctx),
             "closed-loop-balancing" => experiments::closed_loop_balancing(&mut ctx),
+            "fluid-clients" => experiments::fluid_clients(&mut ctx),
             "multi-tier" => experiments::multi_tier(&mut ctx),
             "fleet-scale" => experiments::fleet_scale(&mut ctx),
             "control-plane" => experiments::control_plane(&mut ctx),

@@ -1766,6 +1766,180 @@ pub fn multi_tier(ctx: &mut Ctx) {
     ctx.emit(&t, "multi_tier.tsv");
 }
 
+/// The fluid closed-loop client model at population scales the exact
+/// per-client pool cannot reach. Two sweeps on a six-server fleet:
+///
+/// * **Little's-law curve** — a fixed 10⁴-client population over a
+///   horizon covering several think cycles, with the mean think time
+///   swept from long to short so the operating point moves from
+///   think-limited (offered load `N/(Z+R)` well under fleet capacity,
+///   measured completion throughput tracking the prediction) into
+///   capacity-limited (throughput saturates, the `X·(Z+R)/N` ratio falls
+///   below one and shed appears). The ratio column *is* the sanity check:
+///   the aggregated counters reproduce the machine-repairman law the exact
+///   pool obeys by construction.
+/// * **Million-client diurnal sweep** — 10⁶ clients whose think rate is
+///   modulated day/night ([`service::ClosedLoopConfig::with_think_diurnal`]),
+///   swept over modulation depths. Request conservation
+///   (`generated = completed + shed + abandoned`, population constant) is
+///   asserted in-run at every depth, and the deepest sweep is run again on
+///   the event engine at a different thread count and required to produce
+///   a bit-identical digest.
+///
+/// The wall-clock column is the point: per-round cost scales with *issued
+/// requests*, not population, so a million clients cost seconds.
+pub fn fluid_clients(ctx: &mut Ctx) {
+    use cluster::BalancePolicy;
+    use service::{
+        run_service, CapSplit, ClientModel, ClosedLoopConfig, EngineKind, ServiceConfig,
+        ServiceResult, ServiceServerSpec,
+    };
+
+    let fleet = |seed: u64| -> Vec<ServiceServerSpec> {
+        (0..6)
+            .map(|i| {
+                let mix = ["ILP1", "MID1", "ILP2", "MID2", "ILP1", "MID1"][i];
+                ServiceServerSpec::small(&format!("srv{i}"), mix, seed ^ (i as u64 + 1), 0.0)
+                    .with_p99_target_s(2e-3)
+            })
+            .collect()
+    };
+    let assert_conserved = |r: &ServiceResult, clients: usize, label: &str| {
+        let cl = r.closed_loop.as_ref().expect("closed-loop run");
+        let terminal: u64 = r
+            .outcomes
+            .iter()
+            .map(|o| o.completed + o.shed + o.abandoned)
+            .sum();
+        assert_eq!(cl.generated, terminal, "[{label}] request leak");
+        assert_eq!(
+            cl.thinking_at_end + cl.waiting_at_end,
+            clients,
+            "[{label}] population not conserved"
+        );
+    };
+
+    // --- Part 1: Little's-law sanity curve -------------------------------
+    // The horizon must span several think cycles (else the all-ready
+    // initial burst dominates the averages), and the longest think must
+    // keep `N/Z` under the fleet's ~1.1 M req/s completion capacity so the
+    // curve actually has a think-limited end.
+    let clients = if ctx.opts.quick { 5_000 } else { 10_000 };
+    let rounds = if ctx.opts.quick { 60 } else { 150 };
+    let thinks_ms: &[u64] = if ctx.opts.quick {
+        &[20, 10, 5, 2]
+    } else {
+        &[40, 20, 10, 5, 2]
+    };
+    let mut t = Table::new(
+        &format!("Fluid closed loop — Little's-law curve, {clients} clients, 6 servers"),
+        &[
+            "think (ms)",
+            "generated",
+            "completed",
+            "X (req/s)",
+            "R mean (ms)",
+            "X(Z+R)/N",
+            "shed frac",
+            "p99 (ms)",
+        ],
+    );
+    for &think_ms in thinks_ms {
+        eprintln!("  running fluid Little curve [think {think_ms} ms] ...");
+        let r = run_service(
+            ServiceConfig::new(fleet(7), 300.0, CapSplit::FastCap)
+                .with_rounds(rounds)
+                .with_threads(4)
+                .with_closed_loop(
+                    ClosedLoopConfig::new(
+                        clients,
+                        Ps::from_ms(think_ms),
+                        BalancePolicy::LeastQueue,
+                    )
+                    .with_seed(7)
+                    .with_model(ClientModel::Fluid),
+                ),
+        );
+        assert_conserved(&r, clients, &format!("little think={think_ms}ms"));
+        let cl = r.closed_loop.as_ref().unwrap();
+        let hist = r.fleet_hist();
+        let horizon_s = rounds as f64 * 1e-3;
+        let x = r.total_completed() as f64 / horizon_s;
+        let r_mean_s = hist.mean() * 1e-12;
+        let ratio = x * (think_ms as f64 * 1e-3 + r_mean_s) / clients as f64;
+        t.row(vec![
+            format!("{think_ms}"),
+            format!("{}", cl.generated),
+            format!("{}", r.total_completed()),
+            format!("{:.0}", x),
+            format!("{:.3}", r_mean_s * 1e3),
+            format!("{:.3}", ratio),
+            format!("{:.3}", r.total_shed() as f64 / cl.generated.max(1) as f64),
+            format!("{:.3}", r.fleet_percentile_s(0.99) * 1e3),
+        ]);
+    }
+    ctx.emit(&t, "fluid_clients_little.tsv");
+
+    // --- Part 2: million-client diurnal sweep ----------------------------
+    let clients = 1_000_000;
+    let rounds = if ctx.opts.quick { 12 } else { 40 };
+    let mk = |depth: f64, threads: usize, engine: EngineKind| {
+        ServiceConfig::new(fleet(9), 300.0, CapSplit::FastCap)
+            .with_rounds(rounds)
+            .with_threads(threads)
+            .with_engine(engine)
+            .with_closed_loop(
+                ClosedLoopConfig::new(clients, Ps::from_ms(500), BalancePolicy::LeastQueue)
+                    .with_seed(9)
+                    .with_model(ClientModel::Fluid)
+                    .with_think_diurnal(Ps::from_ms(10), depth),
+            )
+    };
+    let mut t = Table::new(
+        &format!("Fluid closed loop — diurnal sweep, {clients} clients, 500 ms think"),
+        &[
+            "depth",
+            "generated",
+            "responses",
+            "completed",
+            "shed frac",
+            "p99 (ms)",
+            "energy (J)",
+            "wall (s)",
+        ],
+    );
+    let mut deep_digest = String::new();
+    for depth in [0.0, 0.5, 0.9] {
+        eprintln!("  running fluid diurnal [depth {depth}] ...");
+        let start = Instant::now();
+        let r = run_service(mk(depth, 4, EngineKind::Round));
+        let wall = start.elapsed().as_secs_f64();
+        assert_conserved(&r, clients, &format!("diurnal depth={depth}"));
+        let cl = r.closed_loop.as_ref().unwrap();
+        if depth == 0.9 {
+            deep_digest = r.digest();
+        }
+        t.row(vec![
+            format!("{depth:.1}"),
+            format!("{}", cl.generated),
+            format!("{}", cl.responses),
+            format!("{}", r.total_completed()),
+            format!("{:.3}", r.total_shed() as f64 / cl.generated.max(1) as f64),
+            format!("{:.3}", r.fleet_percentile_s(0.99) * 1e3),
+            format!("{:.2}", r.total_energy_j()),
+            format!("{wall:.2}"),
+        ]);
+    }
+    eprintln!("  re-running depth 0.9 on the event engine (digest check) ...");
+    let event = run_service(mk(0.9, 8, EngineKind::Event));
+    assert_eq!(
+        deep_digest,
+        event.digest(),
+        "million-client fluid digest diverged across engines/threads"
+    );
+    ctx.emit(&t, "fluid_clients_diurnal.tsv");
+}
+
 /// Runs every experiment in paper order.
 pub fn all(ctx: &mut Ctx) {
     table1(ctx);
@@ -1790,6 +1964,7 @@ pub fn all(ctx: &mut Ctx) {
     service_sla(ctx);
     hierarchical_capping(ctx);
     closed_loop_balancing(ctx);
+    fluid_clients(ctx);
     multi_tier(ctx);
     fleet_scale(ctx);
     control_plane(ctx);

@@ -22,6 +22,8 @@
 //!   slack and away from ones pinned near their floors.
 
 use crate::coordinator::{utility_at, ServerDemand};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// How the front end assigns each generated request to a server.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -114,11 +116,20 @@ impl LoadBalancer {
                 })
                 .collect(),
             BalancePolicy::LeastQueue => {
-                let mut depth: Vec<usize> = loads.iter().map(|l| l.queue_depth).collect();
+                // Min-heap on (depth, index): popping the smallest pair is
+                // the lowest index among the shallowest queues — the same
+                // tie-break as a linear scan, at O((n + count)·log n)
+                // instead of O(n·count). Million-request barrier batches
+                // (the fluid client model) made the scan the bottleneck.
+                let mut heap: BinaryHeap<Reverse<(usize, usize)>> = loads
+                    .iter()
+                    .enumerate()
+                    .map(|(i, l)| Reverse((l.queue_depth, i)))
+                    .collect();
                 (0..count)
                     .map(|_| {
-                        let i = argmin(&depth);
-                        depth[i] += 1;
+                        let Reverse((depth, i)) = heap.pop().expect("non-empty fleet");
+                        heap.push(Reverse((depth + 1, i)));
                         i
                     })
                     .collect()
@@ -138,20 +149,27 @@ impl LoadBalancer {
                 }
                 // Highest-averages (D'Hondt) apportionment: request j goes
                 // to the server maximizing weight / (already assigned + 1).
+                // Each server keeps exactly one live heap entry carrying its
+                // current average, so popping the max and reinserting the
+                // next quotient walks the same sequence as a full rescan —
+                // ties toward the lowest index included (see HeadroomSlot's
+                // ordering) — at O((n + count)·log n).
                 let mut assigned = vec![0usize; loads.len()];
+                let mut heap: BinaryHeap<HeadroomSlot> = weights
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &w)| HeadroomSlot { avg: w, idx: i })
+                    .collect();
                 (0..count)
                     .map(|_| {
-                        let mut best = 0usize;
-                        let mut best_avg = f64::NEG_INFINITY;
-                        for (i, (&w, &n)) in weights.iter().zip(&assigned).enumerate() {
-                            let avg = w / (n + 1) as f64;
-                            if avg > best_avg {
-                                best = i;
-                                best_avg = avg;
-                            }
-                        }
-                        assigned[best] += 1;
-                        best
+                        let slot = heap.pop().expect("non-empty fleet");
+                        let i = slot.idx;
+                        assigned[i] += 1;
+                        heap.push(HeadroomSlot {
+                            avg: weights[i] / (assigned[i] + 1) as f64,
+                            idx: i,
+                        });
+                        i
                     })
                     .collect()
             }
@@ -186,15 +204,38 @@ impl LoadBalancer {
     }
 }
 
-/// Index of the smallest element, ties toward the lowest index.
-fn argmin(xs: &[usize]) -> usize {
-    let mut best = 0;
-    for (i, &x) in xs.iter().enumerate().skip(1) {
-        if x < xs[best] {
-            best = i;
-        }
+/// One server's live D'Hondt quotient in the PowerHeadroom max-heap.
+///
+/// Ordered by average (weights are finite and non-negative, so
+/// `total_cmp` agrees with the naive strict-`>` rescan) and, among equal
+/// averages, by *lower* index first — preserving the documented
+/// ties-toward-the-lowest-index behavior the digests pin.
+#[derive(Clone, Copy, Debug)]
+struct HeadroomSlot {
+    avg: f64,
+    idx: usize,
+}
+
+impl PartialEq for HeadroomSlot {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
     }
-    best
+}
+
+impl Eq for HeadroomSlot {}
+
+impl Ord for HeadroomSlot {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.avg
+            .total_cmp(&other.avg)
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+
+impl PartialOrd for HeadroomSlot {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
 #[cfg(test)]

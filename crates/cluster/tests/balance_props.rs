@@ -136,6 +136,33 @@ proptest! {
         prop_assert_eq!(counts(&assign, n), model_dhondt(&weights, count));
     }
 
+    /// LeastQueue matches a naive linear-scan join-the-shortest-queue
+    /// reference exactly, provisional assignments and lowest-index ties
+    /// included — the heap in the implementation is a pure speedup.
+    #[test]
+    fn least_queue_matches_linear_scan_model(
+        n in 1usize..9,
+        count in 0usize..60,
+        seed in any::<u64>(),
+    ) {
+        let loads = fleet_from_seed(n, seed);
+        let mut depth: Vec<usize> = loads.iter().map(|l| l.queue_depth).collect();
+        let reference: Vec<usize> = (0..count)
+            .map(|_| {
+                let mut best = 0;
+                for (i, &d) in depth.iter().enumerate().skip(1) {
+                    if d < depth[best] {
+                        best = i;
+                    }
+                }
+                depth[best] += 1;
+                best
+            })
+            .collect();
+        let assign = LoadBalancer::new(BalancePolicy::LeastQueue).assign_batch(count, &loads);
+        prop_assert_eq!(assign, reference);
+    }
+
     /// A server predicting zero performance (capped at or below its floor)
     /// receives nothing while any server predicts more — watts-starved
     /// machines are shielded from traffic.
@@ -203,6 +230,46 @@ proptest! {
             );
         }
     }
+}
+
+/// A fluid-scale batch: one hundred thousand requests over an uneven
+/// fleet stay exact — D'Hondt shares match the closed-form proportional
+/// split to within one request per server, and least-queue levels the
+/// depths to within one. This is the regime (million-client barriers)
+/// the heap-based assignment exists for; the naive O(n·count) references
+/// above stay confined to small batches.
+#[test]
+fn heap_policies_stay_exact_at_bulk_batch_sizes() {
+    let count = 100_000;
+    let loads: Vec<ServerLoad> = (0..7)
+        .map(|i| load(40.0 + 20.0 * i as f64, 10.0, 40.0 + 20.0 * i as f64, 13 * i))
+        .collect();
+    // Every server granted full demand: weight = demand, so the D'Hondt
+    // share converges to weight / total within one seat.
+    let assign = LoadBalancer::new(BalancePolicy::PowerHeadroom).assign_batch(count, &loads);
+    let c = counts(&assign, loads.len());
+    let total_w: f64 = loads.iter().map(|l| l.demand.demand_w).sum();
+    for (i, l) in loads.iter().enumerate() {
+        let ideal = count as f64 * l.demand.demand_w / total_w;
+        assert!(
+            (c[i] as f64 - ideal).abs() <= 1.0,
+            "server {i}: {} seats vs ideal {ideal:.2}",
+            c[i]
+        );
+    }
+    // Least-queue levels final depths (initial + assigned) to within one.
+    let assign = LoadBalancer::new(BalancePolicy::LeastQueue).assign_batch(count, &loads);
+    let c = counts(&assign, loads.len());
+    let final_depths: Vec<usize> = loads
+        .iter()
+        .zip(&c)
+        .map(|(l, &a)| l.queue_depth + a)
+        .collect();
+    let (lo, hi) = (
+        *final_depths.iter().min().unwrap(),
+        *final_depths.iter().max().unwrap(),
+    );
+    assert!(hi - lo <= 1, "unlevel final depths: {final_depths:?}");
 }
 
 /// Ties go to the lowest index, which is exactly why the permutation

@@ -95,6 +95,44 @@ impl ServiceServerSpec {
     }
 }
 
+/// Which representation carries the closed-loop client population.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ClientModel {
+    /// The exact per-client pool ([`crate::ClientPool`]): every client has
+    /// its own RNG stream and ready time. Per-round cost scales with the
+    /// population.
+    #[default]
+    Exact,
+    /// The fluid aggregate ([`crate::FluidPool`]): population counters
+    /// with cohort-sampled think→arrival transitions. Per-round cost
+    /// scales with *issued requests*, enabling 10⁶+ client populations;
+    /// proven against the exact model by `tests/client_equivalence.rs`.
+    Fluid,
+}
+
+impl std::fmt::Display for ClientModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientModel::Exact => write!(f, "exact"),
+            ClientModel::Fluid => write!(f, "fluid"),
+        }
+    }
+}
+
+impl std::str::FromStr for ClientModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ClientModel, String> {
+        match s {
+            "exact" => Ok(ClientModel::Exact),
+            "fluid" => Ok(ClientModel::Fluid),
+            other => Err(format!(
+                "unknown client model '{other}' (known: exact, fluid)"
+            )),
+        }
+    }
+}
+
 /// Closed-loop workload: a seeded client population replaces the
 /// per-server open-loop arrival streams, and a front-end
 /// [`LoadBalancer`](cluster::LoadBalancer) routes each generated request
@@ -112,6 +150,16 @@ pub struct ClosedLoopConfig {
     pub mean_request_instrs: f64,
     /// Seed of the client population's think/size streams.
     pub seed: u64,
+    /// Exact per-client pool or fluid population counters.
+    pub model: ClientModel,
+    /// Diurnal modulation period of the think-completion rate; zero
+    /// disables modulation. With a period `P` and depth `d`, the
+    /// instantaneous rate is `(1/θ)(1 + d·sin(2πt/P))` — day/night load
+    /// swings at fleet scale. Requires the fluid model (the exact pool
+    /// draws stationary exponential thinks).
+    pub think_diurnal_period: Ps,
+    /// Diurnal modulation depth in `[0, 1]`.
+    pub think_diurnal_depth: f64,
 }
 
 impl ClosedLoopConfig {
@@ -125,6 +173,9 @@ impl ClosedLoopConfig {
             balance,
             mean_request_instrs: 40_000.0,
             seed: 0xc11e_57a9,
+            model: ClientModel::Exact,
+            think_diurnal_period: Ps::ZERO,
+            think_diurnal_depth: 0.0,
         }
     }
 
@@ -132,6 +183,22 @@ impl ClosedLoopConfig {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> ClosedLoopConfig {
         self.seed = seed;
+        self
+    }
+
+    /// Selects the population representation (see [`ClientModel`]).
+    #[must_use]
+    pub fn with_model(mut self, model: ClientModel) -> ClosedLoopConfig {
+        self.model = model;
+        self
+    }
+
+    /// Enables diurnal modulation of the think-completion rate (fluid
+    /// model only): rate `(1/θ)(1 + depth·sin(2πt/period))`.
+    #[must_use]
+    pub fn with_think_diurnal(mut self, period: Ps, depth: f64) -> ClosedLoopConfig {
+        self.think_diurnal_period = period;
+        self.think_diurnal_depth = depth;
         self
     }
 
@@ -443,6 +510,35 @@ impl ServiceConfig {
             if !cl.mean_request_instrs.is_finite() || cl.mean_request_instrs <= 0.0 {
                 return Err("closed loop: request size must be positive".into());
             }
+            // The exact pool tags requests with the client's index as a
+            // `u32`; a larger population would silently alias tags (the
+            // 10⁶-scale overflow audit's boundary). The fluid model tracks
+            // mass, not identity, so any population fits.
+            if cl.model == ClientModel::Exact && cl.clients > u32::MAX as usize {
+                return Err(format!(
+                    "closed loop: exact model caps the population at {} \
+                     (u32 client tags); use the fluid model beyond that",
+                    u32::MAX
+                ));
+            }
+            if !cl.think_diurnal_depth.is_finite() || !(0.0..=1.0).contains(&cl.think_diurnal_depth)
+            {
+                return Err(format!(
+                    "closed loop: diurnal depth {} must be in [0, 1]",
+                    cl.think_diurnal_depth
+                ));
+            }
+            if cl.think_diurnal_depth > 0.0 {
+                if cl.think_diurnal_period == Ps::ZERO {
+                    return Err("closed loop: diurnal depth needs a positive period".into());
+                }
+                if cl.model != ClientModel::Fluid {
+                    return Err("closed loop: diurnal think modulation requires the \
+                                fluid client model (the exact pool draws stationary \
+                                exponential thinks)"
+                        .into());
+                }
+            }
             // The client clock is fleet-global: rounds must span the same
             // simulated time on every server, so epochs must agree.
             let Some(first) = self.servers.first() else {
@@ -597,5 +693,57 @@ mod tests {
         let mut no_fleet = base().with_closed_loop(cl);
         no_fleet.servers.clear();
         assert!(no_fleet.validate().is_err());
+    }
+
+    #[test]
+    fn client_model_parse_display_round_trip() {
+        for m in [ClientModel::Exact, ClientModel::Fluid] {
+            assert_eq!(m.to_string().parse::<ClientModel>().unwrap(), m);
+        }
+        assert!("nosuch".parse::<ClientModel>().is_err());
+        assert_eq!(ClientModel::default(), ClientModel::Exact);
+    }
+
+    #[test]
+    fn fluid_validation_pins_tag_space_and_diurnal_params() {
+        use cluster::BalancePolicy;
+        let base = || {
+            ServiceConfig::new(
+                vec![ServiceServerSpec::small("s0", "MID1", 1, 1000.0)],
+                100.0,
+                CapSplit::Uniform,
+            )
+        };
+        let cl =
+            |clients| ClosedLoopConfig::new(clients, Ps::from_us(200), BalancePolicy::RoundRobin);
+
+        // Boundary regression: the exact model's u32 tag space is a hard
+        // population cap; the fluid model is not bound by it.
+        let at_cap = cl(u32::MAX as usize);
+        assert!(base().with_closed_loop(at_cap).validate().is_ok());
+        let over_cap = cl(u32::MAX as usize + 1);
+        assert!(base()
+            .with_closed_loop(over_cap.clone())
+            .validate()
+            .is_err());
+        let fluid_over = over_cap.with_model(ClientModel::Fluid);
+        assert!(base().with_closed_loop(fluid_over).validate().is_ok());
+
+        // Diurnal modulation needs a period, a sane depth, and the fluid
+        // model.
+        let diurnal = cl(8)
+            .with_model(ClientModel::Fluid)
+            .with_think_diurnal(Ps::from_ms(10), 0.8);
+        assert!(base().with_closed_loop(diurnal.clone()).validate().is_ok());
+        let exact_diurnal = diurnal.clone().with_model(ClientModel::Exact);
+        assert!(base().with_closed_loop(exact_diurnal).validate().is_err());
+        let no_period = cl(8)
+            .with_model(ClientModel::Fluid)
+            .with_think_diurnal(Ps::ZERO, 0.5);
+        assert!(base().with_closed_loop(no_period).validate().is_err());
+        let deep = cl(8)
+            .with_model(ClientModel::Fluid)
+            .with_think_diurnal(Ps::from_ms(10), 1.5);
+        assert!(base().with_closed_loop(deep).validate().is_err());
     }
 }

@@ -10,8 +10,8 @@
 //! previous cap split whenever no server's telemetry moved. Their results
 //! are digest-identical — see `tests/engine_equivalence.rs`.
 
-use crate::clients::ClientPool;
-use crate::config::ServiceConfig;
+use crate::config::{ClientModel, ServiceConfig};
+use crate::fluid::ClientEngine;
 use crate::queue::{ClientEvent, Request, Resolution};
 use crate::server::ServiceServer;
 use cluster::{
@@ -78,6 +78,8 @@ impl ServiceOutcome {
 pub struct ClientSummary {
     /// Population size.
     pub clients: usize,
+    /// Which client model carried the population.
+    pub model: ClientModel,
     /// The balancing policy the front end ran.
     pub balance: BalancePolicy,
     /// Mean think time.
@@ -224,9 +226,15 @@ impl ServiceResult {
             self.rounds
         );
         if let Some(cl) = &self.closed_loop {
+            // The model marker is appended only for fluid runs so exact
+            // digests stay byte-identical to their pre-fluid goldens.
+            let model = match cl.model {
+                ClientModel::Exact => "",
+                ClientModel::Fluid => "fluid ",
+            };
             let _ = writeln!(
                 s,
-                "closed clients={} balance={} think={} generated={} responses={} \
+                "closed {model}clients={} balance={} think={} generated={} responses={} \
                  thinking={} waiting={}",
                 cl.clients,
                 cl.balance,
@@ -400,7 +408,7 @@ struct FleetRun {
     // `[r·D, (r+1)·D)` where `D` is the uniform round duration —
     // validated for the initial fleet, asserted for churn joiners).
     closed: Option<crate::config::ClosedLoopConfig>,
-    pool: Option<ClientPool>,
+    pool: Option<ClientEngine>,
     balancer: Option<LoadBalancer>,
     round_d: Ps,
     // The event engine's cap-split replay; `None` under the round engine.
@@ -498,7 +506,7 @@ impl FleetRun {
         };
         let topology_spec = topology.as_ref().map(|t| t.to_string());
         let closed = config.closed_loop.clone();
-        let pool = closed.as_ref().map(ClientPool::new);
+        let pool = closed.as_ref().map(ClientEngine::new);
         let balancer = closed.as_ref().map(|cl| LoadBalancer::new(cl.balance));
         let round_d = config
             .servers
@@ -850,6 +858,7 @@ impl FleetRun {
         let closed_loop = match (&self.closed, &self.pool) {
             (Some(cl), Some(pool)) => Some(ClientSummary {
                 clients: pool.len(),
+                model: pool.model(),
                 balance: cl.balance,
                 mean_think: cl.mean_think,
                 generated: pool.generated(),

@@ -44,6 +44,11 @@
 //!   --clients N         closed-loop client population instead of open-loop
 //!                       arrivals (--serve only; 0 = open loop, the default)
 //!   --think-ms F        mean client think time in milliseconds (default 0.2)
+//!   --client-model NAME exact per-client pool or the aggregated fluid
+//!                       model for 10^6+ populations: exact|fluid
+//!                       (default exact)
+//!   --think-diurnal P:D sinusoidal think-rate modulation, period P ms at
+//!                       depth D in [0,1] (fluid model only)
 //!   --balance NAME      front-end balancer: round-robin|least-queue|
 //!                       power-headroom (default round-robin)
 //!   --tiers SPEC        multi-tier request topology, e.g.
@@ -155,6 +160,8 @@ struct ClusterArgs {
     leaves: Vec<String>,
     clients: usize,
     think_ms: f64,
+    client_model: ClientModel,
+    think_diurnal: Option<(f64, f64)>,
     balance: BalancePolicy,
     tiers: Option<TierGraph>,
     tier_floor: f64,
@@ -171,7 +178,8 @@ fn cluster_usage() -> ! {
          [--topology SPEC] [--threads N] [--engine NAME] \
          [--serve] [--rounds N] [--rate HZ] \
          [--p99-target MS] [--seed N] [--join R:SPEC]... [--leave R:NAME]... \
-         [--clients N] [--think-ms F] [--balance NAME] \
+         [--clients N] [--think-ms F] [--client-model NAME] [--think-diurnal P:D] \
+         [--balance NAME] \
          [--tiers SPEC] [--tier-floor F] [--e2e-target MS] \
          [--rpc-latency-us F] [--rpc-jitter-us F] [--rpc-loss P] [--rpc-dup P] \
          [--rpc-seed N] [--lease-rounds N] [--floor-cap W] [--failover] \
@@ -193,6 +201,10 @@ fn cluster_usage() -> ! {
          \x20 --clients N replaces open-loop arrivals with a closed-loop client\n\
          \x20   population (--serve only); --balance picks the front-end policy:\n\
          \x20   round-robin least-queue power-headroom\n\
+         \x20 --client-model exact|fluid: fluid swaps the per-client pool for\n\
+         \x20   aggregated population counters (statistically equivalent, scales\n\
+         \x20   past 10^6 clients); --think-diurnal P:D modulates the fluid think\n\
+         \x20   rate sinusoidally with period P ms and depth D in [0,1]\n\
          \x20 --tiers SPEC turns each client request into a DAG of sub-requests\n\
          \x20   across tiers, e.g. \"fe[2] -> app[4]*2 -> storage[3]\" (--serve\n\
          \x20   with --clients only). With --tiers, --servers entries name TIERS\n\
@@ -323,6 +335,8 @@ fn parse_cluster_args() -> ClusterArgs {
         leaves: Vec::new(),
         clients: 0,
         think_ms: 0.2,
+        client_model: ClientModel::Exact,
+        think_diurnal: None,
         balance: BalancePolicy::RoundRobin,
         tiers: None,
         tier_floor: 0.1,
@@ -400,6 +414,24 @@ fn parse_cluster_args() -> ClusterArgs {
                 a.think_ms = val("--think-ms")
                     .parse()
                     .unwrap_or_else(|_| cluster_usage())
+            }
+            "--client-model" => {
+                a.client_model = val("--client-model")
+                    .parse::<ClientModel>()
+                    .unwrap_or_else(|e: String| cluster_fail(&e))
+            }
+            "--think-diurnal" => {
+                let spec = val("--think-diurnal");
+                let (p, d) = spec
+                    .split_once(':')
+                    .unwrap_or_else(|| cluster_fail("--think-diurnal wants PERIOD_MS:DEPTH"));
+                let period: f64 = p
+                    .parse()
+                    .unwrap_or_else(|_| cluster_fail("--think-diurnal period must be a number"));
+                let depth: f64 = d
+                    .parse()
+                    .unwrap_or_else(|_| cluster_fail("--think-diurnal depth must be a number"));
+                a.think_diurnal = Some((period, depth));
             }
             "--balance" => {
                 a.balance = val("--balance")
@@ -727,11 +759,16 @@ fn cluster_serve_main(args: &ClusterArgs) {
         .with_engine(args.engine)
         .with_churn(churn);
     if args.clients > 0 {
-        cfg = cfg.with_closed_loop(ClosedLoopConfig::new(
+        let mut closed = ClosedLoopConfig::new(
             args.clients,
             Ps::from_secs_f64(args.think_ms * 1e-3),
             args.balance,
-        ));
+        )
+        .with_model(args.client_model);
+        if let Some((period_ms, depth)) = args.think_diurnal {
+            closed = closed.with_think_diurnal(Ps::from_secs_f64(period_ms * 1e-3), depth);
+        }
+        cfg = cfg.with_closed_loop(closed);
     }
     cfg.topology = args.topology.clone();
     if let Some(graph) = &args.tiers {
@@ -803,8 +840,9 @@ fn cluster_serve_main(args: &ClusterArgs) {
     );
     if let Some(cl) = &r.closed_loop {
         println!(
-            "closed loop    : {} clients / {} balancer, {:.3} ms mean think",
+            "closed loop    : {} clients ({} model) / {} balancer, {:.3} ms mean think",
             cl.clients,
+            cl.model,
             cl.balance,
             cl.mean_think.as_secs_f64() * 1e3
         );

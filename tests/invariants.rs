@@ -12,8 +12,8 @@ use cluster::{
 };
 use proptest::prelude::*;
 use service::{
-    run_service, BalancePolicy, CapSplit, ChurnSchedule, ClosedLoopConfig, ServiceConfig,
-    ServiceServerSpec, TierConfig, TierGraph,
+    run_service, BalancePolicy, CapSplit, ChurnSchedule, ClientModel, ClosedLoopConfig,
+    ServiceConfig, ServiceServerSpec, TierConfig, TierGraph,
 };
 use simkernel::Ps;
 
@@ -62,6 +62,46 @@ fn closed_loop_digests_are_pinned_across_thread_counts() {
             fnv1a(d1.as_bytes()),
             golden,
             "[{balance}] digest drifted from the pinned constant:\n{d1}"
+        );
+    }
+}
+
+/// The same fleet under the fluid client model, at a population three
+/// orders of magnitude past what the exact pool's goldens use: pinned to
+/// its own constants and bit-identical at 1, 2, 4, and 8 worker threads.
+/// The fluid path samples cohorts from a single per-pool RNG stream and
+/// accumulates delivery times order-independently, so thread scheduling
+/// must never reach the digest.
+#[test]
+fn fluid_closed_loop_digests_are_pinned_across_thread_counts() {
+    const GOLDEN_RR: u64 = 385556877408166161;
+    const GOLDEN_HEADROOM: u64 = 12317322600907262873;
+    let config = |balance, threads| {
+        let fleet = vec![
+            ServiceServerSpec::small("g0", "MID1", 71, 0.0).with_p99_target_s(2e-3),
+            ServiceServerSpec::small("g1", "MEM1", 72, 0.0).with_p99_target_s(2e-3),
+        ];
+        ServiceConfig::new(fleet, 120.0, CapSplit::FastCap)
+            .with_rounds(10)
+            .with_threads(threads)
+            .with_closed_loop(
+                ClosedLoopConfig::new(50_000, Ps::from_ms(1), balance)
+                    .with_model(ClientModel::Fluid),
+            )
+    };
+    for (balance, golden) in [
+        (BalancePolicy::RoundRobin, GOLDEN_RR),
+        (BalancePolicy::PowerHeadroom, GOLDEN_HEADROOM),
+    ] {
+        let d1 = run_service(config(balance, 1)).digest();
+        for threads in [2, 4, 8] {
+            let d = run_service(config(balance, threads)).digest();
+            assert_eq!(d1, d, "[{balance}] fluid digest: 1 vs {threads} threads");
+        }
+        assert_eq!(
+            fnv1a(d1.as_bytes()),
+            golden,
+            "[{balance}] fluid digest drifted from the pinned constant:\n{d1}"
         );
     }
 }
@@ -312,9 +352,12 @@ proptest! {
 
     /// Fleet-wide request conservation through the closed loop, whatever
     /// the seed, population, think time, balancer, split, churn, and
-    /// topology: every generated request ends exactly one of completed,
-    /// shed, or abandoned-in-queue; every arrived request was generated;
-    /// and every client ends the horizon either thinking or waiting.
+    /// topology — and whichever client model carries the population: every
+    /// generated request ends exactly one of completed, shed, or
+    /// abandoned-in-queue; every arrived request was generated; and every
+    /// client ends the horizon either thinking or waiting. The fluid arm
+    /// runs the population two orders of magnitude larger, where the exact
+    /// pool would dominate the round cost.
     #[test]
     fn fleet_conserves_requests_under_churn_topology_and_balancing(
         seed in any::<u64>(),
@@ -325,7 +368,13 @@ proptest! {
         rounds in 6usize..10,
         churn in any::<bool>(),
         topo in any::<bool>(),
+        fluid in any::<bool>(),
     ) {
+        let (model, clients) = if fluid {
+            (ClientModel::Fluid, clients * 250)
+        } else {
+            (ClientModel::Exact, clients)
+        };
         let balance = [
             BalancePolicy::RoundRobin,
             BalancePolicy::LeastQueue,
@@ -341,7 +390,9 @@ proptest! {
             .with_rounds(rounds)
             .with_threads(4)
             .with_closed_loop(
-                ClosedLoopConfig::new(clients, Ps::from_us(think_us), balance).with_seed(seed),
+                ClosedLoopConfig::new(clients, Ps::from_us(think_us), balance)
+                    .with_seed(seed)
+                    .with_model(model),
             );
         if churn {
             let mut sched = ChurnSchedule::new();
