@@ -316,6 +316,19 @@ pub struct ClusterConfig {
     /// which both engines are bit-identical to the pre-plane direct-call
     /// coordinator. See [`RpcConfig`](crate::ctrlplane::RpcConfig).
     pub rpc: RpcConfig,
+    /// Wake-queue shards for the event engine. `0` (the default) means
+    /// "one shard per worker thread". Any shard count produces identical
+    /// results — the sharded queue merges due wakes back into the global
+    /// sequence order (see
+    /// [`ShardedWakeQueue`](crate::engine::ShardedWakeQueue)) — so this is
+    /// purely a scaling knob. Ignored by the round engine.
+    pub wake_shards: usize,
+    /// Whether to record the full per-round cap timeline in the result.
+    /// The timeline is what the digests and differential tests compare,
+    /// so it defaults to `true`; scale benches over tens of thousands of
+    /// servers turn it off to keep the result from dwarfing the
+    /// simulation (`rounds × fleet` f64s).
+    pub record_timeline: bool,
 }
 
 impl ClusterConfig {
@@ -334,7 +347,25 @@ impl ClusterConfig {
             engine: EngineKind::Round,
             dead_band_w: 0.0,
             rpc: RpcConfig::default(),
+            wake_shards: 0,
+            record_timeline: true,
         }
+    }
+
+    /// Sets the event engine's wake-queue shard count (see the
+    /// `wake_shards` field; `0` = one shard per worker thread).
+    #[must_use]
+    pub fn with_wake_shards(mut self, wake_shards: usize) -> ClusterConfig {
+        self.wake_shards = wake_shards;
+        self
+    }
+
+    /// Enables or disables per-round cap-timeline recording (see the
+    /// `record_timeline` field).
+    #[must_use]
+    pub fn with_record_timeline(mut self, record: bool) -> ClusterConfig {
+        self.record_timeline = record;
+        self
     }
 
     /// Sets the control-plane configuration (see

@@ -71,6 +71,7 @@
 
 use crate::coordinator::ServerDemand;
 use crate::engine::{split_caps_active, CapCache, EngineKind};
+use crate::hiercache::HierSplitter;
 use crate::ClusterConfig;
 use netsim::{Envelope, LinkConfig, MsgPlane, NodeId, PlaneStats};
 use simkernel::Ps;
@@ -797,6 +798,14 @@ struct Coordinator {
     suspected: Vec<bool>,
     ledger: LeaseLedger,
     cache: CapCache,
+    /// Compiled hierarchical splitter, when the config has a topology:
+    /// replays clean subtrees per-node instead of re-walking the whole
+    /// tree every cache miss. At the flat cache's zero dead-band its
+    /// output is bit-identical to `BudgetTree::split`.
+    hier: Option<HierSplitter>,
+    /// Per-barrier scratch: the view with suspected servers masked
+    /// inactive (kept allocated across barriers).
+    live: Vec<ServerDemand>,
     next_seq: u64,
     last_peer_heard: u64,
     quarantine_until: u64,
@@ -813,6 +822,7 @@ struct Coordinator {
 }
 
 impl Coordinator {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         node: NodeId,
         peer: Option<NodeId>,
@@ -821,6 +831,7 @@ impl Coordinator {
         initial_cap_w: f64,
         lease_rounds: u64,
         dead_band_w: f64,
+        hier: Option<HierSplitter>,
     ) -> Coordinator {
         Coordinator {
             node,
@@ -839,6 +850,8 @@ impl Coordinator {
             suspected: vec![false; n],
             ledger: LeaseLedger::new(n, initial_cap_w, lease_rounds),
             cache: CapCache::new(dead_band_w),
+            hier,
+            live: Vec::with_capacity(n),
             next_seq: 1,
             last_peer_heard: 0,
             quarantine_until: 0,
@@ -867,6 +880,9 @@ impl Coordinator {
         self.ledger = hb.state.ledger;
         self.next_seq = hb.state.next_seq;
         self.cache.invalidate();
+        if let Some(h) = &mut self.hier {
+            h.invalidate();
+        }
     }
 }
 
@@ -928,6 +944,13 @@ impl ControlPlane {
             EngineKind::Round => 0.0,
             EngineKind::Event => config.dead_band_w,
         };
+        // Hierarchical runs compile the tree once; every coordinator gets
+        // its own (initially cold) per-node replay cache over the shared
+        // compiled structure.
+        let hier = config
+            .topology
+            .as_ref()
+            .map(|t| HierSplitter::compile(t, &names, dead_band));
         let coords = (0..coords_n)
             .map(|c| {
                 let (node, peer) = if c == 0 {
@@ -935,7 +958,16 @@ impl ControlPlane {
                 } else {
                     (standby, Some(primary))
                 };
-                Coordinator::new(node, peer, c == 0, n, initial, rpc.lease_rounds, dead_band)
+                Coordinator::new(
+                    node,
+                    peer,
+                    c == 0,
+                    n,
+                    initial,
+                    rpc.lease_rounds,
+                    dead_band,
+                    hier.clone(),
+                )
             })
             .collect();
         let leases = (0..n)
@@ -1256,6 +1288,9 @@ impl ControlPlane {
                 *s = false;
             }
             co.cache.invalidate();
+            if let Some(h) = &mut co.hier {
+                h.invalidate();
+            }
             self.stats.elections += 1;
         }
     }
@@ -1290,28 +1325,39 @@ impl ControlPlane {
             // The split runs over the live view: suspected servers are
             // treated as inactive (no fresh telemetry to honor), which also
             // invalidates any cached allocation via the activity flip.
-            let mut live = co.view.clone();
-            for (i, entry) in live.iter_mut().enumerate() {
+            co.live.clear();
+            co.live.extend_from_slice(&co.view);
+            for (i, entry) in co.live.iter_mut().enumerate() {
                 if co.suspected[i] {
                     entry.active = false;
                 }
             }
-            co.granted_this_barrier = vec![None; n];
-            co.cache.lookup(&live, None, None).unwrap_or_else(|| {
-                let caps = match &config.topology {
-                    Some(tree) => {
-                        tree.split(config.global_cap_w, names, &live, None, config.quantum_w)
+            co.granted_this_barrier.clear();
+            co.granted_this_barrier.resize(n, None);
+            if let Some(caps) = co.cache.lookup(&co.live, None, None) {
+                caps
+            } else {
+                // Hierarchical splits go through the compiled per-node
+                // replay cache when present; flat splits compact to the
+                // active set. Both are bit-identical to the plain tree /
+                // full-slice split.
+                let caps = match (&config.topology, co.hier.as_mut()) {
+                    (Some(_), Some(h)) => {
+                        h.split(config.global_cap_w, &co.live, None, config.quantum_w)
                     }
-                    None => split_caps_active(
+                    (Some(tree), None) => {
+                        tree.split(config.global_cap_w, names, &co.live, None, config.quantum_w)
+                    }
+                    (None, _) => split_caps_active(
                         config.split,
                         config.global_cap_w,
-                        &live,
+                        &co.live,
                         config.quantum_w,
                     ),
                 };
-                co.cache.store(&live, None, None, &caps);
+                co.cache.store(&co.live, None, None, &caps);
                 caps
-            })
+            }
         };
 
         // Reconcile to fixpoint: at zero latency each pass's acks free the

@@ -24,6 +24,8 @@
 
 use crate::coordinator::{split_caps, ServerDemand, SlaSignal};
 use crate::CapSplit;
+use simkernel::Ps;
+use std::collections::BinaryHeap;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 
@@ -335,6 +337,120 @@ pub fn split_caps_active(
     caps
 }
 
+/// One scheduled wake in a [`ShardedWakeQueue`] shard.
+///
+/// Ordered like `simkernel::EventQueue` entries — earliest time first,
+/// FIFO (global sequence) among equal times — via the reversed comparison
+/// that turns `BinaryHeap`'s max-heap into a min-heap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct ShardEntry {
+    time: Ps,
+    seq: u64,
+    server: usize,
+}
+
+impl Ord for ShardEntry {
+    fn cmp(&self, other: &ShardEntry) -> std::cmp::Ordering {
+        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for ShardEntry {
+    fn partial_cmp(&self, other: &ShardEntry) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The event engine's wake queue, sharded so each worker-sized slice of
+/// the fleet owns a local picosecond heap.
+///
+/// A single global [`EventQueue`](simkernel::EventQueue) serializes every
+/// push and pop through one `O(log fleet)` heap; at 100k servers that heap
+/// is the barrier's contention point. `ShardedWakeQueue` routes each
+/// server's wakes to the shard `server % shards`, so pushes touch an
+/// `O(log (fleet / shards))` local heap and only the *due* entries cross
+/// shards at a barrier.
+///
+/// Determinism is preserved exactly: every push is stamped with a single
+/// global sequence number (never reset, exactly like the kernel queue's),
+/// and [`ShardedWakeQueue::pop_due`] merges the due entries of all shards
+/// in ascending sequence order — which reproduces, bit for bit, the pop
+/// order the global queue would have produced for the same pushes, since
+/// entries due at one barrier share the same time and the kernel orders
+/// equal-time entries FIFO by sequence.
+#[derive(Debug)]
+pub struct ShardedWakeQueue {
+    shards: Vec<BinaryHeap<ShardEntry>>,
+    next_seq: u64,
+    len: usize,
+    due: Vec<(u64, usize)>,
+}
+
+impl ShardedWakeQueue {
+    /// An empty queue with `shards` shards (clamped to at least one).
+    pub fn new(shards: usize) -> ShardedWakeQueue {
+        ShardedWakeQueue {
+            shards: (0..shards.max(1)).map(|_| BinaryHeap::new()).collect(),
+            next_seq: 0,
+            len: 0,
+            due: Vec::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Pending wakes across all shards.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no wakes are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedules `server` to wake at `time`.
+    pub fn push(&mut self, time: Ps, server: usize) {
+        let shard = server % self.shards.len();
+        self.shards[shard].push(ShardEntry {
+            time,
+            seq: self.next_seq,
+            server,
+        });
+        self.next_seq += 1;
+        self.len += 1;
+    }
+
+    /// The earliest pending wake time, if any.
+    pub fn peek_time(&self) -> Option<Ps> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.peek().map(|e| e.time))
+            .min()
+    }
+
+    /// Pops every wake scheduled exactly at `now` and appends the woken
+    /// servers to `out` in global FIFO-of-equal-time order.
+    pub fn pop_due(&mut self, now: Ps, out: &mut Vec<usize>) {
+        self.due.clear();
+        for shard in &mut self.shards {
+            while shard.peek().is_some_and(|e| e.time == now) {
+                let e = shard.pop().expect("peeked entry present");
+                self.due.push((e.seq, e.server));
+                self.len -= 1;
+            }
+        }
+        // Per-shard pops are already seq-ascending (same time ⇒ FIFO), so
+        // this sort is a merge of sorted runs; it restores the exact order
+        // a single global heap would have popped.
+        self.due.sort_unstable();
+        out.extend(self.due.iter().map(|&(_, server)| server));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -430,6 +546,39 @@ mod tests {
         cache.store(&demands, None, None, &[60.0, 40.0]);
         cache.invalidate();
         assert!(cache.lookup(&demands, None, None).is_none());
+    }
+
+    #[test]
+    fn sharded_wake_queue_matches_global_queue_pop_order() {
+        // Drive both queues through an interleaved schedule and require the
+        // sharded merge to reproduce the kernel queue's order exactly.
+        for shards in [1usize, 2, 3, 8] {
+            let mut sharded = ShardedWakeQueue::new(shards);
+            let mut global: simkernel::EventQueue<usize> = simkernel::EventQueue::new();
+            let mut rng = simkernel::SimRng::new(42);
+            let mut pushed = 0usize;
+            for wave in 0..6u64 {
+                let now = Ps::new(wave * 10);
+                for _ in 0..10 {
+                    let server = (rng.next_u64() % 23) as usize;
+                    let when = Ps::new(now.as_ps() + 10 * (1 + rng.next_u64() % 3));
+                    sharded.push(when, server);
+                    global.push(when, server);
+                    pushed += 1;
+                }
+                let due = Ps::new((wave + 1) * 10);
+                let mut got = Vec::new();
+                sharded.pop_due(due, &mut got);
+                let mut want = Vec::new();
+                while global.peek_time() == Some(due) {
+                    want.push(global.pop().expect("peeked entry present").1);
+                }
+                assert_eq!(got, want, "wave {wave} shards {shards}");
+                pushed -= got.len();
+                assert_eq!(sharded.len(), pushed);
+                assert_eq!(sharded.peek_time(), global.peek_time());
+            }
+        }
     }
 
     #[test]

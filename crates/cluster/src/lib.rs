@@ -67,8 +67,10 @@ mod config;
 pub mod coordinator;
 pub mod ctrlplane;
 pub mod engine;
+pub mod hiercache;
 mod server;
 mod sim;
+pub mod telemetry;
 pub mod tree;
 
 pub use balance::{BalancePolicy, LoadBalancer, ServerLoad};
@@ -83,8 +85,12 @@ pub use ctrlplane::{
     CapGrant, ControlPlane, ControlStats, CtrlMsg, GrantOutcome, GrantRecord, Heartbeat,
     LeaseClient, LeaseEntry, LeaseLedger, PartitionSpec, ReplState, ResolvedRpc, RpcConfig,
 };
-pub use engine::{split_caps_active, CapCache, EngineKind, FleetEngine, WorkerPool};
+pub use engine::{
+    split_caps_active, CapCache, EngineKind, FleetEngine, ShardedWakeQueue, WorkerPool,
+};
+pub use hiercache::{HierSplitter, TracedSplit};
 pub use netsim::{LinkConfig, NodeId, PlaneStats};
 pub use server::{CappedPolicy, Server, ServerStatus, SharedCap};
 pub use sim::{run_cluster, ClusterResult, ClusterSim, ServerOutcome};
+pub use telemetry::TelemetrySlab;
 pub use tree::{BudgetNode, BudgetTree, GroupShare, TreeSignals};

@@ -19,11 +19,12 @@
 
 use crate::coordinator::{jain_index, ServerDemand};
 use crate::ctrlplane::{ControlPlane, ControlStats};
-use crate::engine::{EngineKind, FleetEngine, WorkerPool};
+use crate::engine::{EngineKind, FleetEngine, ShardedWakeQueue, WorkerPool};
 use crate::server::{Server, ServerStatus};
+use crate::telemetry::TelemetrySlab;
 use crate::{CapSplit, ClusterConfig};
 use coscale::RunResult;
-use simkernel::{EventQueue, Ps};
+use simkernel::Ps;
 
 /// One server's final accounting.
 #[derive(Clone, Debug)]
@@ -321,7 +322,9 @@ impl FleetEngine for RoundEngine {
             for (server, &cap) in servers.iter_mut().zip(&caps) {
                 server.set_cap(cap);
             }
-            cap_timeline.push(caps);
+            if config.record_timeline {
+                cap_timeline.push(caps);
+            }
 
             // --- advance every server one coordination period ---
             let epochs = config.epochs_per_round;
@@ -388,21 +391,23 @@ impl FleetEngine for EventEngine {
 
         // Every server schedules its first wake at barrier 0; wake times
         // are barrier indices (the fleet shares one coordination clock).
-        let mut queue: EventQueue<usize> = EventQueue::new();
+        // The queue is sharded (default: one shard per worker) so pushes
+        // stay local; pop order is the global sequence order regardless of
+        // the shard count.
+        let shard_n = if config.wake_shards == 0 {
+            config.threads.max(1)
+        } else {
+            config.wake_shards
+        };
+        let mut queue = ShardedWakeQueue::new(shard_n);
         for i in 0..n {
             queue.push(Ps::ZERO, i);
         }
-        // Fleet-wide telemetry. A sleeping (finished) server's entry stays
-        // frozen at its final goodbye report with `active: false` — split
-        // disciplines never read inactive demand values.
-        let mut demands: Vec<ServerDemand> = vec![
-            ServerDemand {
-                demand_w: 0.0,
-                min_w: 0.0,
-                active: false,
-            };
-            n
-        ];
+        // Fleet-wide telemetry in struct-of-arrays columns. A sleeping
+        // (finished) server's columns stay frozen at its final goodbye
+        // report with `active: false` — split disciplines never read
+        // inactive demand values.
+        let mut telemetry = TelemetrySlab::new(n);
         let mut plane = ControlPlane::new(&config);
         let mut cap_timeline: Vec<Vec<f64>> = Vec::new();
         let mut rounds = 0usize;
@@ -413,9 +418,7 @@ impl FleetEngine for EventEngine {
         while let Some(now) = queue.peek_time() {
             awake.clear();
             reports.clear();
-            while queue.peek_time() == Some(now) {
-                awake.push(queue.pop().expect("peeked entry vanished").1);
-            }
+            queue.pop_due(now, &mut awake);
 
             // A server that completed during the previous barrier's step
             // leaves the membership here with one final inactive "goodbye"
@@ -423,18 +426,19 @@ impl FleetEngine for EventEngine {
             // releases it to a zero cap, exactly as the round engine's
             // next split would have.
             for &i in &just_finished {
-                demands[i].active = false;
-                reports.push((i, demands[i]));
+                telemetry.deactivate(i);
+                reports.push((i, telemetry.demand(i)));
             }
 
             // --- coordinate: telemetry in (awake servers only), caps out ---
             for &i in &awake {
-                demands[i] = slots[i]
+                let d = slots[i]
                     .as_mut()
                     .expect("server in pool at barrier")
                     .status()
                     .demand;
-                reports.push((i, demands[i]));
+                telemetry.set(i, d);
+                reports.push((i, d));
             }
             let caps = plane.barrier(rounds as u64, &reports, &config, &names);
             for &i in &just_finished {
@@ -450,7 +454,10 @@ impl FleetEngine for EventEngine {
                     .expect("server in pool at barrier")
                     .set_cap(caps[i]);
             }
-            cap_timeline.push(caps);
+            if config.record_timeline {
+                cap_timeline.push(caps);
+            }
+            telemetry.clear_dirty();
 
             // --- advance the awake servers one coordination period ---
             match &pool {

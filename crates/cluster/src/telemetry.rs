@@ -1,0 +1,162 @@
+//! Struct-of-arrays storage for hot per-server telemetry.
+//!
+//! The barrier loop reads demand/min power and activity for every report
+//! and feeds the whole fleet's telemetry to the cap split each barrier.
+//! Keeping those fields in parallel column vectors (instead of scattered
+//! per-server structs) keeps the scan cache-friendly at 100k servers, and
+//! the per-column dirty bitmap lets the engine see at a glance how much of
+//! the fleet actually moved since the last barrier.
+
+use crate::coordinator::ServerDemand;
+
+/// Hot per-server telemetry in struct-of-arrays layout, with a dirty
+/// bitmap tracking which servers' telemetry changed (at the bit level)
+/// since the last [`TelemetrySlab::clear_dirty`].
+#[derive(Clone, Debug)]
+pub struct TelemetrySlab {
+    demand_w: Vec<f64>,
+    min_w: Vec<f64>,
+    active: Vec<bool>,
+    dirty: Vec<u64>,
+    dirty_count: usize,
+}
+
+impl TelemetrySlab {
+    /// A slab for `n` servers, all initially inactive and clean.
+    pub fn new(n: usize) -> TelemetrySlab {
+        TelemetrySlab {
+            demand_w: vec![0.0; n],
+            min_w: vec![0.0; n],
+            active: vec![false; n],
+            dirty: vec![0; n.div_ceil(64)],
+            dirty_count: 0,
+        }
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.demand_w.len()
+    }
+
+    /// Whether the slab is empty.
+    pub fn is_empty(&self) -> bool {
+        self.demand_w.is_empty()
+    }
+
+    /// Server `i`'s telemetry as the coordinator-facing struct.
+    pub fn demand(&self, i: usize) -> ServerDemand {
+        ServerDemand {
+            demand_w: self.demand_w[i],
+            min_w: self.min_w[i],
+            active: self.active[i],
+        }
+    }
+
+    /// Materializes the whole slab as a `ServerDemand` vector (the shape
+    /// the control plane's barrier API takes), reusing `out`.
+    pub fn fill_demands(&self, out: &mut Vec<ServerDemand>) {
+        out.clear();
+        out.reserve(self.len());
+        for i in 0..self.len() {
+            out.push(self.demand(i));
+        }
+    }
+
+    /// Records server `i`'s telemetry, marking it dirty if any field
+    /// moved at the bit level.
+    pub fn set(&mut self, i: usize, d: ServerDemand) {
+        let moved = self.demand_w[i].to_bits() != d.demand_w.to_bits()
+            || self.min_w[i].to_bits() != d.min_w.to_bits()
+            || self.active[i] != d.active;
+        self.demand_w[i] = d.demand_w;
+        self.min_w[i] = d.min_w;
+        self.active[i] = d.active;
+        if moved {
+            self.mark_dirty(i);
+        }
+    }
+
+    /// Marks server `i` inactive (a quiesce or departure), preserving its
+    /// last power columns like the AoS engine did.
+    pub fn deactivate(&mut self, i: usize) {
+        if self.active[i] {
+            self.active[i] = false;
+            self.mark_dirty(i);
+        }
+    }
+
+    /// Whether server `i` moved since the last [`TelemetrySlab::clear_dirty`].
+    pub fn dirty(&self, i: usize) -> bool {
+        self.dirty[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Servers currently marked dirty.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty_count
+    }
+
+    /// Clears the dirty bitmap (call after a barrier consumed it).
+    pub fn clear_dirty(&mut self) {
+        for w in &mut self.dirty {
+            *w = 0;
+        }
+        self.dirty_count = 0;
+    }
+
+    fn mark_dirty(&mut self, i: usize) {
+        let (w, b) = (i / 64, 1u64 << (i % 64));
+        if self.dirty[w] & b == 0 {
+            self.dirty[w] |= b;
+            self.dirty_count += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_round_trips_and_tracks_dirty_bits() {
+        let mut slab = TelemetrySlab::new(130);
+        assert_eq!(slab.len(), 130);
+        assert_eq!(slab.dirty_count(), 0);
+        let d = ServerDemand {
+            demand_w: 120.5,
+            min_w: 40.25,
+            active: true,
+        };
+        slab.set(7, d);
+        slab.set(129, d);
+        assert_eq!(slab.demand(7).demand_w.to_bits(), d.demand_w.to_bits());
+        assert!(slab.dirty(7) && slab.dirty(129) && !slab.dirty(8));
+        assert_eq!(slab.dirty_count(), 2);
+
+        // Re-setting identical telemetry is clean.
+        slab.clear_dirty();
+        slab.set(7, d);
+        assert_eq!(slab.dirty_count(), 0);
+
+        // A bit-level move is dirty even if tiny.
+        slab.set(
+            7,
+            ServerDemand {
+                demand_w: 120.5 + 1e-12,
+                ..d
+            },
+        );
+        assert_eq!(slab.dirty_count(), 1);
+
+        // Deactivation dirties once, then is idempotent.
+        slab.clear_dirty();
+        slab.deactivate(129);
+        slab.deactivate(129);
+        assert!(!slab.demand(129).active);
+        assert_eq!(slab.dirty_count(), 1);
+
+        let mut out = Vec::new();
+        slab.fill_demands(&mut out);
+        assert_eq!(out.len(), 130);
+        assert!(out[7].active && !out[129].active);
+    }
+}

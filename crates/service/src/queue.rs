@@ -161,6 +161,30 @@ impl RequestQueue {
         arrivals: &[Request],
         hist: &mut Histogram,
     ) -> Result<Vec<ClientEvent>, String> {
+        let mut events = Vec::new();
+        self.advance_into(from, to, rate_ips, arrivals, hist, &mut events)?;
+        Ok(events)
+    }
+
+    /// [`RequestQueue::advance`] writing terminal events into a
+    /// caller-owned buffer instead of allocating a fresh vector — the
+    /// hot-path form: a fleet barrier advances every server every round,
+    /// and the per-call event vector was pure allocator churn. Events are
+    /// appended in resolution order; existing contents are untouched.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`RequestQueue::advance`] — and a rejected call appends
+    /// no events.
+    pub fn advance_into(
+        &mut self,
+        from: Ps,
+        to: Ps,
+        rate_ips: f64,
+        arrivals: &[Request],
+        hist: &mut Histogram,
+        events: &mut Vec<ClientEvent>,
+    ) -> Result<(), String> {
         if !arrivals.windows(2).all(|w| w[0].arrival <= w[1].arrival) {
             return Err("queue invariant: arrivals not time-ordered".into());
         }
@@ -172,13 +196,12 @@ impl RequestQueue {
             ));
         }
         self.arrived += arrivals.len() as u64;
-        let mut events = Vec::new();
         let mut t = from;
         let mut next = 0usize;
         loop {
             // Admit everything that has arrived by now.
             while next < arrivals.len() && arrivals[next].arrival <= t {
-                self.admit(arrivals[next], &mut events);
+                self.admit(arrivals[next], events);
                 next += 1;
             }
             if t >= to {
@@ -234,7 +257,7 @@ impl RequestQueue {
                 self.waiting.len()
             ));
         }
-        Ok(events)
+        Ok(())
     }
 }
 

@@ -148,27 +148,33 @@ impl ServiceServer {
         };
         // Requests that arrived during the window, with their sizes: the
         // balanced batch in closed-loop mode, the spec's arrival process
-        // otherwise.
-        let reqs: Vec<Request> = if self.closed_loop {
-            std::mem::take(&mut self.pending)
-        } else {
-            self.arrivals
-                .arrivals_until(t1)
-                .into_iter()
-                .map(|arrival| Request {
+        // otherwise. `pending` doubles as the arrivals arena in both
+        // modes (and terminal events append straight into the retained
+        // `events` buffer), so the per-round per-server Vec churn of the
+        // old code is gone.
+        if !self.closed_loop {
+            debug_assert!(self.pending.is_empty(), "open-loop servers get no batches");
+            for arrival in self.arrivals.arrivals_until(t1) {
+                self.pending.push(Request {
                     arrival,
                     remaining_instrs: self.mean_request_instrs * (0.5 + self.size_rng.f64()),
                     client: None,
                     trace: None,
-                })
-                .collect()
-        };
+                });
+            }
+        }
         let mut round_hist = Histogram::new();
-        let events = self
-            .queue
-            .advance(t0, t1, rate_ips, &reqs, &mut round_hist)
+        self.queue
+            .advance_into(
+                t0,
+                t1,
+                rate_ips,
+                &self.pending,
+                &mut round_hist,
+                &mut self.events,
+            )
             .unwrap_or_else(|e| panic!("server {}: {e}", self.name));
-        self.events.extend(events);
+        self.pending.clear();
         self.cum_hist.merge(&round_hist);
         self.window.push_back(round_hist);
         while self.window.len() > self.window_rounds {

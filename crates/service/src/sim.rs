@@ -413,6 +413,10 @@ struct FleetRun {
     round_d: Ps,
     // The event engine's cap-split replay; `None` under the round engine.
     cache: Option<CapCache>,
+    // The event engine's per-node hierarchical replay cache; `None` under
+    // the round engine or without a topology. Rebound (not discarded) on
+    // churn, so sibling subtrees keep their cached allocations.
+    hier: Option<cluster::HierSplitter>,
     // The multi-tier runtime: request DAGs, trace aggregation, the
     // end-to-end histogram. `None` without a tier topology.
     tiers: Option<TierRuntime>,
@@ -513,6 +517,17 @@ impl FleetRun {
             .first()
             .map(|s| s.config.epoch * config.epochs_per_round as u64)
             .unwrap_or(Ps::ZERO);
+        let hier = match (&cache, &topology) {
+            (Some(_), Some(tree)) => {
+                let names: Vec<&str> = servers.iter().map(|s| s.name.as_str()).collect();
+                Some(cluster::HierSplitter::compile(
+                    tree,
+                    &names,
+                    config.dead_band_w,
+                ))
+            }
+            _ => None,
+        };
         FleetRun {
             config,
             servers,
@@ -526,6 +541,7 @@ impl FleetRun {
             balancer,
             round_d,
             cache,
+            hier,
             tiers,
         }
     }
@@ -621,9 +637,16 @@ impl FleetRun {
         }
         if churned {
             // Membership (and possibly tree shape) changed: any cached
-            // allocation is for a different fleet.
+            // whole-fleet allocation is for a different fleet.
             if let Some(cache) = self.cache.as_mut() {
                 cache.invalidate();
+            }
+            // The hierarchical cache is *rebound*, not discarded: groups
+            // structurally untouched by the churn (sibling racks/tiers)
+            // carry their cached allocations across the membership change.
+            if let (Some(h), Some(tree)) = (self.hier.as_mut(), &self.topology) {
+                let names: Vec<&str> = self.servers.iter().map(|s| s.name.as_str()).collect();
+                h.rebind(tree, &names);
             }
         }
         if self.servers.is_empty() {
@@ -667,19 +690,33 @@ impl FleetRun {
                     // power, latency and critical-path telemetry, so
                     // SLA-aware interior nodes react to their subtree's
                     // worst violation ratio and critical-path nodes shift
-                    // budget toward the slowest tier.
-                    let names: Vec<&str> = self.servers.iter().map(|s| s.name.as_str()).collect();
-                    tree.split_signals(
-                        self.config.global_cap_w,
-                        &names,
-                        &demands,
-                        &TreeSignals {
-                            sla: signals.as_deref(),
-                            crit: crit.as_deref(),
-                            tier_floor_frac,
-                        },
-                        self.config.quantum_w,
-                    )
+                    // budget toward the slowest tier. The event engine
+                    // routes this through the compiled per-node replay
+                    // cache (bit-identical at a zero dead-band).
+                    let sig = TreeSignals {
+                        sla: signals.as_deref(),
+                        crit: crit.as_deref(),
+                        tier_floor_frac,
+                    };
+                    match self.hier.as_mut() {
+                        Some(h) => h.split_signals(
+                            self.config.global_cap_w,
+                            &demands,
+                            &sig,
+                            self.config.quantum_w,
+                        ),
+                        None => {
+                            let names: Vec<&str> =
+                                self.servers.iter().map(|s| s.name.as_str()).collect();
+                            tree.split_signals(
+                                self.config.global_cap_w,
+                                &names,
+                                &demands,
+                                &sig,
+                                self.config.quantum_w,
+                            )
+                        }
+                    }
                     .unwrap_or_else(|e| panic!("budget tree split: {e}"))
                 }
                 (None, CapSplit::SlaAware) => split_caps_sla(

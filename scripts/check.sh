@@ -26,6 +26,7 @@ step "cargo test" cargo test -q --workspace --offline
 step "cargo test --release" cargo test -q --workspace --offline --release
 step "cargo doc (deny warnings)" \
     env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet
+step "fleet-scale-ns gate" ./scripts/fleet_scale_gate.sh
 
 echo
 echo "== wall-clock per gate =="

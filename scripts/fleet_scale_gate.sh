@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Fleet-scale performance gate: runs the `fleet-scale-ns` criterion bench
+# (ns per server-epoch at 1k/8k/32k synthetic servers) and fails when the
+# scaling invariant (32k <= 2x 1k) or the committed baseline ratios in
+# crates/bench/baselines/fleet_scale_ns.json regress by more than 20%.
+# The bench binary itself enforces both gates and writes
+# results/fleet_scale_ns.{json,tsv} for the CI artifact upload.
+#
+# Set FLEET_SCALE_SKIP=1 to skip (the bench exits 0 without measuring).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo bench -p bench --bench fleet_scale_ns --offline

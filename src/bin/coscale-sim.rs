@@ -151,6 +151,7 @@ struct ClusterArgs {
     topology: Option<BudgetTree>,
     threads: usize,
     engine: EngineKind,
+    wake_shards: usize,
     serve: bool,
     rounds: usize,
     rate: f64,
@@ -175,7 +176,7 @@ fn cluster_usage() -> ! {
     eprintln!(
         "usage: coscale-sim cluster [--servers LIST] [--fleet-size N] [--idle-fraction F] \
          [--cap WATTS] [--quantum W] [--dead-band W] [--epochs-per-round N] [--split NAME] \
-         [--topology SPEC] [--threads N] [--engine NAME] \
+         [--topology SPEC] [--threads N] [--engine NAME] [--wake-shards N] \
          [--serve] [--rounds N] [--rate HZ] \
          [--p99-target MS] [--seed N] [--join R:SPEC]... [--leave R:NAME]... \
          [--clients N] [--think-ms F] [--client-model NAME] [--think-diurnal P:D] \
@@ -195,6 +196,8 @@ fn cluster_usage() -> ! {
          \x20 --dead-band W lets the event engine replay the cached cap split while no\n\
          \x20   server's telemetry moved more than W watts (0, the default, re-splits\n\
          \x20   whenever any telemetry bit changes and stays digest-identical)\n\
+         \x20 --wake-shards N shards the event engine's wake queue N ways (0, the\n\
+         \x20   default, is one shard per worker thread; any count is digest-identical)\n\
          \x20 --topology splits the budget down a tree instead of flat, e.g.\n\
          \x20   dc:uniform[rack:sla-aware[heavy,light0],pod:fastcap[light1,light2]]\n\
          \x20 --join/--leave change the fleet at round boundaries (--serve only)\n\
@@ -326,6 +329,7 @@ fn parse_cluster_args() -> ClusterArgs {
         topology: None,
         threads: 4,
         engine: EngineKind::Round,
+        wake_shards: 0,
         serve: false,
         rounds: 40,
         rate: 30_000.0,
@@ -387,6 +391,11 @@ fn parse_cluster_args() -> ClusterArgs {
                 a.engine = val("--engine")
                     .parse::<EngineKind>()
                     .unwrap_or_else(|e: String| cluster_fail(&e))
+            }
+            "--wake-shards" => {
+                a.wake_shards = val("--wake-shards")
+                    .parse()
+                    .unwrap_or_else(|_| cluster_usage())
             }
             "--fleet-size" => {
                 a.fleet_size = val("--fleet-size")
@@ -587,7 +596,8 @@ fn cluster_batch_main(args: &ClusterArgs) {
     let mut cfg = ClusterConfig::new(fleet, cap, args.split)
         .with_threads(args.threads)
         .with_engine(args.engine)
-        .with_dead_band(args.dead_band);
+        .with_dead_band(args.dead_band)
+        .with_wake_shards(args.wake_shards);
     cfg.quantum_w = args.quantum;
     if args.epochs_per_round > 0 {
         cfg = cfg.with_epochs_per_round(args.epochs_per_round);

@@ -4,26 +4,30 @@
 //! caps, queue counters, latency buckets, and client summaries — for every
 //! configuration, at every worker-thread count.
 //!
-//! Three layers of evidence:
+//! Four layers of evidence:
 //! 1. property tests sweeping fleet size, cap split, churn, topology,
 //!    balancer, and open/closed loop, asserting digest equality between
 //!    `--engine round` and `--engine event` at 1, 2, 4, and 8 threads;
-//! 2. pinned golden digests for the four fleet-level bench experiments
+//! 2. property tests pinning the hierarchical cap cache (`HierSplitter`)
+//!    to `BudgetTree`: bit-identical caps and `GroupShare` transcripts at
+//!    a zero dead-band, and dirty-subtree recompute blended with clean
+//!    replay matching a full recompute at any band;
+//! 3. pinned golden digests for the four fleet-level bench experiments
 //!    (cluster capping, serving SLOs, hierarchical budgets, closed-loop
 //!    balancing), so a drift in *either* engine is loud;
-//! 3. an `#[ignore]`d 1024-server / 90%-idle differential smoke for the
-//!    nightly `--release -- --ignored` job.
+//! 4. `#[ignore]`d 1024- and 16384-server / 90%-idle differential smokes
+//!    for the nightly `--release -- --ignored` job.
 
 use cluster::{
-    run_cluster, synthetic_fleet, BudgetTree, ClusterConfig, EngineKind, PartitionSpec, RpcConfig,
-    ServerSpec,
+    run_cluster, synthetic_fleet, BudgetNode, BudgetTree, ClusterConfig, EngineKind, GroupShare,
+    HierSplitter, PartitionSpec, RpcConfig, ServerDemand, ServerSpec, SlaSignal, TreeSignals,
 };
 use proptest::prelude::*;
 use service::{
     run_service, BalancePolicy, CapSplit, ChurnSchedule, ClosedLoopConfig, ServiceConfig,
     ServiceServerSpec,
 };
-use simkernel::Ps;
+use simkernel::{Ps, SimRng};
 
 /// FNV-1a over the digest text (same constant-pinning scheme as
 /// `tests/invariants.rs`).
@@ -304,6 +308,281 @@ fn loopback_failover_conserves_strictly_and_is_deterministic() {
 }
 
 // ---------------------------------------------------------------------------
+// Hierarchical cap cache. `HierSplitter` memoizes `BudgetTree` splits per
+// interior node behind a telemetry dead-band: at a zero band it must be a
+// pure bit-identical replay of the tree, and at any band a replayed node
+// must reproduce a historical split verbatim while dirty subtrees are
+// recomputed against live telemetry.
+// ---------------------------------------------------------------------------
+
+/// Every discipline a budget-tree node can run (the splitter must replay
+/// all of them).
+const GROUP_SPLITS: [CapSplit; 5] = [
+    CapSplit::Uniform,
+    CapSplit::DemandProportional,
+    CapSplit::FastCap,
+    CapSplit::SlaAware,
+    CapSplit::CriticalPath,
+];
+
+/// A two-rack topology over `n` servers named `h0..h{n-1}`, split at
+/// `n / 2`, with per-node disciplines.
+fn two_rack_tree(
+    n: usize,
+    root: CapSplit,
+    r0: CapSplit,
+    r1: CapSplit,
+) -> (BudgetTree, Vec<String>) {
+    let names: Vec<String> = (0..n).map(|i| format!("h{i}")).collect();
+    let rack = |label: &str, split: CapSplit, servers: &[String]| {
+        BudgetNode::group(
+            label,
+            split,
+            servers.iter().map(|s| BudgetNode::server(s)).collect(),
+        )
+    };
+    let mid = n / 2;
+    let tree = BudgetTree::new(BudgetNode::group(
+        "fleet",
+        root,
+        vec![
+            rack("rack0", r0, &names[..mid]),
+            rack("rack1", r1, &names[mid..]),
+        ],
+    ));
+    (tree, names)
+}
+
+/// A uniform root over FastCap racks of `rack_size` servers each — the
+/// shape the fleet-scale smokes and benches use.
+fn rack_tree(names: &[String], rack_size: usize) -> BudgetTree {
+    let racks = names
+        .chunks(rack_size)
+        .enumerate()
+        .map(|(r, chunk)| {
+            BudgetNode::group(
+                &format!("rack{r}"),
+                CapSplit::FastCap,
+                chunk.iter().map(|s| BudgetNode::server(s)).collect(),
+            )
+        })
+        .collect();
+    BudgetTree::new(BudgetNode::group("fleet", CapSplit::Uniform, racks))
+}
+
+/// Deterministic pseudo-random per-server telemetry.
+fn random_telemetry(rng: &mut SimRng, n: usize) -> (Vec<ServerDemand>, Vec<SlaSignal>) {
+    let demands = (0..n)
+        .map(|_| ServerDemand {
+            demand_w: 20.0 + 80.0 * rng.f64(),
+            min_w: 5.0 + 10.0 * rng.f64(),
+            active: rng.f64() > 0.15,
+        })
+        .collect();
+    let sla = (0..n)
+        .map(|_| SlaSignal {
+            p99_s: if rng.f64() < 0.3 {
+                0.0
+            } else {
+                1e-3 * (0.5 + rng.f64())
+            },
+            target_s: 1e-3,
+        })
+        .collect();
+    (demands, sla)
+}
+
+/// Field-wise bit equality of two `split_trace` transcripts.
+fn assert_traces_match(label: &str, got: &[GroupShare], want: &[GroupShare]) {
+    assert_eq!(got.len(), want.len(), "[{label}] trace length");
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!(g.label, w.label, "[{label}] group order");
+        assert_eq!(
+            g.budget_w.to_bits(),
+            w.budget_w.to_bits(),
+            "[{label}] {}: {} W vs {} W",
+            g.label,
+            g.budget_w,
+            w.budget_w
+        );
+        assert_eq!(g.leaves, w.leaves, "[{label}] {} leaves", g.label);
+    }
+}
+
+/// FNV-1a over the caps' bit patterns — the "digest" the replay claims are
+/// stated in.
+fn caps_digest(caps: &[f64]) -> u64 {
+    let mut text = String::new();
+    for c in caps {
+        text.push_str(&format!("{:016x} ", c.to_bits()));
+    }
+    fnv1a(text.as_bytes())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// At a zero dead-band the hierarchical cache is a pure function: caps
+    /// and the full `GroupShare` transcript bit-match `BudgetTree` for any
+    /// discipline mix and telemetry sequence — and repeating a step
+    /// verbatim must *replay* every node yet still bit-match a fresh split
+    /// of that same telemetry.
+    #[test]
+    fn hier_cache_bit_matches_the_tree_at_zero_dead_band(
+        seed in any::<u64>(),
+        n in 4usize..9,
+        root in 0u8..3,
+        r0 in 0u8..5,
+        r1 in 0u8..5,
+        steps in 2usize..6,
+    ) {
+        let (tree, names) = two_rack_tree(
+            n,
+            GROUP_SPLITS[root as usize],
+            GROUP_SPLITS[r0 as usize],
+            GROUP_SPLITS[r1 as usize],
+        );
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let mut h = HierSplitter::compile(&tree, &name_refs, 0.0);
+        let mut rng = SimRng::new(seed);
+        for step in 0..steps {
+            let (demands, sla) = random_telemetry(&mut rng, n);
+            let budget = 40.0 * n as f64 * (0.5 + rng.f64());
+            let sig = TreeSignals { sla: Some(&sla), ..TreeSignals::default() };
+            let (caps, trace, _) = h.split_with_trace(budget, &demands, &sig, 0.5).unwrap();
+            let (want, want_trace) =
+                tree.split_trace(budget, &name_refs, &demands, Some(&sla), 0.5);
+            for (i, (a, b)) in caps.iter().zip(&want).enumerate() {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "step {} cap {}: {} vs {}", step, i, a, b);
+            }
+            assert_traces_match(&format!("step {step}"), &trace, &want_trace);
+            // The verbatim repeat must be served by replay alone …
+            let hits = h.node_hits();
+            let (again, trace2, replayed) =
+                h.split_with_trace(budget, &demands, &sig, 0.5).unwrap();
+            prop_assert!(replayed.iter().all(|&r| r), "step {}: {:?}", step, replayed);
+            prop_assert!(h.node_hits() > hits, "step {} repeat missed the cache", step);
+            // … and every replayed node's `GroupShare` must still equal a
+            // fresh split of the same telemetry.
+            prop_assert_eq!(caps_digest(&again), caps_digest(&caps), "step {} replay caps", step);
+            assert_traces_match(&format!("step {step} replay"), &trace2, &want_trace);
+        }
+    }
+
+    /// At a positive dead-band, beyond-band churn confined to one rack
+    /// recomputes that subtree against live telemetry while the sibling
+    /// replays — and because the sibling's telemetry is bit-identical to
+    /// its cached reference, the blended caps still digest-equal a full
+    /// recompute. A later within-band wobble replays everything verbatim.
+    #[test]
+    fn hier_dirty_subtree_replay_digest_equals_full_recompute(
+        seed in any::<u64>(),
+        n in 4usize..9,
+        r0 in 0u8..3,
+        r1 in 0u8..3,
+        band_sel in 0u8..3,
+    ) {
+        let band = [0.5, 1.0, 2.0][band_sel as usize];
+        // A uniform root grants each rack a bit-identical budget every
+        // step, so the clean rack's cache entry stays live.
+        let (tree, names) = two_rack_tree(
+            n,
+            CapSplit::Uniform,
+            GROUP_SPLITS[r0 as usize],
+            GROUP_SPLITS[r1 as usize],
+        );
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let mid = n / 2;
+        let mut h = HierSplitter::compile(&tree, &name_refs, band);
+        let mut rng = SimRng::new(seed);
+        let mut demands: Vec<ServerDemand> = (0..n)
+            .map(|_| ServerDemand {
+                demand_w: 20.0 + 80.0 * rng.f64(),
+                min_w: 5.0 + 10.0 * rng.f64(),
+                active: true,
+            })
+            .collect();
+        let budget = 60.0 * n as f64;
+        let sig = TreeSignals::default();
+        // Prime the cache.
+        let (first, _, _) = h.split_with_trace(budget, &demands, &sig, 0.5).unwrap();
+        let fresh = tree.split(budget, &name_refs, &demands, None, 0.5);
+        prop_assert_eq!(caps_digest(&first), caps_digest(&fresh), "cold split vs tree");
+        // Dirty rack1 far beyond the band; rack0 stays bit-identical.
+        for d in &mut demands[mid..] {
+            d.demand_w += 10.0 * band;
+        }
+        let (caps, _, replayed) = h.split_with_trace(budget, &demands, &sig, 0.5).unwrap();
+        prop_assert_eq!(
+            &replayed,
+            &vec![false, true, false],
+            "fleet + rack1 must recompute, rack0 must replay"
+        );
+        let fresh = tree.split(budget, &name_refs, &demands, None, 0.5);
+        prop_assert_eq!(
+            caps_digest(&caps),
+            caps_digest(&fresh),
+            "replay-blended caps vs full recompute"
+        );
+        // A within-band wobble on one rack0 server replays every node and
+        // reproduces the previous caps verbatim.
+        demands[0].demand_w += 0.25 * band;
+        let (again, _, replayed) = h.split_with_trace(budget, &demands, &sig, 0.5).unwrap();
+        prop_assert!(replayed.iter().all(|&r| r), "{:?}", replayed);
+        prop_assert_eq!(
+            caps_digest(&again),
+            caps_digest(&caps),
+            "within-band wobble must replay the cached split"
+        );
+    }
+}
+
+/// End-to-end: on a topology-enabled cluster the event engine's
+/// hierarchical dead-band replay must leave the physics (makespans,
+/// violation counts, energies) bit-identical to the zero-band reference,
+/// while both engines stay digest-equal at a zero band.
+#[test]
+fn cluster_hier_dead_band_replay_keeps_physics() {
+    let make = |dead_band_w: f64| {
+        let mut fleet = synthetic_fleet(16, 0.9);
+        for s in &mut fleet {
+            // Quarter-length workloads: completion comes sooner, keeping
+            // the test cheap in debug builds.
+            s.config.target_instrs = (s.config.target_instrs / 4).max(1);
+        }
+        let names: Vec<String> = fleet.iter().map(|s| s.name.clone()).collect();
+        let mut c = ClusterConfig::new(fleet, 100.0 * 16.0, CapSplit::FastCap)
+            .with_epochs_per_round(1)
+            .with_dead_band(dead_band_w)
+            .with_threads(4)
+            .with_topology(rack_tree(&names, 4));
+        c.quantum_w = 0.5;
+        c
+    };
+    let round = run_cluster(make(0.0).with_engine(EngineKind::Round));
+    let event = run_cluster(make(0.0).with_engine(EngineKind::Event));
+    assert_eq!(
+        round.digest(),
+        event.digest(),
+        "hier topology: round vs event at zero band"
+    );
+    let banded = run_cluster(make(5.0).with_engine(EngineKind::Event));
+    for (a, b) in round.outcomes.iter().zip(&banded.outcomes) {
+        assert_eq!(
+            (a.name.as_str(), a.result.makespan, a.violation_rounds),
+            (b.name.as_str(), b.result.makespan, b.violation_rounds),
+            "hier dead-band replay changed the physics"
+        );
+        assert_eq!(
+            a.result.total_energy_j().to_bits(),
+            b.result.total_energy_j().to_bits(),
+            "hier dead-band replay changed {}'s energy",
+            a.name
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Pinned goldens for the four fleet-level bench experiments. These mirror
 // the `--quick` configurations in `crates/bench/src/experiments.rs` (with
 // shortened horizons where the full quick run would dominate the suite);
@@ -455,6 +734,84 @@ fn fleet_1024_differential_smoke() {
     }
     println!(
         "1024-server smoke: round {:.2}s, event {:.2}s ({:.1}x), event +5W dead-band {:.2}s ({:.1}x)",
+        t_round.as_secs_f64(),
+        t_event.as_secs_f64(),
+        t_round.as_secs_f64() / t_event.as_secs_f64().max(1e-9),
+        t_banded.as_secs_f64(),
+        t_round.as_secs_f64() / t_banded.as_secs_f64().max(1e-9)
+    );
+}
+
+/// Nightly-scale sharded-wake-queue smoke: 16384 servers at 90% idle under
+/// a 256-rack budget tree. Round and event engines must be digest-equal at
+/// a zero dead-band — at *any* wake-shard count — and the 5 W dead-banded
+/// event run must conserve the budget every round while leaving makespans,
+/// violation counts, and energies bit-identical. Run with
+/// `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "16384-server differential smoke; run via cargo test --release -- --ignored"]
+fn fleet_16384_differential_smoke() {
+    let n = 16_384usize;
+    let budget = 100.0 * n as f64;
+    let make = |dead_band_w: f64, wake_shards: usize| {
+        let mut fleet = synthetic_fleet(n, 0.9);
+        for s in &mut fleet {
+            // Eighth-length workloads keep the 16k fleet's horizon (and
+            // the nightly job's wall-clock) bounded.
+            s.config.target_instrs = (s.config.target_instrs / 8).max(1);
+        }
+        let names: Vec<String> = fleet.iter().map(|s| s.name.clone()).collect();
+        let mut c = ClusterConfig::new(fleet, budget, CapSplit::FastCap)
+            .with_epochs_per_round(1)
+            .with_dead_band(dead_band_w)
+            .with_threads(8)
+            .with_wake_shards(wake_shards)
+            .with_topology(rack_tree(&names, 64));
+        c.quantum_w = 1.0;
+        c
+    };
+    let start = std::time::Instant::now();
+    let round = run_cluster(make(0.0, 0).with_engine(EngineKind::Round));
+    let t_round = start.elapsed();
+    let start = std::time::Instant::now();
+    let event = run_cluster(make(0.0, 8).with_engine(EngineKind::Event));
+    let t_event = start.elapsed();
+    assert_eq!(
+        round.digest(),
+        event.digest(),
+        "16384-server round vs event@8-shards digests diverged"
+    );
+    let odd_shards = run_cluster(make(0.0, 3).with_engine(EngineKind::Event));
+    assert_eq!(
+        round.digest(),
+        odd_shards.digest(),
+        "wake-shard count changed the digest"
+    );
+    let start = std::time::Instant::now();
+    let banded = run_cluster(make(5.0, 8).with_engine(EngineKind::Event));
+    let t_banded = start.elapsed();
+    for (r, caps) in banded.cap_timeline.iter().enumerate() {
+        let total: f64 = caps.iter().sum();
+        assert!(
+            total <= budget + 1e-3,
+            "round {r}: dead-banded in-force caps {total:.3} W exceed the {budget} W budget"
+        );
+    }
+    for (a, b) in round.outcomes.iter().zip(&banded.outcomes) {
+        assert_eq!(
+            (a.name.as_str(), a.result.makespan, a.violation_rounds),
+            (b.name.as_str(), b.result.makespan, b.violation_rounds),
+            "16k dead-band run changed the physics"
+        );
+        assert_eq!(
+            a.result.total_energy_j().to_bits(),
+            b.result.total_energy_j().to_bits(),
+            "16k dead-band run changed {}'s energy",
+            a.name
+        );
+    }
+    println!(
+        "16384-server smoke: round {:.2}s, event {:.2}s ({:.1}x), +5W dead-band {:.2}s ({:.1}x)",
         t_round.as_secs_f64(),
         t_event.as_secs_f64(),
         t_round.as_secs_f64() / t_event.as_secs_f64().max(1e-9),
